@@ -1,0 +1,127 @@
+// Extension: fractal (correlation) dimension — the paper's future-work
+// item 5 — applied to the cost model's weakest spot: Fig. 2(c) shows the
+// r(1) nearest-neighbor radius estimator degrading at high D because a
+// 100-bin histogram cannot resolve the tiny quantile n*F(r) = 1. Here we
+//   1. report the correlation dimension D2 of the Table-1 datasets, and
+//   2. re-estimate r(1) through the power-law-smoothed CDF and compare
+//      both estimators against the measured NN distance across D.
+//
+// Scale knobs: MCM_N (default 10000), MCM_QUERIES (default 500).
+
+#include <cmath>
+#include <iostream>
+
+#include "mcm/bench_util/experiment.h"
+#include "mcm/common/env.h"
+#include "mcm/common/stopwatch.h"
+#include "mcm/common/table_printer.h"
+#include "mcm/dataset/text_datasets.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/distribution/estimator.h"
+#include "mcm/distribution/fractal.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/bulk_load.h"
+
+int main() {
+  using namespace mcm;
+  using Traits = VectorTraits<LInfDistance>;
+  const size_t n = static_cast<size_t>(GetEnvInt("MCM_N", 10000));
+  const size_t num_queries = static_cast<size_t>(GetEnvInt("MCM_QUERIES", 500));
+  constexpr uint64_t kSeed = 42;
+
+  Stopwatch watch;
+  std::cout << "== Extension: correlation (fractal) dimension D2 (future "
+               "work #5) ==\n\n";
+
+  // Part 1: D2 across datasets.
+  {
+    TablePrinter table({"dataset", "D", "D2 (corr. dim)", "fit range"});
+    for (size_t dim : {5u, 10u, 20u, 50u}) {
+      for (const bool clustered : {false, true}) {
+        const auto data = GenerateVectorDataset(
+            clustered ? VectorDatasetKind::kClustered
+                      : VectorDatasetKind::kUniform,
+            n, dim, kSeed);
+        EstimatorOptions eo;
+        eo.num_bins = 200;
+        eo.max_pairs = 2000000;
+        eo.seed = kSeed;
+        const auto hist =
+            EstimateDistanceDistribution(data, LInfDistance{}, eo);
+        const auto fit = EstimateCorrelationDimension(hist, 0.001, 0.2);
+        table.AddRow({clustered ? "clustered" : "uniform",
+                      std::to_string(dim), TablePrinter::Num(fit.dimension, 2),
+                      "[" + TablePrinter::Num(fit.r_lo, 3) + ", " +
+                          TablePrinter::Num(fit.r_hi, 3) + "]"});
+      }
+    }
+    const auto words = GenerateKeywords(n, kSeed);
+    EstimatorOptions eo;
+    eo.num_bins = 25;
+    eo.d_plus = 25.0;
+    const auto hist =
+        EstimateDistanceDistribution(words, EditDistanceMetric{}, eo);
+    const auto fit = EstimateCorrelationDimension(hist, 0.001, 0.3);
+    table.AddRow({"keywords (edit)", "-", TablePrinter::Num(fit.dimension, 2),
+                  "[" + TablePrinter::Num(fit.r_lo, 1) + ", " +
+                      TablePrinter::Num(fit.r_hi, 1) + "]"});
+    std::cout << "-- D2 of the Table-1 datasets (uniform data: D2 ~= D; "
+                 "clustering lowers D2) --\n";
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  // Part 2: r(1) with and without power-law smoothing vs measured NN
+  // distance (the Fig. 2(c) artifact).
+  {
+    TablePrinter table({"D", "nn real", "r(1) histogram", "err",
+                        "r(1) fractal", "err"});
+    for (size_t dim = 10; dim <= 50; dim += 10) {
+      const auto data = GenerateClustered(n, dim, kSeed);
+      const auto queries = GenerateVectorQueries(
+          VectorDatasetKind::kClustered, num_queries, dim, kSeed);
+      MTreeOptions topt;
+      topt.seed = kSeed;
+      auto tree = MTree<Traits>::BulkLoad(data, LInfDistance{}, topt);
+      const auto measured = MeasureKnn(tree, queries, 1);
+
+      EstimatorOptions eo;
+      eo.num_bins = 100;
+      eo.seed = kSeed;
+      const auto hist = EstimateDistanceDistribution(data, LInfDistance{}, eo);
+      const double p1 = 1.0 / static_cast<double>(n);
+      const double r1_hist = hist.Quantile(p1);
+      double r1_fractal = r1_hist;
+      try {
+        // NOTE: the fit window must be tail-local. On clustered data the
+        // power-law exponent is scale-dependent (the within-cluster regime
+        // has a much larger local exponent than the global D2); fitting the
+        // global window [5e-4, 0.2] and extrapolating to p = 1/n badly
+        // undershoots r(1). See EXPERIMENTS.md.
+        const auto fit = EstimateCorrelationDimension(hist, 0.0005, 0.05);
+        r1_fractal = FractalSmoothedCdf(hist, fit).Quantile(p1);
+      } catch (const std::exception&) {
+        // Fit window empty: keep the histogram estimate.
+      }
+      table.AddRow({std::to_string(dim),
+                    TablePrinter::Num(measured.avg_kth_distance, 4),
+                    TablePrinter::Num(r1_hist, 4),
+                    FormatErrorPercent(r1_hist, measured.avg_kth_distance),
+                    TablePrinter::Num(r1_fractal, 4),
+                    FormatErrorPercent(r1_fractal,
+                                       measured.avg_kth_distance)});
+    }
+    std::cout << "-- r(1) estimator: histogram quantile vs power-law "
+                 "smoothed quantile --\n";
+    table.Print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: D2 tracks the embedding dimension on "
+               "uniform data and drops under clustering. Finding: on "
+               "clustered data the power-law exponent is scale-dependent, "
+               "so tail extrapolation must fit a tail-local window; with "
+               "one, the smoothed r(1) tracks the histogram quantile.\n"
+            << "Elapsed: " << TablePrinter::Num(watch.ElapsedSeconds(), 1)
+            << " s\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 1: estimated vs measured costs of range queries
+// range(Q, (0.01)^(1/D)/2) over the clustered datasets, as a function of
+// the space dimensionality D.
+//   (a) CPU cost  — distance computations (Eq. 7 for N-MCM, Eq. 16 L-MCM)
+//   (b) I/O cost  — node reads            (Eq. 6 for N-MCM, Eq. 15 L-MCM)
+//   (c) result cardinality                (Eq. 8)
+// Paper-reported shapes: N-MCM errors <= 4%, L-MCM <= 10%, cardinality <= 3%.
+//
+// Scale knobs: MCM_N (default 10000), MCM_QUERIES (default 1000),
+//              MCM_BINS (default 100).
+
+#include <cmath>
+#include <iostream>
+
+#include "mcm/bench_util/experiment.h"
+#include "mcm/common/env.h"
+#include "mcm/common/stopwatch.h"
+#include "mcm/common/table_printer.h"
+#include "mcm/cost/lmcm.h"
+#include "mcm/cost/nmcm.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/distribution/estimator.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/bulk_load.h"
+
+int main() {
+  using namespace mcm;
+  using Traits = VectorTraits<LInfDistance>;
+  const size_t n = static_cast<size_t>(GetEnvInt("MCM_N", 10000));
+  const size_t num_queries =
+      static_cast<size_t>(GetEnvInt("MCM_QUERIES", 1000));
+  const size_t bins = static_cast<size_t>(GetEnvInt("MCM_BINS", 100));
+  constexpr uint64_t kSeed = 42;
+
+  std::cout << "== Figure 1: range(Q, (0.01)^(1/D)/2) on clustered data, "
+            << "n=" << n << ", " << num_queries << " queries ==\n\n";
+
+  TablePrinter cpu({"D", "r_Q", "CPU real", "N-MCM", "err", "L-MCM", "err"});
+  TablePrinter io({"D", "r_Q", "I/O real", "N-MCM", "err", "L-MCM", "err"});
+  TablePrinter objs({"D", "r_Q", "objs real", "est n*F(r)", "err"});
+
+  Stopwatch watch;
+  for (size_t dim = 5; dim <= 50; dim += 5) {
+    const double rq = std::pow(0.01, 1.0 / static_cast<double>(dim)) / 2.0;
+    const auto data = GenerateClustered(n, dim, kSeed);
+    const auto queries = GenerateVectorQueries(VectorDatasetKind::kClustered,
+                                               num_queries, dim, kSeed);
+
+    MTreeOptions options;  // 4 KB nodes, 30% min utilization (paper setup).
+    auto tree = MTree<Traits>::BulkLoad(data, LInfDistance{}, options);
+
+    EstimatorOptions eo;
+    eo.num_bins = bins;
+    eo.d_plus = 1.0;
+    eo.seed = kSeed;
+    const auto hist = EstimateDistanceDistribution(data, LInfDistance{}, eo);
+    const auto stats = tree.CollectStats(1.0);
+    const NodeBasedCostModel nmcm(hist, stats);
+    const LevelBasedCostModel lmcm(hist, stats);
+
+    const auto measured = MeasureRange(tree, queries, rq);
+    const std::string d_str = std::to_string(dim);
+    const std::string r_str = TablePrinter::Num(rq, 3);
+
+    cpu.AddRow({d_str, r_str, TablePrinter::Num(measured.avg_dists, 1),
+                TablePrinter::Num(nmcm.RangeDistances(rq), 1),
+                FormatErrorPercent(nmcm.RangeDistances(rq),
+                                   measured.avg_dists),
+                TablePrinter::Num(lmcm.RangeDistances(rq), 1),
+                FormatErrorPercent(lmcm.RangeDistances(rq),
+                                   measured.avg_dists)});
+    io.AddRow({d_str, r_str, TablePrinter::Num(measured.avg_nodes, 1),
+               TablePrinter::Num(nmcm.RangeNodes(rq), 1),
+               FormatErrorPercent(nmcm.RangeNodes(rq), measured.avg_nodes),
+               TablePrinter::Num(lmcm.RangeNodes(rq), 1),
+               FormatErrorPercent(lmcm.RangeNodes(rq), measured.avg_nodes)});
+    objs.AddRow({d_str, r_str, TablePrinter::Num(measured.avg_results, 1),
+                 TablePrinter::Num(nmcm.RangeObjects(rq), 1),
+                 FormatErrorPercent(nmcm.RangeObjects(rq),
+                                    measured.avg_results)});
+  }
+
+  std::cout << "-- Fig. 1(a): CPU cost (distance computations) --\n";
+  cpu.Print(std::cout);
+  std::cout << "\n-- Fig. 1(b): I/O cost (node reads) --\n";
+  io.Print(std::cout);
+  std::cout << "\n-- Fig. 1(c): result cardinality --\n";
+  objs.Print(std::cout);
+  std::cout << "\nExpected shapes: N-MCM err <~ 4%, L-MCM err <~ 10%, "
+               "cardinality err <~ 3% (paper).\n"
+            << "Elapsed: " << TablePrinter::Num(watch.ElapsedSeconds(), 1)
+            << " s\n";
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Micro-benchmarks (google-benchmark): throughput of the primitive
+// operations behind the paper's cost units — distance computations, the
+// histogram CDF/quantile kernels used by the models, and index queries.
+// These ground the Section-4.1 cost coefficients (c_CPU, c_IO) in real
+// per-operation timings on the host machine.
+
+#include <benchmark/benchmark.h>
+
+#include "mcm/cost/lmcm.h"
+#include "mcm/cost/nmcm.h"
+#include "mcm/dataset/text_datasets.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/distribution/estimator.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/bulk_load.h"
+#include "mcm/vptree/vptree.h"
+
+namespace {
+
+using namespace mcm;
+
+constexpr uint64_t kSeed = 42;
+
+void BM_LInfDistance(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto points = GenerateUniform(2, dim, kSeed);
+  const LInfDistance metric;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metric(points[0], points[1]));
+  }
+}
+BENCHMARK(BM_LInfDistance)->Arg(5)->Arg(20)->Arg(50);
+
+void BM_L2Distance(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto points = GenerateUniform(2, dim, kSeed);
+  const L2Distance metric;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metric(points[0], points[1]));
+  }
+}
+BENCHMARK(BM_L2Distance)->Arg(5)->Arg(50);
+
+void BM_EditDistance(benchmark::State& state) {
+  const auto words = GenerateKeywords(64, kSeed);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EditDistance(words[i % 64], words[(i * 7 + 13) % 64]));
+    ++i;
+  }
+}
+BENCHMARK(BM_EditDistance);
+
+void BM_BoundedEditDistance(benchmark::State& state) {
+  const auto words = GenerateKeywords(64, kSeed);
+  const size_t bound = static_cast<size_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BoundedEditDistance(words[i % 64], words[(i * 7 + 13) % 64], bound));
+    ++i;
+  }
+}
+BENCHMARK(BM_BoundedEditDistance)->Arg(2)->Arg(5);
+
+void BM_HistogramCdf(benchmark::State& state) {
+  const auto data = GenerateUniform(1000, 10, kSeed);
+  EstimatorOptions eo;
+  eo.num_bins = 100;
+  const auto hist = EstimateDistanceDistribution(data, LInfDistance{}, eo);
+  double x = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hist.Cdf(x));
+    x += 1e-4;
+    if (x > 1.0) x = 0.0;
+  }
+}
+BENCHMARK(BM_HistogramCdf);
+
+void BM_MTreeRangeQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto data = GenerateClustered(n, 10, kSeed);
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 64, 10, kSeed);
+  MTreeOptions options;
+  options.seed = kSeed;
+  auto tree = MTree<VectorTraits<LInfDistance>>::BulkLoad(
+      data, LInfDistance{}, options);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.RangeSearch(queries[i % 64], 0.15));
+    ++i;
+  }
+}
+BENCHMARK(BM_MTreeRangeQuery)->Arg(1000)->Arg(10000);
+
+void BM_MTreeKnnQuery(benchmark::State& state) {
+  const auto data = GenerateClustered(10000, 10, kSeed);
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 64, 10, kSeed);
+  MTreeOptions options;
+  options.seed = kSeed;
+  auto tree = MTree<VectorTraits<LInfDistance>>::BulkLoad(
+      data, LInfDistance{}, options);
+  const size_t k = static_cast<size_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.KnnSearch(queries[i % 64], k));
+    ++i;
+  }
+}
+BENCHMARK(BM_MTreeKnnQuery)->Arg(1)->Arg(10);
+
+void BM_MTreeBulkLoad(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto data = GenerateClustered(n, 10, kSeed);
+  MTreeOptions options;
+  options.seed = kSeed;
+  for (auto _ : state) {
+    auto tree = MTree<VectorTraits<LInfDistance>>::BulkLoad(
+        data, LInfDistance{}, options);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MTreeBulkLoad)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_MTreeInsert(benchmark::State& state) {
+  const auto data = GenerateClustered(20000, 10, kSeed);
+  MTreeOptions options;
+  options.seed = kSeed;
+  MTree<VectorTraits<LInfDistance>> tree(LInfDistance{}, options);
+  size_t i = 0;
+  for (auto _ : state) {
+    tree.Insert(data[i % data.size()], i);
+    ++i;
+  }
+}
+BENCHMARK(BM_MTreeInsert);
+
+void BM_VpTreeRangeQuery(benchmark::State& state) {
+  const auto data = GenerateClustered(10000, 10, kSeed);
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 64, 10, kSeed);
+  VpTreeOptions options;
+  options.arity = static_cast<size_t>(state.range(0));
+  options.seed = kSeed;
+  const VpTree<VectorTraits<LInfDistance>> tree(data, LInfDistance{},
+                                                options);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.RangeSearch(queries[i % 64], 0.15));
+    ++i;
+  }
+}
+BENCHMARK(BM_VpTreeRangeQuery)->Arg(2)->Arg(5);
+
+void BM_NmcmRangePrediction(benchmark::State& state) {
+  const auto data = GenerateClustered(10000, 10, kSeed);
+  MTreeOptions options;
+  options.seed = kSeed;
+  auto tree = MTree<VectorTraits<LInfDistance>>::BulkLoad(
+      data, LInfDistance{}, options);
+  EstimatorOptions eo;
+  eo.num_bins = 100;
+  const auto hist = EstimateDistanceDistribution(data, LInfDistance{}, eo);
+  const NodeBasedCostModel model(hist, tree.CollectStats(1.0));
+  double r = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.RangeNodes(r));
+    r += 0.01;
+    if (r > 1.0) r = 0.0;
+  }
+}
+BENCHMARK(BM_NmcmRangePrediction);
+
+void BM_NmcmNnPrediction(benchmark::State& state) {
+  const auto data = GenerateClustered(10000, 10, kSeed);
+  MTreeOptions options;
+  options.seed = kSeed;
+  auto tree = MTree<VectorTraits<LInfDistance>>::BulkLoad(
+      data, LInfDistance{}, options);
+  EstimatorOptions eo;
+  eo.num_bins = 100;
+  const auto hist = EstimateDistanceDistribution(data, LInfDistance{}, eo);
+  const NodeBasedCostModel model(hist, tree.CollectStats(1.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.NnNodes(1));
+  }
+}
+BENCHMARK(BM_NmcmNnPrediction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

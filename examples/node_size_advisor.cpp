@@ -1,0 +1,64 @@
+// Node-size advisor (Section 4.1): given a dataset, a query profile, and
+// device cost coefficients, sweep candidate node sizes, predict per-query
+// time with the cost model, and recommend the node size that minimizes
+// c_CPU * dists + (t_pos + NS * t_trans) * nodes.
+//
+// Usage: node_size_advisor [cpu_ms_per_distance] [t_pos_ms] [t_trans_ms_per_kb]
+// Defaults are the paper's: 5, 10, 1 (which yield an 8 KB optimum on the
+// paper's 10^6-object dataset).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "mcm/cost/nmcm.h"
+#include "mcm/cost/tuner.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/distribution/estimator.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/bulk_load.h"
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+  using Traits = VectorTraits<LInfDistance>;
+
+  DiskCostParameters params;  // Paper defaults.
+  if (argc > 1) params.cpu_ms_per_distance = std::atof(argv[1]);
+  if (argc > 2) params.position_ms = std::atof(argv[2]);
+  if (argc > 3) params.transfer_ms_per_kb = std::atof(argv[3]);
+
+  const size_t n = 50000, dim = 5;
+  const auto objects = GenerateClustered(n, dim, /*seed=*/42);
+  const double radius = std::pow(0.01, 1.0 / dim) / 2.0;
+
+  EstimatorOptions eo;
+  eo.num_bins = 100;
+  const auto histogram =
+      EstimateDistanceDistribution(objects, LInfDistance{}, eo);
+
+  std::printf("advising node size for %zu objects, range radius %.3f\n"
+              "device: c_CPU=%.1f ms/distance, c_IO = %.1f + NS*%.1f ms\n\n",
+              n, radius, params.cpu_ms_per_distance, params.position_ms,
+              params.transfer_ms_per_kb);
+  std::printf("%10s %12s %12s %14s\n", "NS (KB)", "pred reads",
+              "pred dists", "pred ms/query");
+
+  std::vector<NodeSizeSample> samples;
+  for (size_t ns = 512; ns <= 65536; ns *= 2) {
+    MTreeOptions options;
+    options.node_size_bytes = ns;
+    auto tree = MTree<Traits>::BulkLoad(objects, LInfDistance{}, options);
+    const NodeBasedCostModel model(histogram, tree.CollectStats(1.0));
+    const NodeSizeSample sample{ns, model.RangeDistances(radius),
+                                model.RangeNodes(radius)};
+    samples.push_back(sample);
+    std::printf("%10.1f %12.1f %12.1f %14.1f\n",
+                static_cast<double>(ns) / 1024.0, sample.nodes, sample.dists,
+                TotalCostMs(params, sample.dists, sample.nodes, ns));
+  }
+
+  const TuningResult best = ChooseNodeSize(params, samples);
+  std::printf("\nrecommended node size: %zu KB (predicted %.1f ms/query)\n",
+              best.best_node_size_bytes / 1024, best.best_total_ms);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Sequential-scan baseline: answers the same similarity queries as the
+// metric indexes by comparing the query against every object. This is the
+// comparator every index must beat, the oracle the correctness tests check
+// against, and the "sequential" arm of access-path selection
+// (cost/access_path.h): it always costs exactly n distance computations.
+
+#ifndef MCM_BASELINE_LINEAR_SCAN_H_
+#define MCM_BASELINE_LINEAR_SCAN_H_
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "mcm/common/query_stats.h"
+#include "mcm/mtree/mtree.h"  // SearchResult
+
+namespace mcm {
+
+template <typename Traits>
+class LinearScan {
+ public:
+  using Object = typename Traits::Object;
+  using Metric = typename Traits::Metric;
+  using Result = SearchResult<Object>;
+
+  /// Keeps a reference to `objects`; the caller owns their lifetime.
+  LinearScan(const std::vector<Object>& objects, Metric metric)
+      : objects_(objects), metric_(std::move(metric)) {}
+
+  /// All objects within `radius`, sorted by distance. Always performs
+  /// exactly size() distance computations.
+  std::vector<Result> RangeSearch(const Object& query, double radius,
+                                  QueryStats* stats = nullptr) const {
+    QueryStats local;
+    QueryStats* st = stats ? stats : &local;
+    *st = QueryStats{};
+    std::vector<Result> out;
+    for (size_t i = 0; i < objects_.size(); ++i) {
+      ++st->distance_computations;
+      const double d = metric_(query, objects_[i]);
+      if (d <= radius) {
+        out.push_back({static_cast<uint64_t>(i), objects_[i], d});
+      }
+    }
+    std::sort(out.begin(), out.end(), [](const Result& a, const Result& b) {
+      return a.distance < b.distance;
+    });
+    return out;
+  }
+
+  /// The k nearest objects, sorted by distance.
+  std::vector<Result> KnnSearch(const Object& query, size_t k,
+                                QueryStats* stats = nullptr) const {
+    QueryStats local;
+    QueryStats* st = stats ? stats : &local;
+    *st = QueryStats{};
+    auto less = [](const Result& a, const Result& b) {
+      return a.distance < b.distance;
+    };
+    std::priority_queue<Result, std::vector<Result>, decltype(less)> best(
+        less);
+    for (size_t i = 0; i < objects_.size(); ++i) {
+      ++st->distance_computations;
+      const double d = metric_(query, objects_[i]);
+      if (best.size() < k || d < best.top().distance) {
+        best.push({static_cast<uint64_t>(i), objects_[i], d});
+        if (best.size() > k) best.pop();
+      }
+    }
+    std::vector<Result> out;
+    out.reserve(best.size());
+    while (!best.empty()) {
+      out.push_back(best.top());
+      best.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  size_t size() const { return objects_.size(); }
+
+ private:
+  const std::vector<Object>& objects_;
+  Metric metric_;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_BASELINE_LINEAR_SCAN_H_

@@ -1,0 +1,18 @@
+#include "mcm/bench_util/experiment.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "mcm/common/numeric.h"
+
+namespace mcm {
+
+std::string FormatErrorPercent(double estimate, double measured) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1)
+     << 100.0 * RelativeError(estimate, measured) << "%";
+  return os.str();
+}
+
+}  // namespace mcm

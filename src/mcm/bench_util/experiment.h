@@ -1,0 +1,78 @@
+// Shared experiment harness: run a query workload against an index,
+// average the paper's cost counters, and format model-vs-measured rows.
+
+#ifndef MCM_BENCH_UTIL_EXPERIMENT_H_
+#define MCM_BENCH_UTIL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "mcm/common/query_stats.h"
+
+namespace mcm {
+
+/// Workload-averaged costs.
+struct MeasuredCosts {
+  double avg_nodes = 0.0;    ///< Mean node reads per query (I/O cost).
+  double avg_dists = 0.0;    ///< Mean distance computations (CPU cost).
+  double avg_results = 0.0;  ///< Mean result cardinality.
+  double avg_kth_distance = 0.0;  ///< k-NN only: mean k-th NN distance.
+  size_t num_queries = 0;
+};
+
+/// Runs range(Q, radius) for every query object and averages the counters.
+template <typename Tree, typename Object>
+MeasuredCosts MeasureRange(const Tree& tree,
+                           const std::vector<Object>& queries,
+                           double radius) {
+  MeasuredCosts costs;
+  costs.num_queries = queries.size();
+  for (const Object& q : queries) {
+    QueryStats stats;
+    const auto results = tree.RangeSearch(q, radius, &stats);
+    costs.avg_nodes += static_cast<double>(stats.nodes_accessed);
+    costs.avg_dists += static_cast<double>(stats.distance_computations);
+    costs.avg_results += static_cast<double>(results.size());
+  }
+  if (!queries.empty()) {
+    const double n = static_cast<double>(queries.size());
+    costs.avg_nodes /= n;
+    costs.avg_dists /= n;
+    costs.avg_results /= n;
+  }
+  return costs;
+}
+
+/// Runs NN(Q, k) for every query object and averages the counters; the k-th
+/// NN distance of each query is averaged into avg_kth_distance.
+template <typename Tree, typename Object>
+MeasuredCosts MeasureKnn(const Tree& tree, const std::vector<Object>& queries,
+                         size_t k) {
+  MeasuredCosts costs;
+  costs.num_queries = queries.size();
+  for (const Object& q : queries) {
+    QueryStats stats;
+    const auto results = tree.KnnSearch(q, k, &stats);
+    costs.avg_nodes += static_cast<double>(stats.nodes_accessed);
+    costs.avg_dists += static_cast<double>(stats.distance_computations);
+    costs.avg_results += static_cast<double>(results.size());
+    if (!results.empty()) {
+      costs.avg_kth_distance += results.back().distance;
+    }
+  }
+  if (!queries.empty()) {
+    const double n = static_cast<double>(queries.size());
+    costs.avg_nodes /= n;
+    costs.avg_dists /= n;
+    costs.avg_results /= n;
+    costs.avg_kth_distance /= n;
+  }
+  return costs;
+}
+
+/// Formats the relative error of `estimate` vs `measured` as "p.p%".
+std::string FormatErrorPercent(double estimate, double measured);
+
+}  // namespace mcm
+
+#endif  // MCM_BENCH_UTIL_EXPERIMENT_H_

@@ -1,0 +1,33 @@
+#include "mcm/common/env.h"
+
+#include <cstdlib>
+
+namespace mcm {
+
+int64_t GetEnvInt(const std::string& name, int64_t default_value) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) {
+    return default_value;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    return default_value;
+  }
+  return static_cast<int64_t>(v);
+}
+
+double GetEnvDouble(const std::string& name, double default_value) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) {
+    return default_value;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw || *end != '\0') {
+    return default_value;
+  }
+  return v;
+}
+
+}  // namespace mcm

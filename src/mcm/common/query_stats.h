@@ -1,0 +1,25 @@
+// Per-query counters. `nodes_accessed` is the paper's I/O cost and
+// `distance_computations` its CPU cost.
+
+#ifndef MCM_COMMON_QUERY_STATS_H_
+#define MCM_COMMON_QUERY_STATS_H_
+
+#include <cstdint>
+
+namespace mcm {
+
+/// Counters accumulated while executing one similarity query.
+struct QueryStats {
+  uint64_t nodes_accessed = 0;         ///< I/O cost (node = one disk page).
+  uint64_t distance_computations = 0;  ///< CPU cost.
+
+  QueryStats& operator+=(const QueryStats& other) {
+    nodes_accessed += other.nodes_accessed;
+    distance_computations += other.distance_computations;
+    return *this;
+  }
+};
+
+}  // namespace mcm
+
+#endif  // MCM_COMMON_QUERY_STATS_H_

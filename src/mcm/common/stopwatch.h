@@ -1,0 +1,33 @@
+// Wall-clock stopwatch for the experiment harness.
+
+#ifndef MCM_COMMON_STOPWATCH_H_
+#define MCM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace mcm {
+
+/// Measures elapsed wall-clock time from construction (or the last Reset).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_COMMON_STOPWATCH_H_

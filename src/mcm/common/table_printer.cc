@@ -1,0 +1,46 @@
+#include "mcm/common/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace mcm {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << "  " << std::setw(static_cast<int>(width[c])) << row[c];
+    }
+    out << "\n";
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : width) total += w + 2;
+  out << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace mcm

@@ -1,0 +1,39 @@
+// Minimal aligned-table printer used by the benchmark harnesses to emit the
+// rows/series of each paper table and figure in a readable, grep-able form.
+
+#ifndef MCM_COMMON_TABLE_PRINTER_H_
+#define MCM_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcm {
+
+/// Collects rows of string cells and prints them with aligned columns.
+///
+/// Usage:
+///   TablePrinter t({"D", "measured", "N-MCM", "err%"});
+///   t.AddRow({"5", "12.3", "12.1", "1.6"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one data row; pads or truncates to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the table (header, separator, rows) to `out`.
+  void Print(std::ostream& out) const;
+
+  /// Formats a double with `precision` fractional digits.
+  static std::string Num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_COMMON_TABLE_PRINTER_H_

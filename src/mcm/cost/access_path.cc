@@ -1,0 +1,28 @@
+#include "mcm/cost/access_path.h"
+
+namespace mcm {
+
+double SequentialScanMs(const DiskCostParameters& params,
+                        const SequentialScanProfile& profile) {
+  return params.cpu_ms_per_distance *
+             static_cast<double>(profile.num_objects) +
+         params.position_ms +
+         params.transfer_ms_per_kb *
+             (static_cast<double>(profile.data_bytes) / 1024.0);
+}
+
+AccessPathDecision ChooseAccessPath(const DiskCostParameters& params,
+                                    double index_dists, double index_nodes,
+                                    size_t node_size_bytes,
+                                    const SequentialScanProfile& profile) {
+  AccessPathDecision decision;
+  decision.index_ms =
+      TotalCostMs(params, index_dists, index_nodes, node_size_bytes);
+  decision.sequential_ms = SequentialScanMs(params, profile);
+  decision.choice = decision.index_ms <= decision.sequential_ms
+                        ? AccessPath::kIndexScan
+                        : AccessPath::kSequentialScan;
+  return decision;
+}
+
+}  // namespace mcm

@@ -1,0 +1,55 @@
+// Access-path selection: the optimizer decision the paper motivates in its
+// introduction ("will make it possible to apply optimizers' technology to
+// metric query processing too"). Given the cost model's prediction for an
+// index execution and the device parameters of Section 4.1, decide whether
+// the M-tree or a sequential scan of the data file answers a similarity
+// query faster.
+//
+// A sequential scan computes the distance from the query to all n objects
+// and reads the whole data file with one positioning plus a streaming
+// transfer; the index pays one positioning per node it touches.
+
+#ifndef MCM_COST_ACCESS_PATH_H_
+#define MCM_COST_ACCESS_PATH_H_
+
+#include <cstddef>
+
+#include "mcm/cost/tuner.h"
+
+namespace mcm {
+
+/// The two candidate execution strategies.
+enum class AccessPath {
+  kIndexScan,       ///< Descend the M-tree.
+  kSequentialScan,  ///< Stream the data file, compare everything.
+};
+
+/// Cost breakdown of an access-path decision.
+struct AccessPathDecision {
+  AccessPath choice = AccessPath::kIndexScan;
+  double index_ms = 0.0;
+  double sequential_ms = 0.0;
+};
+
+/// Description of the base data file for the sequential alternative.
+struct SequentialScanProfile {
+  size_t num_objects = 0;  ///< n distance computations.
+  size_t data_bytes = 0;   ///< Total bytes streamed from disk.
+};
+
+/// Predicted sequential-scan time: c_CPU * n + t_pos + bytes * t_trans.
+double SequentialScanMs(const DiskCostParameters& params,
+                        const SequentialScanProfile& profile);
+
+/// Compares the model-predicted index execution (`index_dists` distance
+/// computations, `index_nodes` node reads of `node_size_bytes` each — e.g.
+/// from NodeBasedCostModel) against the sequential scan and returns the
+/// cheaper plan.
+AccessPathDecision ChooseAccessPath(const DiskCostParameters& params,
+                                    double index_dists, double index_nodes,
+                                    size_t node_size_bytes,
+                                    const SequentialScanProfile& profile);
+
+}  // namespace mcm
+
+#endif  // MCM_COST_ACCESS_PATH_H_

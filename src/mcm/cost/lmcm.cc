@@ -1,0 +1,69 @@
+#include "mcm/cost/lmcm.h"
+
+#include <stdexcept>
+
+namespace mcm {
+
+LevelBasedCostModel::LevelBasedCostModel(const DistanceHistogram& histogram,
+                                         std::vector<LevelStatRecord> levels,
+                                         size_t num_objects,
+                                         size_t nn_grid_refinement)
+    : histogram_(histogram),
+      levels_(std::move(levels)),
+      num_objects_(num_objects),
+      nn_model_(histogram_, num_objects, nn_grid_refinement) {
+  if (levels_.empty()) {
+    throw std::invalid_argument("LevelBasedCostModel: no level statistics");
+  }
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].level != i + 1) {
+      throw std::invalid_argument(
+          "LevelBasedCostModel: levels must be contiguous from 1");
+    }
+  }
+}
+
+LevelBasedCostModel::LevelBasedCostModel(const DistanceHistogram& histogram,
+                                         const MTreeStatsView& stats,
+                                         size_t nn_grid_refinement)
+    : LevelBasedCostModel(histogram, stats.levels, stats.num_objects,
+                          nn_grid_refinement) {}
+
+double LevelBasedCostModel::RangeNodes(double query_radius) const {
+  double total = 0.0;
+  for (const auto& level : levels_) {
+    total += static_cast<double>(level.num_nodes) *
+             histogram_.Cdf(level.avg_covering_radius + query_radius);
+  }
+  return total;
+}
+
+double LevelBasedCostModel::RangeDistances(double query_radius) const {
+  double total = 0.0;
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    // M_{l+1}: nodes one level below, or n below the leaves (Eq. 16).
+    const double entries_below =
+        l + 1 < levels_.size()
+            ? static_cast<double>(levels_[l + 1].num_nodes)
+            : static_cast<double>(num_objects_);
+    total += entries_below *
+             histogram_.Cdf(levels_[l].avg_covering_radius + query_radius);
+  }
+  return total;
+}
+
+double LevelBasedCostModel::RangeObjects(double query_radius) const {
+  return static_cast<double>(num_objects_) * histogram_.Cdf(query_radius);
+}
+
+double LevelBasedCostModel::NnNodes(size_t k) const {
+  return nn_model_.IntegrateAgainstNnDensity(
+      [this](double r) { return RangeNodes(r); }, k);
+}
+
+double LevelBasedCostModel::NnDistances(size_t k) const {
+  return nn_model_.IntegrateAgainstNnDensity(
+      [this](double r) { return RangeDistances(r); }, k);
+}
+
+}  // namespace mcm

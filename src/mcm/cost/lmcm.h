@@ -1,0 +1,58 @@
+// L-MCM — the Level-based Metric Cost Model (Section 3.2). A simplified
+// N-MCM that keeps only O(height) statistics per tree: the node count M_l
+// and the average covering radius r̄_l of each level (root = level 1,
+// leaves = level L).
+
+#ifndef MCM_COST_LMCM_H_
+#define MCM_COST_LMCM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "mcm/cost/nn_distance.h"
+#include "mcm/cost/tree_stats.h"
+#include "mcm/distribution/histogram.h"
+
+namespace mcm {
+
+class LevelBasedCostModel {
+ public:
+  /// `levels` must be sorted by level (1 = root) and carry the footnote-1
+  /// convention (root level radius = d⁺); `num_objects` is n = M_{L+1}.
+  LevelBasedCostModel(const DistanceHistogram& histogram,
+                      std::vector<LevelStatRecord> levels, size_t num_objects,
+                      size_t nn_grid_refinement = 8);
+
+  /// Convenience: extracts the level records from a full stats view.
+  LevelBasedCostModel(const DistanceHistogram& histogram,
+                      const MTreeStatsView& stats,
+                      size_t nn_grid_refinement = 8);
+
+  /// Eq. 15: nodes(range) ≈ Σ_l M_l · F(r̄_l + r_Q).
+  double RangeNodes(double query_radius) const;
+
+  /// Eq. 16: dists(range) ≈ Σ_l M_{l+1} · F(r̄_l + r_Q), M_{L+1} = n.
+  double RangeDistances(double query_radius) const;
+
+  /// Eq. 8 (same as N-MCM): objs(range) = n · F(r_Q).
+  double RangeObjects(double query_radius) const;
+
+  /// Eq. 17 generalized to any k: expected node reads of NN(Q, k).
+  double NnNodes(size_t k) const;
+
+  /// Eq. 18 generalized to any k: expected distance computations.
+  double NnDistances(size_t k) const;
+
+  const NnDistanceModel& nn_model() const { return nn_model_; }
+  const std::vector<LevelStatRecord>& levels() const { return levels_; }
+
+ private:
+  DistanceHistogram histogram_;
+  std::vector<LevelStatRecord> levels_;
+  size_t num_objects_;
+  NnDistanceModel nn_model_;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_COST_LMCM_H_

@@ -1,0 +1,98 @@
+#include "mcm/cost/nmcm.h"
+
+namespace mcm {
+
+NodeBasedCostModel::NodeBasedCostModel(const DistanceHistogram& histogram,
+                                       MTreeStatsView stats,
+                                       size_t nn_grid_refinement)
+    : histogram_(histogram),
+      stats_(std::move(stats)),
+      nn_model_(histogram_, stats_.num_objects, nn_grid_refinement) {}
+
+double NodeBasedCostModel::RangeNodes(double query_radius) const {
+  double total = 0.0;
+  for (const auto& node : stats_.nodes) {
+    total += histogram_.Cdf(node.covering_radius + query_radius);
+  }
+  return total;
+}
+
+double NodeBasedCostModel::RangeDistances(double query_radius) const {
+  double total = 0.0;
+  for (const auto& node : stats_.nodes) {
+    total += static_cast<double>(node.num_entries) *
+             histogram_.Cdf(node.covering_radius + query_radius);
+  }
+  return total;
+}
+
+double NodeBasedCostModel::RangeObjects(double query_radius) const {
+  return static_cast<double>(stats_.num_objects) *
+         histogram_.Cdf(query_radius);
+}
+
+namespace {
+
+/// Combined access/match probability from per-predicate probabilities.
+double CombineProbability(const std::vector<double>& probabilities,
+                          bool conjunctive) {
+  double product = 1.0;
+  if (conjunctive) {
+    for (double p : probabilities) product *= p;
+    return product;
+  }
+  for (double p : probabilities) product *= 1.0 - p;
+  return 1.0 - product;
+}
+
+}  // namespace
+
+double NodeBasedCostModel::ComplexRangeNodes(const std::vector<double>& radii,
+                                             bool conjunctive) const {
+  double total = 0.0;
+  std::vector<double> probs(radii.size());
+  for (const auto& node : stats_.nodes) {
+    for (size_t j = 0; j < radii.size(); ++j) {
+      probs[j] = histogram_.Cdf(node.covering_radius + radii[j]);
+    }
+    total += CombineProbability(probs, conjunctive);
+  }
+  return total;
+}
+
+double NodeBasedCostModel::ComplexRangeDistances(
+    const std::vector<double>& radii, bool conjunctive) const {
+  double total = 0.0;
+  std::vector<double> probs(radii.size());
+  for (const auto& node : stats_.nodes) {
+    for (size_t j = 0; j < radii.size(); ++j) {
+      probs[j] = histogram_.Cdf(node.covering_radius + radii[j]);
+    }
+    total += static_cast<double>(node.num_entries) *
+             static_cast<double>(radii.size()) *
+             CombineProbability(probs, conjunctive);
+  }
+  return total;
+}
+
+double NodeBasedCostModel::ComplexRangeObjects(
+    const std::vector<double>& radii, bool conjunctive) const {
+  std::vector<double> probs(radii.size());
+  for (size_t j = 0; j < radii.size(); ++j) {
+    probs[j] = histogram_.Cdf(radii[j]);
+  }
+  return static_cast<double>(stats_.num_objects) *
+         CombineProbability(probs, conjunctive);
+}
+
+double NodeBasedCostModel::NnNodes(size_t k) const {
+  return nn_model_.IntegrateAgainstNnDensity(
+      [this](double r) { return RangeNodes(r); }, k);
+}
+
+double NodeBasedCostModel::NnDistances(size_t k) const {
+  return nn_model_.IntegrateAgainstNnDensity(
+      [this](double r) { return RangeDistances(r); }, k);
+}
+
+}  // namespace mcm

@@ -1,0 +1,71 @@
+// N-MCM — the Node-based Metric Cost Model (Section 3.1), the paper's
+// primary contribution. Predicts I/O (node reads) and CPU (distance
+// computations) costs of range and k-NN queries on an M-tree from
+//   * the sampled distance distribution F̂ⁿ, and
+//   * per-node statistics (covering radius r(N_i), entry count e(N_i)).
+
+#ifndef MCM_COST_NMCM_H_
+#define MCM_COST_NMCM_H_
+
+#include <cstddef>
+
+#include "mcm/cost/nn_distance.h"
+#include "mcm/cost/tree_stats.h"
+#include "mcm/distribution/histogram.h"
+
+namespace mcm {
+
+class NodeBasedCostModel {
+ public:
+  /// Both arguments are copied into the model. `stats` must carry the
+  /// footnote-1 convention (root covering radius = d⁺), as produced by
+  /// MTree::CollectStats(d_plus).
+  NodeBasedCostModel(const DistanceHistogram& histogram, MTreeStatsView stats,
+                     size_t nn_grid_refinement = 8);
+
+  /// Eq. 6: nodes(range(Q, r_Q)) = Σ_i F(r(N_i) + r_Q).
+  double RangeNodes(double query_radius) const;
+
+  /// Eq. 7: dists(range(Q, r_Q)) = Σ_i e(N_i) · F(r(N_i) + r_Q).
+  double RangeDistances(double query_radius) const;
+
+  /// Eq. 8: objs(range(Q, r_Q)) = n · F(r_Q).
+  double RangeObjects(double query_radius) const;
+
+  /// Complex-query extension (paper future-work #3, EDBT'98 [11]):
+  /// expected node reads of a multi-predicate range query with radii
+  /// `radii`, combined conjunctively (AND) or disjunctively (OR). Assumes
+  /// the per-predicate node distances are independent, so
+  ///   Pr{access | AND} = Π_j F(r(N)+r_j),
+  ///   Pr{access | OR}  = 1 − Π_j (1 − F(r(N)+r_j)).
+  double ComplexRangeNodes(const std::vector<double>& radii,
+                           bool conjunctive) const;
+
+  /// Expected distance computations of a complex range query: every entry
+  /// of an accessed node is compared against all |radii| predicates.
+  double ComplexRangeDistances(const std::vector<double>& radii,
+                               bool conjunctive) const;
+
+  /// Expected result cardinality of a complex range query:
+  /// n·Π F(r_j) (AND) or n·(1 − Π(1 − F(r_j))) (OR).
+  double ComplexRangeObjects(const std::vector<double>& radii,
+                             bool conjunctive) const;
+
+  /// Expected node reads of NN(Q, k): ∫ nodes(range(Q,r)) p_{Q,k}(r) dr.
+  double NnNodes(size_t k) const;
+
+  /// Expected distance computations of NN(Q, k).
+  double NnDistances(size_t k) const;
+
+  const NnDistanceModel& nn_model() const { return nn_model_; }
+  const MTreeStatsView& stats() const { return stats_; }
+
+ private:
+  DistanceHistogram histogram_;
+  MTreeStatsView stats_;
+  NnDistanceModel nn_model_;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_COST_NMCM_H_

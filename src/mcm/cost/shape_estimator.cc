@@ -1,0 +1,65 @@
+#include "mcm/cost/shape_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mcm {
+
+std::vector<LevelStatRecord> EstimateTreeShape(
+    const DistanceHistogram& histogram, size_t n,
+    const ShapeEstimatorOptions& options) {
+  if (n == 0) {
+    throw std::invalid_argument("EstimateTreeShape: n must be > 0");
+  }
+  if (options.leaf_entry_bytes == 0 || options.routing_entry_bytes == 0) {
+    throw std::invalid_argument("EstimateTreeShape: entry sizes required");
+  }
+  if (options.node_size_bytes <= options.node_header_bytes) {
+    throw std::invalid_argument("EstimateTreeShape: node size too small");
+  }
+  const double usable = options.fill_factor *
+                        static_cast<double>(options.node_size_bytes -
+                                            options.node_header_bytes);
+  const double leaf_fanout = std::max(
+      1.0, usable / static_cast<double>(options.leaf_entry_bytes));
+  const double internal_fanout = std::max(
+      2.0, usable / static_cast<double>(options.routing_entry_bytes));
+
+  // Node counts from the leaves upward until a single (root) node remains.
+  std::vector<size_t> counts;  // counts[0] = leaves.
+  size_t nodes = static_cast<size_t>(
+      std::ceil(static_cast<double>(n) / leaf_fanout));
+  nodes = std::max<size_t>(nodes, 1);
+  counts.push_back(nodes);
+  while (nodes > 1) {
+    nodes = static_cast<size_t>(
+        std::ceil(static_cast<double>(nodes) / internal_fanout));
+    nodes = std::max<size_t>(nodes, 1);
+    counts.push_back(nodes);
+  }
+
+  // Emit root-first records with the radius heuristic r̄_l = F⁻¹(1/M_l).
+  const size_t height = counts.size();
+  std::vector<LevelStatRecord> levels(height);
+  for (size_t l = 0; l < height; ++l) {
+    LevelStatRecord& rec = levels[l];
+    rec.level = static_cast<uint32_t>(l + 1);
+    const size_t count = counts[height - 1 - l];
+    rec.num_nodes = count;
+    if (l == 0) {
+      rec.avg_covering_radius = histogram.d_plus();  // Footnote 1.
+    } else {
+      rec.avg_covering_radius =
+          histogram.Quantile(std::min(1.0, 1.0 / static_cast<double>(count)));
+    }
+    rec.avg_entries =
+        l + 1 < height
+            ? static_cast<double>(counts[height - 2 - l]) /
+                  static_cast<double>(count)
+            : static_cast<double>(n) / static_cast<double>(count);
+  }
+  return levels;
+}
+
+}  // namespace mcm

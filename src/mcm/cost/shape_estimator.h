@@ -1,0 +1,42 @@
+// Tree-shape estimator — the paper's first "future work" item: a cost model
+// that needs NO tree statistics, only the distance distribution. It
+// predicts, from F̂ⁿ and the node capacity alone, the per-level statistics
+// (M_l, r̄_l) that L-MCM consumes:
+//   * M_L = ⌈n / c_leaf⌉ with c_leaf the expected leaf fanout at the
+//     assumed fill factor, and M_{l-1} = ⌈M_l / c_int⌉ upward to the root;
+//   * r̄_l from the correlation between covering radii and F: a level-l node
+//     covers ≈ n/M_l objects, so its radius is estimated as the distance
+//     within which a random viewpoint sees that fraction of the data,
+//     r̄_l ≈ F⁻¹(1 / M_l)  (root: d⁺, footnote 1).
+// bench/ext_ablations validates this against actual bulk-loaded trees.
+
+#ifndef MCM_COST_SHAPE_ESTIMATOR_H_
+#define MCM_COST_SHAPE_ESTIMATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "mcm/cost/tree_stats.h"
+#include "mcm/distribution/histogram.h"
+
+namespace mcm {
+
+/// Inputs describing the physical node layout.
+struct ShapeEstimatorOptions {
+  size_t node_size_bytes = 4096;
+  size_t node_header_bytes = 5;    ///< MTreeNode::HeaderSize().
+  size_t leaf_entry_bytes = 0;     ///< Serialized leaf entry size.
+  size_t routing_entry_bytes = 0;  ///< Serialized routing entry size.
+  double fill_factor = 0.75;       ///< Expected average node utilization.
+};
+
+/// Predicts the per-level statistics of a bulk-loaded M-tree over `n`
+/// objects with distance distribution `histogram`, without building it.
+/// The result feeds directly into LevelBasedCostModel.
+std::vector<LevelStatRecord> EstimateTreeShape(
+    const DistanceHistogram& histogram, size_t n,
+    const ShapeEstimatorOptions& options);
+
+}  // namespace mcm
+
+#endif  // MCM_COST_SHAPE_ESTIMATOR_H_

@@ -1,0 +1,32 @@
+#include "mcm/cost/tree_stats.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mcm {
+
+std::vector<LevelStatRecord> AggregateLevels(
+    const std::vector<NodeStatRecord>& nodes) {
+  std::map<uint32_t, LevelStatRecord> by_level;
+  for (const auto& node : nodes) {
+    LevelStatRecord& rec = by_level[node.level];
+    rec.level = node.level;
+    rec.num_nodes += 1;
+    rec.avg_covering_radius += node.covering_radius;
+    rec.avg_entries += static_cast<double>(node.num_entries);
+  }
+  std::vector<LevelStatRecord> levels;
+  levels.reserve(by_level.size());
+  for (auto& [level, rec] : by_level) {
+    rec.avg_covering_radius /= static_cast<double>(rec.num_nodes);
+    rec.avg_entries /= static_cast<double>(rec.num_nodes);
+    levels.push_back(rec);
+  }
+  std::sort(levels.begin(), levels.end(),
+            [](const LevelStatRecord& a, const LevelStatRecord& b) {
+              return a.level < b.level;
+            });
+  return levels;
+}
+
+}  // namespace mcm

@@ -1,0 +1,49 @@
+// Index statistics consumed by the cost models.
+//
+// N-MCM needs one record per node (covering radius r(N_i) and entry count
+// e(N_i)); L-MCM only the per-level aggregates (M_l, r̄_l). Levels follow
+// the paper's numbering: root = level 1, leaves = level L. The root has no
+// covering radius of its own, so footnote 1 applies: r(root) = d⁺.
+
+#ifndef MCM_COST_TREE_STATS_H_
+#define MCM_COST_TREE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mcm {
+
+/// Statistics of a single index node.
+struct NodeStatRecord {
+  uint32_t level = 1;           ///< 1 = root, L = leaves.
+  double covering_radius = 0.0; ///< r(N); d⁺ for the root (footnote 1).
+  uint32_t num_entries = 0;     ///< e(N).
+  bool is_leaf = false;
+};
+
+/// Per-level aggregates used by L-MCM.
+struct LevelStatRecord {
+  uint32_t level = 1;
+  size_t num_nodes = 0;           ///< M_l.
+  double avg_covering_radius = 0; ///< r̄_l.
+  double avg_entries = 0;
+};
+
+/// Full statistics snapshot of an M-tree.
+struct MTreeStatsView {
+  size_t num_objects = 0;  ///< n.
+  uint32_t height = 0;     ///< L (number of levels).
+  std::vector<NodeStatRecord> nodes;    ///< One record per node (N-MCM).
+  std::vector<LevelStatRecord> levels;  ///< One record per level (L-MCM).
+
+  size_t num_nodes() const { return nodes.size(); }
+};
+
+/// Computes the per-level aggregates from per-node records.
+std::vector<LevelStatRecord> AggregateLevels(
+    const std::vector<NodeStatRecord>& nodes);
+
+}  // namespace mcm
+
+#endif  // MCM_COST_TREE_STATS_H_

@@ -1,0 +1,40 @@
+#include "mcm/cost/tuner.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mcm {
+
+double IoCostMs(const DiskCostParameters& params, size_t node_size_bytes) {
+  return params.position_ms +
+         params.transfer_ms_per_kb *
+             (static_cast<double>(node_size_bytes) / 1024.0);
+}
+
+double TotalCostMs(const DiskCostParameters& params, double dists,
+                   double nodes, size_t node_size_bytes) {
+  return params.cpu_ms_per_distance * dists +
+         IoCostMs(params, node_size_bytes) * nodes;
+}
+
+TuningResult ChooseNodeSize(const DiskCostParameters& params,
+                            const std::vector<NodeSizeSample>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("ChooseNodeSize: no samples");
+  }
+  TuningResult result;
+  result.best_total_ms = std::numeric_limits<double>::infinity();
+  result.total_ms.reserve(samples.size());
+  for (const auto& sample : samples) {
+    const double total = TotalCostMs(params, sample.dists, sample.nodes,
+                                     sample.node_size_bytes);
+    result.total_ms.push_back(total);
+    if (total < result.best_total_ms) {
+      result.best_total_ms = total;
+      result.best_node_size_bytes = sample.node_size_bytes;
+    }
+  }
+  return result;
+}
+
+}  // namespace mcm

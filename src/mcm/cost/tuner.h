@@ -1,0 +1,49 @@
+// Node-size tuning (Section 4.1): combine predicted CPU and I/O costs under
+// a parametric disk model, total(NS) = c_CPU·dists(Q;NS) + c_IO(NS)·nodes(Q;NS)
+// with c_IO(NS) = t_pos + NS·t_trans, and pick the node size minimizing it.
+// The paper's instance (c_CPU = 5 ms, c_IO = 10 + NS·1 ms) yields an optimal
+// node size of 8 KB on the 10⁶-object 5-d clustered dataset.
+
+#ifndef MCM_COST_TUNER_H_
+#define MCM_COST_TUNER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mcm {
+
+/// Cost coefficients of Section 4.1. Defaults are the paper's.
+struct DiskCostParameters {
+  double cpu_ms_per_distance = 5.0;  ///< c_CPU.
+  double position_ms = 10.0;         ///< t_pos.
+  double transfer_ms_per_kb = 1.0;   ///< t_trans (per KB of node size).
+};
+
+/// c_IO(NS) = t_pos + NS·t_trans, NS in bytes.
+double IoCostMs(const DiskCostParameters& params, size_t node_size_bytes);
+
+/// Total expected query time in milliseconds.
+double TotalCostMs(const DiskCostParameters& params, double dists,
+                   double nodes, size_t node_size_bytes);
+
+/// Predicted (or measured) per-query costs at one candidate node size.
+struct NodeSizeSample {
+  size_t node_size_bytes = 0;
+  double dists = 0.0;  ///< Expected distance computations per query.
+  double nodes = 0.0;  ///< Expected node reads per query.
+};
+
+/// Outcome of a tuning sweep.
+struct TuningResult {
+  size_t best_node_size_bytes = 0;
+  double best_total_ms = 0.0;
+  std::vector<double> total_ms;  ///< Aligned with the input samples.
+};
+
+/// Evaluates TotalCostMs for every sample and selects the minimum.
+TuningResult ChooseNodeSize(const DiskCostParameters& params,
+                            const std::vector<NodeSizeSample>& samples);
+
+}  // namespace mcm
+
+#endif  // MCM_COST_TUNER_H_

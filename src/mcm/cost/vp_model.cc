@@ -1,0 +1,100 @@
+#include "mcm/cost/vp_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mcm/common/numeric.h"
+
+namespace mcm {
+
+DistanceHistogram TruncateAndNormalize(const DistanceHistogram& hist,
+                                       double bound) {
+  if (bound >= hist.d_plus()) {
+    return hist;
+  }
+  if (bound <= 0.0) {
+    throw std::invalid_argument("TruncateAndNormalize: bound must be > 0");
+  }
+  const double width = hist.bin_width();
+  std::vector<double> masses = hist.masses();
+  const size_t cut_bin = std::min(static_cast<size_t>(bound / width),
+                                  masses.size() - 1);
+  // Keep the in-bound fraction of the boundary bin, zero the rest.
+  const double frac =
+      (bound - static_cast<double>(cut_bin) * width) / width;
+  masses[cut_bin] *= Clamp(frac, 0.0, 1.0);
+  for (size_t b = cut_bin + 1; b < masses.size(); ++b) {
+    masses[b] = 0.0;
+  }
+  double total = 0.0;
+  for (double m : masses) total += m;
+  if (total <= 0.0) {
+    // Degenerate: no mass below the bound; model the subtree as holding
+    // everything at distance ~0 (single point mass in the first bin).
+    masses.assign(masses.size(), 0.0);
+    masses[0] = 1.0;
+  }
+  return DistanceHistogram::FromMasses(masses, hist.d_plus());
+}
+
+VpTreeCostModel::VpTreeCostModel(const DistanceHistogram& histogram, size_t n,
+                                 VpCostModelOptions options)
+    : histogram_(histogram), n_(n), options_(options) {
+  if (options_.arity < 2) {
+    throw std::invalid_argument("VpTreeCostModel: arity must be >= 2");
+  }
+  if (options_.leaf_capacity < 1) {
+    throw std::invalid_argument("VpTreeCostModel: leaf capacity must be >= 1");
+  }
+  if (n == 0) {
+    throw std::invalid_argument("VpTreeCostModel: n must be > 0");
+  }
+}
+
+double VpTreeCostModel::RangeDistances(double query_radius) const {
+  return Recurse(static_cast<double>(n_), histogram_, query_radius).dists;
+}
+
+double VpTreeCostModel::RangeNodes(double query_radius) const {
+  return Recurse(static_cast<double>(n_), histogram_, query_radius).nodes;
+}
+
+VpTreeCostModel::Expectation VpTreeCostModel::Recurse(
+    double size, const DistanceHistogram& hist, double query_radius) const {
+  Expectation total;
+  if (size <= static_cast<double>(options_.leaf_capacity)) {
+    total.nodes = 1.0;
+    total.dists = size;  // Every bucket object is compared with Q.
+    return total;
+  }
+  // The node is accessed: its vantage point costs one distance computation.
+  total.nodes = 1.0;
+  total.dists = 1.0;
+  const size_t m = options_.arity;
+  const double child_size = (size - 1.0) / static_cast<double>(m);
+  for (size_t i = 1; i <= m; ++i) {
+    // Cutoffs estimated as quantiles of the (sub)distribution: μ_i = F⁻¹(i/m).
+    const double mu_lo =
+        hist.Quantile(static_cast<double>(i - 1) / static_cast<double>(m));
+    const double mu_hi = i == m
+                             ? hist.d_plus()
+                             : hist.Quantile(static_cast<double>(i) /
+                                             static_cast<double>(m));
+    // Eq. 20: Pr{child i accessed} = F(μ_i + r_Q) − F(μ_{i−1} − r_Q).
+    const double p = Clamp(hist.Cdf(mu_hi + query_radius) -
+                               hist.Cdf(mu_lo - query_radius),
+                           0.0, 1.0);
+    if (p <= 0.0) {
+      continue;
+    }
+    // Eq. 22: within child i pairwise distances are bounded by 2μ_i.
+    const DistanceHistogram child_hist =
+        TruncateAndNormalize(hist, 2.0 * mu_hi);
+    const Expectation child = Recurse(child_size, child_hist, query_radius);
+    total.nodes += p * child.nodes;
+    total.dists += p * child.dists;
+  }
+  return total;
+}
+
+}  // namespace mcm

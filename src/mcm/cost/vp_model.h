@@ -1,0 +1,66 @@
+// vp-tree cost model (Section 5, Eqs. 19-23). Predicts the expected number
+// of distance computations (and accessed nodes) of a range query over an
+// m-way vp-tree using only the distance distribution F — no tree statistics:
+// cutoff values are estimated as quantiles of F (μ_i = F⁻¹(i/m)), and the
+// distance distribution of each subtree is renormalized to its triangle-
+// inequality bound 2μ_i (Eq. 22). The paper derives this model but defers
+// its experimental validation; bench/ext_vptree_model runs that validation.
+
+#ifndef MCM_COST_VP_MODEL_H_
+#define MCM_COST_VP_MODEL_H_
+
+#include <cstddef>
+
+#include "mcm/distribution/histogram.h"
+
+namespace mcm {
+
+/// Shape parameters of the modeled vp-tree; must match the VpTreeOptions
+/// used to build the measured tree.
+struct VpCostModelOptions {
+  size_t arity = 2;          ///< m.
+  size_t leaf_capacity = 1;  ///< Objects per leaf.
+};
+
+/// Expected range-query costs for an m-way vp-tree.
+class VpTreeCostModel {
+ public:
+  VpTreeCostModel(const DistanceHistogram& histogram, size_t n,
+                  VpCostModelOptions options = {});
+
+  /// Expected distance computations of range(Q, r_Q): one per accessed
+  /// internal node (its vantage point) plus the bucket size per accessed
+  /// leaf.
+  double RangeDistances(double query_radius) const;
+
+  /// Expected number of accessed nodes (informational; the vp-tree is
+  /// main-memory so the paper ignores I/O).
+  double RangeNodes(double query_radius) const;
+
+  size_t n() const { return n_; }
+
+ private:
+  struct Expectation {
+    double nodes = 0.0;
+    double dists = 0.0;
+  };
+
+  /// Expected costs of the subtree holding `size` objects whose (relative)
+  /// distance distribution is `hist`, *given that the subtree is accessed*.
+  Expectation Recurse(double size, const DistanceHistogram& hist,
+                      double query_radius) const;
+
+  DistanceHistogram histogram_;
+  size_t n_;
+  VpCostModelOptions options_;
+};
+
+/// Eq. 22: restricts `hist` to [0, bound] and renormalizes, yielding the
+/// distance distribution of a subtree whose pairwise distances cannot
+/// exceed `bound`. Exposed for tests.
+DistanceHistogram TruncateAndNormalize(const DistanceHistogram& hist,
+                                       double bound);
+
+}  // namespace mcm
+
+#endif  // MCM_COST_VP_MODEL_H_

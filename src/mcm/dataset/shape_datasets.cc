@@ -1,0 +1,80 @@
+#include "mcm/dataset/shape_datasets.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mcm/common/numeric.h"
+#include "mcm/common/random.h"
+
+namespace mcm {
+namespace {
+
+constexpr uint64_t kFamilyStream = 47;
+constexpr uint64_t kDatasetStream = 53;
+constexpr uint64_t kQueryStream = 59;
+
+struct Family {
+  double cx, cy;      // Center.
+  double rx, ry;      // Semi-axes.
+  double rotation;    // Radians.
+};
+
+std::vector<Family> MakeFamilies(uint64_t seed, const ShapeSpec& spec) {
+  RandomEngine rng = MakeEngine(seed, kFamilyStream);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<Family> families(spec.num_families);
+  for (auto& f : families) {
+    f.cx = 0.2 + 0.6 * u(rng);
+    f.cy = 0.2 + 0.6 * u(rng);
+    f.rx = 0.03 + 0.12 * u(rng);
+    f.ry = 0.03 + 0.12 * u(rng);
+    f.rotation = 2.0 * M_PI * u(rng);
+  }
+  return families;
+}
+
+std::vector<PointSet> SampleShapes(size_t n, uint64_t seed,
+                                   const ShapeSpec& spec, uint64_t stream) {
+  if (spec.points_per_shape < 3) {
+    throw std::invalid_argument("GenerateShapes: need >= 3 contour points");
+  }
+  if (spec.num_families == 0) {
+    throw std::invalid_argument("GenerateShapes: need >= 1 family");
+  }
+  const auto families = MakeFamilies(seed, spec);
+  RandomEngine rng = MakeEngine(seed, stream);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::normal_distribution<double> jitter(0.0, spec.noise);
+
+  std::vector<PointSet> shapes(n);
+  std::uniform_int_distribution<size_t> pick(0, families.size() - 1);
+  for (auto& shape : shapes) {
+    const Family& f = families[pick(rng)];
+    const double phase = 2.0 * M_PI * u(rng) / spec.points_per_shape;
+    shape.resize(spec.points_per_shape);
+    for (size_t i = 0; i < spec.points_per_shape; ++i) {
+      const double t = phase + 2.0 * M_PI * static_cast<double>(i) /
+                                   static_cast<double>(spec.points_per_shape);
+      const double ex = f.rx * std::cos(t) + jitter(rng);
+      const double ey = f.ry * std::sin(t) + jitter(rng);
+      const double c = std::cos(f.rotation), s = std::sin(f.rotation);
+      shape[i] = {static_cast<float>(Clamp(f.cx + c * ex - s * ey, 0.0, 1.0)),
+                  static_cast<float>(Clamp(f.cy + s * ex + c * ey, 0.0, 1.0))};
+    }
+  }
+  return shapes;
+}
+
+}  // namespace
+
+std::vector<PointSet> GenerateShapes(size_t n, uint64_t seed,
+                                     const ShapeSpec& spec) {
+  return SampleShapes(n, seed, spec, kDatasetStream);
+}
+
+std::vector<PointSet> GenerateShapeQueries(size_t num_queries, uint64_t seed,
+                                           const ShapeSpec& spec) {
+  return SampleShapes(num_queries, seed, spec, kQueryStream);
+}
+
+}  // namespace mcm

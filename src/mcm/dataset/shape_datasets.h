@@ -1,0 +1,36 @@
+// Synthetic 2-d shape dataset for the Hausdorff-distance experiments
+// (the shape-matching application of the paper's reference [15]). Each
+// shape is a noisy closed contour: points sampled along an ellipse-like
+// curve with per-shape center, scale, eccentricity, rotation, and radial
+// noise. Shapes from the same family (shared template) are Hausdorff-close;
+// different families are far apart — a realistic clustered metric space
+// that is not a vector space.
+
+#ifndef MCM_DATASET_SHAPE_DATASETS_H_
+#define MCM_DATASET_SHAPE_DATASETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcm/metric/set_metrics.h"
+
+namespace mcm {
+
+/// Shape generator parameters.
+struct ShapeSpec {
+  size_t points_per_shape = 24;  ///< Contour samples per shape.
+  size_t num_families = 20;      ///< Shared templates (clusters).
+  double noise = 0.01;           ///< Radial jitter around the template.
+};
+
+/// Generates `n` shapes in [0,1]^2.
+std::vector<PointSet> GenerateShapes(size_t n, uint64_t seed,
+                                     const ShapeSpec& spec = {});
+
+/// Query shapes from the same family mixture (biased query model).
+std::vector<PointSet> GenerateShapeQueries(size_t num_queries, uint64_t seed,
+                                           const ShapeSpec& spec = {});
+
+}  // namespace mcm
+
+#endif  // MCM_DATASET_SHAPE_DATASETS_H_

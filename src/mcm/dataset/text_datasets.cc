@@ -1,0 +1,113 @@
+#include "mcm/dataset/text_datasets.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "mcm/common/random.h"
+
+namespace mcm {
+namespace {
+
+// Italian syllable inventory used by the generator. Onsets and nuclei are
+// weighted by rough frequency; a small probability of a sonorant coda
+// (n/r/l/s) yields closed syllables as in "con-", "per-", "men-".
+const char* const kOnsets[] = {
+    "",   "b",  "c",  "d",  "f",  "g",   "l",   "m",  "n",  "p",
+    "r",  "s",  "t",  "v",  "z",  "ch",  "gh",  "gl", "gn", "sc",
+    "st", "sp", "tr", "pr", "cr", "br",  "fr",  "dr", "qu", "vi"};
+const double kOnsetWeights[] = {
+    0.06, 0.04, 0.08, 0.05, 0.04, 0.04, 0.06, 0.06, 0.06, 0.07,
+    0.07, 0.08, 0.08, 0.04, 0.02, 0.02, 0.01, 0.01, 0.01, 0.02,
+    0.02, 0.02, 0.02, 0.02, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01};
+
+const char* const kNuclei[] = {"a", "e", "i", "o", "u", "ia", "io", "ie"};
+const double kNucleusWeights[] = {0.22, 0.22, 0.18, 0.20, 0.06,
+                                  0.04, 0.05, 0.03};
+
+const char* const kCodas[] = {"n", "r", "l", "s"};
+
+// Distribution of word length in syllables: Italian content words cluster
+// around 3-4 syllables; monosyllables are function words and rarely appear
+// in keyword vocabularies. The moderate spread keeps the vocabulary's
+// homogeneity-of-viewpoints high (HV ≈ 0.95, Section 2.1).
+const double kSyllableCountWeights[] = {0.0, 0.02, 0.22, 0.40, 0.26, 0.10};
+
+template <size_t N>
+size_t PickWeighted(RandomEngine& rng, const double (&weights)[N]) {
+  std::discrete_distribution<size_t> dist(std::begin(weights),
+                                          std::end(weights));
+  return dist(rng);
+}
+
+std::string MakeWord(RandomEngine& rng, size_t max_len) {
+  const size_t syllables = PickWeighted(rng, kSyllableCountWeights) + 1;
+  std::string word;
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (size_t s = 0; s < syllables; ++s) {
+    word += kOnsets[PickWeighted(rng, kOnsetWeights)];
+    word += kNuclei[PickWeighted(rng, kNucleusWeights)];
+    // Closed syllables only word-internally; Italian words end in vowels
+    // almost always.
+    if (s + 1 < syllables && u(rng) < 0.15) {
+      word += kCodas[UniformIndex(rng, 4)];
+    }
+  }
+  if (word.size() > max_len) {
+    word.resize(max_len);
+  }
+  return word;
+}
+
+}  // namespace
+
+const std::vector<TextDatasetSpec>& TextDatasets() {
+  static const std::vector<TextDatasetSpec> kSpecs = {
+      {"D", "Decamerone", 17936},
+      {"DC", "Divina Commedia", 12701},
+      {"GL", "Gerusalemme Liberata", 11973},
+      {"OF", "Orlando Furioso", 18719},
+      {"PS", "Promessi Sposi", 19846},
+  };
+  return kSpecs;
+}
+
+std::vector<std::string> GenerateKeywords(size_t vocab_size, uint64_t seed,
+                                          size_t max_len) {
+  if (max_len < 4) {
+    throw std::invalid_argument("GenerateKeywords: max_len too small");
+  }
+  RandomEngine rng = MakeEngine(seed, /*stream=*/41);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> words;
+  words.reserve(vocab_size);
+  // The syllable space is vastly larger than any requested vocabulary, so
+  // rejection sampling terminates quickly; the cap is a safety net.
+  size_t attempts = 0;
+  const size_t max_attempts = vocab_size * 200 + 100000;
+  while (words.size() < vocab_size && attempts < max_attempts) {
+    ++attempts;
+    std::string w = MakeWord(rng, max_len);
+    if (seen.insert(w).second) {
+      words.push_back(std::move(w));
+    }
+  }
+  if (words.size() < vocab_size) {
+    throw std::runtime_error(
+        "GenerateKeywords: could not produce enough distinct words");
+  }
+  return words;
+}
+
+std::vector<std::string> GenerateKeywordQueries(size_t num_queries,
+                                                uint64_t seed,
+                                                size_t max_len) {
+  RandomEngine rng = MakeEngine(DeriveSeed(seed, 0x71fu), /*stream=*/43);
+  std::vector<std::string> queries;
+  queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    queries.push_back(MakeWord(rng, max_len));
+  }
+  return queries;
+}
+
+}  // namespace mcm

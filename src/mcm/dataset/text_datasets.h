@@ -1,0 +1,47 @@
+// Synthetic text-keyword datasets standing in for Table 1's five Italian
+// literature masterpieces (Decamerone, Divina Commedia, Gerusalemme
+// Liberata, Orlando Furioso, Promessi Sposi).
+//
+// SUBSTITUTION (documented in DESIGN.md): the original corpora are not
+// available offline, so we generate Italian-like keyword vocabularies with
+// a stochastic syllable model (CV(C) syllables from the Italian inventory,
+// realistic word-length mix, final-vowel bias). What matters for the cost
+// model is only the *distance distribution* of the vocabulary under the
+// edit metric; syllabic words reproduce its qualitative shape (unimodal,
+// max observed distance around 20-25, homogeneity HV > 0.98).
+
+#ifndef MCM_DATASET_TEXT_DATASETS_H_
+#define MCM_DATASET_TEXT_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcm {
+
+/// Descriptor of one synthetic keyword dataset.
+struct TextDatasetSpec {
+  std::string code;       ///< Short code used in the paper's figures.
+  std::string title;      ///< The masterpiece the dataset stands in for.
+  size_t vocabulary_size; ///< Number of distinct keywords (Table 1).
+};
+
+/// The five datasets of Table 1, with the paper's exact vocabulary sizes.
+const std::vector<TextDatasetSpec>& TextDatasets();
+
+/// Generates `vocab_size` *distinct* Italian-like keywords. Words are
+/// lowercase ASCII, length clamped to `max_len` (the paper observed a
+/// maximum edit distance of 25, so keywords are at most 25 characters).
+std::vector<std::string> GenerateKeywords(size_t vocab_size, uint64_t seed,
+                                          size_t max_len = 25);
+
+/// Generates an independent query workload of Italian-like keywords (biased
+/// query model: same word distribution, independent stream, duplicates with
+/// the dataset possible but not guaranteed).
+std::vector<std::string> GenerateKeywordQueries(size_t num_queries,
+                                                uint64_t seed,
+                                                size_t max_len = 25);
+
+}  // namespace mcm
+
+#endif  // MCM_DATASET_TEXT_DATASETS_H_

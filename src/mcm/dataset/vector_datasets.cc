@@ -1,0 +1,156 @@
+#include "mcm/dataset/vector_datasets.h"
+
+#include <stdexcept>
+
+#include "mcm/common/numeric.h"
+#include "mcm/common/random.h"
+
+namespace mcm {
+namespace {
+
+// Streams: the cluster centers define the data distribution S and depend on
+// the seed only; dataset points and query points are independent draws from
+// S (the biased query model of Section 2), so they use distinct streams.
+constexpr uint64_t kCenterStream = 29;
+constexpr uint64_t kDatasetStream = 31;
+constexpr uint64_t kQueryStream = 37;
+
+std::vector<FloatVector> MakeClusterCenters(size_t dim, uint64_t seed,
+                                            const ClusteredSpec& spec) {
+  RandomEngine rng = MakeEngine(seed, kCenterStream);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<FloatVector> centers(spec.num_clusters);
+  for (auto& c : centers) {
+    c.resize(dim);
+    for (auto& x : c) x = static_cast<float>(u(rng));
+  }
+  return centers;
+}
+
+std::vector<FloatVector> SampleUniform(size_t n, size_t dim, uint64_t seed,
+                                       uint64_t stream) {
+  RandomEngine rng = MakeEngine(seed, stream);
+  std::uniform_real_distribution<float> u(0.0f, 1.0f);
+  std::vector<FloatVector> points(n);
+  for (auto& p : points) {
+    p.resize(dim);
+    for (auto& x : p) x = u(rng);
+  }
+  return points;
+}
+
+std::vector<FloatVector> SampleClustered(size_t n, size_t dim, uint64_t seed,
+                                         const ClusteredSpec& spec,
+                                         uint64_t stream) {
+  const std::vector<FloatVector> centers = MakeClusterCenters(dim, seed, spec);
+  RandomEngine rng = MakeEngine(seed, stream);
+  std::normal_distribution<double> gauss(0.0, spec.sigma);
+  std::uniform_int_distribution<size_t> pick(0, spec.num_clusters - 1);
+  std::vector<FloatVector> points(n);
+  for (auto& p : points) {
+    const FloatVector& c = centers[pick(rng)];
+    p.resize(dim);
+    for (size_t k = 0; k < dim; ++k) {
+      p[k] = static_cast<float>(
+          Clamp(static_cast<double>(c[k]) + gauss(rng), 0.0, 1.0));
+    }
+  }
+  return points;
+}
+
+void CheckDim(size_t dim) {
+  if (dim == 0) {
+    throw std::invalid_argument("vector dataset: dim must be > 0");
+  }
+}
+
+}  // namespace
+
+std::vector<FloatVector> GenerateUniform(size_t n, size_t dim, uint64_t seed) {
+  CheckDim(dim);
+  return SampleUniform(n, dim, seed, kDatasetStream);
+}
+
+std::vector<FloatVector> GenerateClustered(size_t n, size_t dim, uint64_t seed,
+                                           const ClusteredSpec& spec) {
+  CheckDim(dim);
+  if (spec.num_clusters == 0) {
+    throw std::invalid_argument("GenerateClustered: need >= 1 cluster");
+  }
+  return SampleClustered(n, dim, seed, spec, kDatasetStream);
+}
+
+std::vector<FloatVector> GenerateVectorDataset(VectorDatasetKind kind,
+                                               size_t n, size_t dim,
+                                               uint64_t seed) {
+  switch (kind) {
+    case VectorDatasetKind::kUniform:
+      return GenerateUniform(n, dim, seed);
+    case VectorDatasetKind::kClustered:
+      return GenerateClustered(n, dim, seed);
+  }
+  throw std::invalid_argument("GenerateVectorDataset: bad kind");
+}
+
+namespace {
+
+std::vector<FloatVector> SampleNonHomogeneous(size_t n, size_t dim,
+                                              uint64_t seed,
+                                              double core_fraction,
+                                              uint64_t stream) {
+  CheckDim(dim);
+  if (core_fraction < 0.0 || core_fraction > 1.0) {
+    throw std::invalid_argument(
+        "GenerateNonHomogeneous: core_fraction outside [0,1]");
+  }
+  RandomEngine rng = MakeEngine(seed, stream);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::normal_distribution<double> gauss(0.0, 0.02);
+  std::vector<FloatVector> points(n);
+  for (auto& p : points) {
+    p.resize(dim);
+    if (u(rng) < core_fraction) {
+      // Tight core near the (0.1, ..., 0.1) corner.
+      for (auto& x : p) {
+        x = static_cast<float>(Clamp(0.1 + gauss(rng), 0.0, 1.0));
+      }
+    } else {
+      for (auto& x : p) x = static_cast<float>(u(rng));
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+std::vector<FloatVector> GenerateNonHomogeneous(size_t n, size_t dim,
+                                                uint64_t seed,
+                                                double core_fraction) {
+  return SampleNonHomogeneous(n, dim, seed, core_fraction, kDatasetStream);
+}
+
+std::vector<FloatVector> GenerateNonHomogeneousQueries(size_t num_queries,
+                                                       size_t dim,
+                                                       uint64_t seed,
+                                                       double core_fraction) {
+  return SampleNonHomogeneous(num_queries, dim, seed, core_fraction,
+                              kQueryStream);
+}
+
+std::vector<FloatVector> GenerateVectorQueries(VectorDatasetKind kind,
+                                               size_t num_queries, size_t dim,
+                                               uint64_t seed) {
+  CheckDim(dim);
+  switch (kind) {
+    case VectorDatasetKind::kUniform:
+      return SampleUniform(num_queries, dim, seed, kQueryStream);
+    case VectorDatasetKind::kClustered:
+      // Same seed => same cluster centers as the dataset (same S), but an
+      // independent point stream: the biased query model.
+      return SampleClustered(num_queries, dim, seed, ClusteredSpec{},
+                             kQueryStream);
+  }
+  throw std::invalid_argument("GenerateVectorQueries: bad kind");
+}
+
+}  // namespace mcm

@@ -1,0 +1,71 @@
+// Synthetic vector datasets of Table 1:
+//  - `uniform`:   points uniformly distributed over the unit hypercube.
+//  - `clustered`: points normally distributed (sigma = 0.1) around 10
+//                 cluster centers drawn uniformly in the hypercube,
+//                 clipped to [0,1]^D so the L-infinity diameter stays 1.
+// Plus the biased-query-model workload generator: query objects follow the
+// same data distribution but are drawn from an independent stream, so they
+// do not (in general) belong to the indexed set.
+
+#ifndef MCM_DATASET_VECTOR_DATASETS_H_
+#define MCM_DATASET_VECTOR_DATASETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcm/metric/vector_metrics.h"
+
+namespace mcm {
+
+/// Parameters of the clustered generator. Defaults match the paper.
+struct ClusteredSpec {
+  size_t num_clusters = 10;
+  double sigma = 0.1;
+};
+
+/// Generates `n` points uniform over [0,1]^dim.
+std::vector<FloatVector> GenerateUniform(size_t n, size_t dim, uint64_t seed);
+
+/// Generates `n` points from `spec.num_clusters` Gaussian clusters
+/// (stddev `spec.sigma` per coordinate) with centers uniform in [0,1]^dim;
+/// coordinates are clipped to [0,1]. Cluster sizes are balanced by drawing
+/// the cluster of each point uniformly.
+std::vector<FloatVector> GenerateClustered(size_t n, size_t dim, uint64_t seed,
+                                           const ClusteredSpec& spec = {});
+
+/// Kinds of synthetic vector dataset.
+enum class VectorDatasetKind { kUniform, kClustered };
+
+/// Dispatches on `kind`; convenient for benches that sweep both datasets.
+std::vector<FloatVector> GenerateVectorDataset(VectorDatasetKind kind,
+                                               size_t n, size_t dim,
+                                               uint64_t seed);
+
+/// Query workload under the biased query model: `num_queries` points from
+/// the same distribution as the dataset, drawn from an independent seed
+/// stream (so queries are not members of the indexed set).
+std::vector<FloatVector> GenerateVectorQueries(VectorDatasetKind kind,
+                                               size_t num_queries, size_t dim,
+                                               uint64_t seed);
+
+/// Deliberately NON-homogeneous dataset (low HV — Section 6's problem
+/// case): `core_fraction` of the points sit in one very tight Gaussian
+/// cluster near a corner of the hypercube, the rest are uniform. Points in
+/// the core and points in the halo have markedly different relative
+/// distance distributions, so a single global F misestimates per-query
+/// costs; used to evaluate the multi-viewpoint model (future work #2).
+std::vector<FloatVector> GenerateNonHomogeneous(size_t n, size_t dim,
+                                                uint64_t seed,
+                                                double core_fraction = 0.5);
+
+/// Query workload over the non-homogeneous distribution (same mixture,
+/// independent stream).
+std::vector<FloatVector> GenerateNonHomogeneousQueries(size_t num_queries,
+                                                       size_t dim,
+                                                       uint64_t seed,
+                                                       double core_fraction
+                                                       = 0.5);
+
+}  // namespace mcm
+
+#endif  // MCM_DATASET_VECTOR_DATASETS_H_

@@ -1,0 +1,64 @@
+// Builds the sampled distance distribution F̂ⁿ (Section 2.1) from a
+// database instance: either all O(n²) pairwise distances (small datasets)
+// or a random sample of pairs (large ones).
+
+#ifndef MCM_DISTRIBUTION_ESTIMATOR_H_
+#define MCM_DISTRIBUTION_ESTIMATOR_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "mcm/common/random.h"
+#include "mcm/distribution/histogram.h"
+
+namespace mcm {
+
+/// Options for distance-distribution estimation.
+struct EstimatorOptions {
+  size_t num_bins = 100;     ///< Histogram bins (paper: 100 vector, 25 text).
+  double d_plus = 1.0;       ///< Upper bound on distances in the BRM space.
+  size_t max_pairs = 500000; ///< Pair-sampling budget for large datasets.
+  uint64_t seed = 42;        ///< Seed for pair sampling.
+};
+
+/// Computes F̂ⁿ over `objects` under `metric`.
+///
+/// When n(n-1)/2 <= max_pairs every pair contributes (the paper's n x n
+/// matrix, upper triangle); otherwise `max_pairs` random distinct-index
+/// pairs are sampled.
+template <typename Object, typename Metric>
+DistanceHistogram EstimateDistanceDistribution(
+    const std::vector<Object>& objects, const Metric& metric,
+    const EstimatorOptions& options) {
+  const size_t n = objects.size();
+  if (n < 2) {
+    throw std::invalid_argument(
+        "EstimateDistanceDistribution: need >= 2 objects");
+  }
+  std::vector<double> distances;
+  const uint64_t all_pairs =
+      static_cast<uint64_t>(n) * static_cast<uint64_t>(n - 1) / 2;
+  if (all_pairs <= options.max_pairs) {
+    distances.reserve(all_pairs);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        distances.push_back(metric(objects[i], objects[j]));
+      }
+    }
+  } else {
+    RandomEngine rng = MakeEngine(options.seed, /*stream=*/7);
+    distances.reserve(options.max_pairs);
+    for (size_t s = 0; s < options.max_pairs; ++s) {
+      const size_t i = UniformIndex(rng, n);
+      size_t j = UniformIndex(rng, n - 1);
+      if (j >= i) ++j;
+      distances.push_back(metric(objects[i], objects[j]));
+    }
+  }
+  return DistanceHistogram(distances, options.num_bins, options.d_plus);
+}
+
+}  // namespace mcm
+
+#endif  // MCM_DISTRIBUTION_ESTIMATOR_H_

@@ -1,0 +1,88 @@
+#include "mcm/distribution/fractal.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "mcm/common/numeric.h"
+
+namespace mcm {
+
+FractalFit EstimateCorrelationDimension(const DistanceHistogram& histogram,
+                                        double cdf_lo, double cdf_hi) {
+  if (!(cdf_lo > 0.0) || !(cdf_hi > cdf_lo) || cdf_hi > 1.0) {
+    throw std::invalid_argument(
+        "EstimateCorrelationDimension: need 0 < cdf_lo < cdf_hi <= 1");
+  }
+  // Collect (log r, log F(r)) at bin upper edges inside the CDF window.
+  std::vector<double> xs, ys;
+  const double width = histogram.bin_width();
+  for (size_t b = 0; b < histogram.num_bins(); ++b) {
+    const double r = width * static_cast<double>(b + 1);
+    const double f = histogram.cum()[b];
+    if (f < cdf_lo) continue;
+    if (f > cdf_hi) break;
+    xs.push_back(std::log(r));
+    ys.push_back(std::log(f));
+  }
+  if (xs.size() < 2) {
+    throw std::runtime_error(
+        "EstimateCorrelationDimension: too few histogram points in the "
+        "power-law window (widen [cdf_lo, cdf_hi] or add bins)");
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double m = static_cast<double>(xs.size());
+  const double denom = m * sxx - sx * sx;
+  if (denom <= 0.0) {
+    throw std::runtime_error(
+        "EstimateCorrelationDimension: degenerate radius range");
+  }
+  FractalFit fit;
+  fit.dimension = (m * sxy - sx * sy) / denom;
+  fit.log_intercept = (sy - fit.dimension * sx) / m;
+  fit.r_lo = std::exp(xs.front());
+  fit.r_hi = std::exp(xs.back());
+  fit.points_used = xs.size();
+  return fit;
+}
+
+FractalSmoothedCdf::FractalSmoothedCdf(const DistanceHistogram& histogram,
+                                       const FractalFit& fit)
+    : histogram_(histogram), fit_(fit) {
+  if (fit.dimension <= 0.0) {
+    throw std::invalid_argument("FractalSmoothedCdf: nonpositive dimension");
+  }
+  crossover_cdf_ = histogram_.Cdf(fit_.r_lo);
+}
+
+double FractalSmoothedCdf::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= fit_.r_lo) return histogram_.Cdf(x);
+  // Power law, scaled to join the histogram continuously at r_lo.
+  const double raw = std::exp(fit_.log_intercept) *
+                     std::pow(x, fit_.dimension);
+  const double raw_at_lo = std::exp(fit_.log_intercept) *
+                           std::pow(fit_.r_lo, fit_.dimension);
+  if (raw_at_lo <= 0.0) return 0.0;
+  return Clamp(raw / raw_at_lo * crossover_cdf_, 0.0, 1.0);
+}
+
+double FractalSmoothedCdf::Quantile(double p) const {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("FractalSmoothedCdf::Quantile: bad p");
+  }
+  if (p >= crossover_cdf_) {
+    return histogram_.Quantile(p);
+  }
+  // Invert the joined power law: p = (x / r_lo)^D2 * crossover.
+  if (p <= 0.0) return 0.0;
+  return fit_.r_lo * std::pow(p / crossover_cdf_, 1.0 / fit_.dimension);
+}
+
+}  // namespace mcm

@@ -1,0 +1,65 @@
+// Correlation (fractal) dimension of a metric dataset — the paper's
+// future-work item 5: "we plan to exploit concepts of fractal theory,
+// which [...] is in principle applicable to generic metric spaces."
+//
+// The correlation dimension D2 is the slope of log F(r) versus log r in
+// the power-law regime of the distance distribution: F(r) ~ c * r^D2 for
+// small r. Unlike the box-counting dimension used by the R-tree models the
+// paper reviews, D2 needs only pairwise distances, so it is well-defined in
+// any metric space.
+//
+// We use D2 to sharpen the cost models at small radii: a B-bin histogram
+// cannot resolve quantiles below its first bins (the very artifact the
+// paper blames for the r(1) estimator's errors at high D — Fig. 2(c)); the
+// power law extrapolates F below the histogram resolution.
+
+#ifndef MCM_DISTRIBUTION_FRACTAL_H_
+#define MCM_DISTRIBUTION_FRACTAL_H_
+
+#include "mcm/distribution/histogram.h"
+
+namespace mcm {
+
+/// Result of a correlation-dimension fit.
+struct FractalFit {
+  double dimension = 0.0;    ///< D2: slope of log F vs log r.
+  double log_intercept = 0;  ///< c in log F = D2*log r + c.
+  double r_lo = 0.0;         ///< Fitted radius range.
+  double r_hi = 0.0;
+  size_t points_used = 0;    ///< Histogram points in the fit.
+};
+
+/// Least-squares fit of log F(r) = D2*log(r) + c over the histogram bins
+/// whose cumulative probability lies in [cdf_lo, cdf_hi] (the power-law
+/// regime; defaults cover the small-radius tail while avoiding the first,
+/// noisiest bin edge). Throws when fewer than two usable points exist.
+FractalFit EstimateCorrelationDimension(const DistanceHistogram& histogram,
+                                        double cdf_lo = 0.0005,
+                                        double cdf_hi = 0.25);
+
+/// A distance distribution that follows `histogram` except below `r_lo` of
+/// the fit, where the fitted power law F(r) = exp(c) * r^D2 replaces the
+/// piecewise-linear interpolation. Quantiles below F(r_lo) invert the
+/// power law analytically, resolving radii far below one bin width.
+class FractalSmoothedCdf {
+ public:
+  FractalSmoothedCdf(const DistanceHistogram& histogram,
+                     const FractalFit& fit);
+
+  /// F(x) with power-law small-radius behavior.
+  double Cdf(double x) const;
+
+  /// F^{-1}(p); uses the power law for p below the crossover.
+  double Quantile(double p) const;
+
+  const FractalFit& fit() const { return fit_; }
+
+ private:
+  DistanceHistogram histogram_;
+  FractalFit fit_;
+  double crossover_cdf_ = 0.0;  ///< Histogram CDF at fit_.r_lo.
+};
+
+}  // namespace mcm
+
+#endif  // MCM_DISTRIBUTION_FRACTAL_H_

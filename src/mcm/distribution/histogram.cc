@@ -1,0 +1,112 @@
+#include "mcm/distribution/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mcm/common/numeric.h"
+
+namespace mcm {
+
+DistanceHistogram::DistanceHistogram(const std::vector<double>& distances,
+                                     size_t num_bins, double d_plus)
+    : d_plus_(d_plus), num_samples_(distances.size()) {
+  if (num_bins == 0) {
+    throw std::invalid_argument("DistanceHistogram: need >= 1 bin");
+  }
+  if (d_plus <= 0.0) {
+    throw std::invalid_argument("DistanceHistogram: d_plus must be > 0");
+  }
+  if (distances.empty()) {
+    throw std::invalid_argument("DistanceHistogram: no samples");
+  }
+  std::vector<uint64_t> counts(num_bins, 0);
+  const double width = d_plus / static_cast<double>(num_bins);
+  for (double d : distances) {
+    if (d < 0.0 || std::isnan(d)) {
+      throw std::invalid_argument("DistanceHistogram: negative/NaN distance");
+    }
+    size_t bin = static_cast<size_t>(d / width);
+    if (bin >= num_bins) bin = num_bins - 1;  // d == d_plus or above: clamp.
+    ++counts[bin];
+  }
+  masses_.resize(num_bins);
+  for (size_t i = 0; i < num_bins; ++i) {
+    masses_[i] = static_cast<double>(counts[i]) /
+                 static_cast<double>(distances.size());
+  }
+  BuildCumulative();
+}
+
+DistanceHistogram DistanceHistogram::FromMasses(
+    const std::vector<double>& masses, double d_plus) {
+  if (masses.empty() || d_plus <= 0.0) {
+    throw std::invalid_argument("DistanceHistogram::FromMasses: bad args");
+  }
+  double total = 0.0;
+  for (double m : masses) {
+    if (m < 0.0) {
+      throw std::invalid_argument(
+          "DistanceHistogram::FromMasses: negative mass");
+    }
+    total += m;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("DistanceHistogram::FromMasses: zero mass");
+  }
+  DistanceHistogram h;
+  h.d_plus_ = d_plus;
+  h.num_samples_ = 0;
+  h.masses_ = masses;
+  for (double& m : h.masses_) m /= total;
+  h.BuildCumulative();
+  return h;
+}
+
+void DistanceHistogram::BuildCumulative() {
+  cum_.resize(masses_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < masses_.size(); ++i) {
+    acc += masses_[i];
+    cum_[i] = acc;
+  }
+  // Guard against floating-point drift.
+  cum_.back() = 1.0;
+}
+
+double DistanceHistogram::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= d_plus_) return 1.0;
+  const double width = bin_width();
+  const size_t bin = std::min(static_cast<size_t>(x / width),
+                              masses_.size() - 1);
+  const double below = bin == 0 ? 0.0 : cum_[bin - 1];
+  const double frac = (x - static_cast<double>(bin) * width) / width;
+  return Clamp(below + masses_[bin] * frac, 0.0, 1.0);
+}
+
+double DistanceHistogram::Pdf(double x) const {
+  if (x < 0.0 || x > d_plus_) return 0.0;
+  const double width = bin_width();
+  const size_t bin = std::min(static_cast<size_t>(x / width),
+                              masses_.size() - 1);
+  return masses_[bin] / width;
+}
+
+double DistanceHistogram::Quantile(double p) const {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("DistanceHistogram::Quantile: p outside [0,1]");
+  }
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return d_plus_;
+  // First bin whose cumulative reaches p.
+  const auto it = std::lower_bound(cum_.begin(), cum_.end(), p);
+  const size_t bin = static_cast<size_t>(it - cum_.begin());
+  const double below = bin == 0 ? 0.0 : cum_[bin - 1];
+  const double width = bin_width();
+  const double mass = masses_[bin];
+  const double frac = mass > 0.0 ? (p - below) / mass : 1.0;
+  return (static_cast<double>(bin) + Clamp(frac, 0.0, 1.0)) * width;
+}
+
+}  // namespace mcm

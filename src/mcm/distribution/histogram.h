@@ -1,0 +1,68 @@
+// The distance distribution F (Eq. 1) estimated by an equi-width histogram,
+// exactly as in the paper's experiments (100 bins for vector datasets, 25
+// bins for the text datasets). The histogram exposes a piecewise-linear CDF,
+// a piecewise-constant density, and quantiles — everything the cost models
+// consume.
+
+#ifndef MCM_DISTRIBUTION_HISTOGRAM_H_
+#define MCM_DISTRIBUTION_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mcm {
+
+/// Equi-width histogram estimate of the overall distance distribution F.
+///
+/// Bins partition [0, d_plus] into `num_bins` equal intervals; the CDF is
+/// linear within each bin, with F(0) = 0 and F(d_plus) = 1 (given at least
+/// one sample). Values outside [0, d_plus] clamp to {0, 1}.
+class DistanceHistogram {
+ public:
+  /// Builds the histogram from raw distance samples. Samples above d_plus
+  /// are clamped into the last bin (they indicate a mis-specified d_plus and
+  /// are tolerated to keep experiment pipelines robust).
+  DistanceHistogram(const std::vector<double>& distances, size_t num_bins,
+                    double d_plus);
+
+  /// Reconstructs a histogram from per-bin probability masses (must sum to
+  /// ~1). Used by tests and by the vp-tree model's normalized distributions.
+  static DistanceHistogram FromMasses(const std::vector<double>& masses,
+                                      double d_plus);
+
+  /// F(x): probability that a random pairwise distance is <= x.
+  double Cdf(double x) const;
+
+  /// f(x): density, piecewise constant on bins; 0 outside [0, d_plus].
+  double Pdf(double x) const;
+
+  /// F^{-1}(p): smallest x with F(x) >= p, by linear interpolation.
+  /// Requires p in [0, 1].
+  double Quantile(double p) const;
+
+  double d_plus() const { return d_plus_; }
+  size_t num_bins() const { return masses_.size(); }
+  double bin_width() const { return d_plus_ / static_cast<double>(masses_.size()); }
+  uint64_t num_samples() const { return num_samples_; }
+
+  /// Per-bin probability masses (sums to 1).
+  const std::vector<double>& masses() const { return masses_; }
+
+  /// Cumulative values at bin upper edges; cum()[i] = F((i+1)*bin_width).
+  const std::vector<double>& cum() const { return cum_; }
+
+ private:
+  DistanceHistogram() = default;
+
+  void BuildCumulative();
+
+  std::vector<double> masses_;
+  std::vector<double> cum_;
+  double d_plus_ = 0.0;
+  uint64_t num_samples_ = 0;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_DISTRIBUTION_HISTOGRAM_H_

@@ -1,0 +1,85 @@
+#include "mcm/distribution/homogeneity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mcm {
+
+RddGrid BuildRddFromDistances(const std::vector<double>& distances,
+                              size_t grid_points, double d_plus) {
+  if (grid_points < 2) {
+    throw std::invalid_argument("BuildRddFromDistances: need >= 2 grid points");
+  }
+  if (d_plus <= 0.0) {
+    throw std::invalid_argument("BuildRddFromDistances: d_plus must be > 0");
+  }
+  if (distances.empty()) {
+    throw std::invalid_argument("BuildRddFromDistances: no distances");
+  }
+  std::vector<double> sorted = distances;
+  std::sort(sorted.begin(), sorted.end());
+  RddGrid grid(grid_points, 0.0);
+  const double step = d_plus / static_cast<double>(grid_points - 1);
+  for (size_t g = 0; g < grid_points; ++g) {
+    const double x = step * static_cast<double>(g);
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+    grid[g] = static_cast<double>(it - sorted.begin()) /
+              static_cast<double>(sorted.size());
+  }
+  return grid;
+}
+
+double Discrepancy(const RddGrid& a, const RddGrid& b, double d_plus) {
+  if (a.size() != b.size() || a.size() < 2) {
+    throw std::invalid_argument("Discrepancy: grid mismatch");
+  }
+  const double step = d_plus / static_cast<double>(a.size() - 1);
+  double sum = 0.5 * (std::fabs(a.front() - b.front()) +
+                      std::fabs(a.back() - b.back()));
+  for (size_t g = 1; g + 1 < a.size(); ++g) {
+    sum += std::fabs(a[g] - b[g]);
+  }
+  // (1/d⁺)·∫ |Fa − Fb| dx with the trapezoid rule.
+  return sum * step / d_plus;
+}
+
+HvResult SummarizeRdds(const std::vector<RddGrid>& rdds, double d_plus) {
+  if (rdds.size() < 2) {
+    throw std::invalid_argument("SummarizeRdds: need >= 2 RDDs");
+  }
+  HvResult result;
+  result.num_viewpoints = rdds.size();
+  for (size_t i = 0; i < rdds.size(); ++i) {
+    for (size_t j = i + 1; j < rdds.size(); ++j) {
+      const double d = Discrepancy(rdds[i], rdds[j], d_plus);
+      result.discrepancies.push_back(d);
+      result.max_discrepancy = std::max(result.max_discrepancy, d);
+    }
+  }
+  double sum = 0.0;
+  for (double d : result.discrepancies) sum += d;
+  result.mean_discrepancy =
+      sum / static_cast<double>(result.discrepancies.size());
+  result.hv = 1.0 - result.mean_discrepancy;
+  return result;
+}
+
+double EmpiricalGDelta(const HvResult& result, double y) {
+  if (result.discrepancies.empty()) {
+    throw std::invalid_argument("EmpiricalGDelta: empty result");
+  }
+  size_t count = 0;
+  for (double d : result.discrepancies) {
+    if (d <= y) ++count;
+  }
+  return static_cast<double>(count) /
+         static_cast<double>(result.discrepancies.size());
+}
+
+double HvBinaryHypercubeWithMidpoint(unsigned dimension) {
+  const double p = std::pow(2.0, static_cast<double>(dimension));  // 2^D
+  return 1.0 - (p * p - p) / std::pow(p + 1.0, 3.0);
+}
+
+}  // namespace mcm

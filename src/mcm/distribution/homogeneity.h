@@ -1,0 +1,97 @@
+// Homogeneity of viewpoints (Section 2): relative distance distributions
+// (RDDs, Eq. 2), their discrepancy (Eq. 3), and the HV index (Eq. 4),
+// estimated by sampling viewpoints and target objects from a database
+// instance. Also provides the closed-form HV of Example 1 for validation.
+
+#ifndef MCM_DISTRIBUTION_HOMOGENEITY_H_
+#define MCM_DISTRIBUTION_HOMOGENEITY_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "mcm/common/random.h"
+
+namespace mcm {
+
+/// A relative distance distribution F_{O_i} sampled on a uniform grid of
+/// `size()` points spanning [0, d_plus] inclusive.
+using RddGrid = std::vector<double>;
+
+/// Builds the empirical RDD of a viewpoint from its distances to a target
+/// sample: grid[g] = fraction of distances <= g * d_plus / (grid_points-1).
+RddGrid BuildRddFromDistances(const std::vector<double>& distances,
+                              size_t grid_points, double d_plus);
+
+/// Discrepancy of two RDDs (Eq. 3): (1/d⁺)·∫|F_i − F_j| dx, evaluated by the
+/// trapezoid rule on their common grid. Result lies in [0, 1].
+double Discrepancy(const RddGrid& a, const RddGrid& b, double d_plus);
+
+/// Result of an HV estimation.
+struct HvResult {
+  double hv = 0.0;                 ///< HV = 1 − E[Δ]  (Eq. 4).
+  double mean_discrepancy = 0.0;   ///< E[Δ] over sampled viewpoint pairs.
+  double max_discrepancy = 0.0;    ///< Largest sampled pairwise discrepancy.
+  size_t num_viewpoints = 0;
+  size_t num_targets = 0;
+  /// Sampled discrepancies; their empirical CDF is G_Δ (Section 2).
+  std::vector<double> discrepancies;
+};
+
+/// Options for HV estimation.
+struct HvOptions {
+  size_t num_viewpoints = 100;  ///< Objects whose RDDs are compared.
+  size_t num_targets = 1000;    ///< Objects each RDD is evaluated against.
+  size_t grid_points = 101;     ///< RDD evaluation grid resolution.
+  double d_plus = 1.0;
+  uint64_t seed = 42;
+};
+
+/// Computes mean/max discrepancy and HV from a set of per-viewpoint RDDs.
+HvResult SummarizeRdds(const std::vector<RddGrid>& rdds, double d_plus);
+
+/// Empirical G_Δ(y): the fraction of sampled discrepancies <= y.
+double EmpiricalGDelta(const HvResult& result, double y);
+
+/// Estimates HV(M) for a database instance: sample viewpoints and targets,
+/// build each viewpoint's RDD against the targets, average all pairwise
+/// discrepancies (Definition 2, estimated by Monte Carlo).
+template <typename Object, typename Metric>
+HvResult EstimateHomogeneity(const std::vector<Object>& objects,
+                             const Metric& metric, const HvOptions& options) {
+  if (objects.size() < 2) {
+    throw std::invalid_argument("EstimateHomogeneity: need >= 2 objects");
+  }
+  RandomEngine rng = MakeEngine(options.seed, /*stream=*/11);
+  const size_t v = std::min(options.num_viewpoints, objects.size());
+  const size_t t = std::min(options.num_targets, objects.size());
+
+  std::vector<size_t> viewpoint_idx(v);
+  for (auto& i : viewpoint_idx) i = UniformIndex(rng, objects.size());
+  std::vector<size_t> target_idx(t);
+  for (auto& i : target_idx) i = UniformIndex(rng, objects.size());
+
+  std::vector<RddGrid> rdds;
+  rdds.reserve(v);
+  std::vector<double> distances(t);
+  for (size_t a = 0; a < v; ++a) {
+    const Object& view = objects[viewpoint_idx[a]];
+    for (size_t b = 0; b < t; ++b) {
+      distances[b] = metric(view, objects[target_idx[b]]);
+    }
+    rdds.push_back(
+        BuildRddFromDistances(distances, options.grid_points, options.d_plus));
+  }
+  HvResult result = SummarizeRdds(rdds, options.d_plus);
+  result.num_targets = t;
+  return result;
+}
+
+/// Closed-form HV of Example 1: the binary hypercube {0,1}^D extended with
+/// the midpoint, under L∞ and the uniform distribution:
+///   HV = 1 − (2^{2D} − 2^D) / (2^D + 1)^3.
+double HvBinaryHypercubeWithMidpoint(unsigned dimension);
+
+}  // namespace mcm
+
+#endif  // MCM_DISTRIBUTION_HOMOGENEITY_H_

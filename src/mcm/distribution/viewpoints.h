@@ -1,0 +1,192 @@
+// Multi-viewpoint distance statistics — the paper's future-work item 2:
+// "For non-homogeneous spaces (HV << 1) our model is not guaranteed to
+//  perform well. This suggests an approach which keeps several viewpoints,
+//  and properly combines them to predict query costs [...] based on query
+//  position (relative to the viewpoints)."
+//
+// A ViewpointSet stores a handful of pivot objects together with each
+// pivot's relative distance distribution (RDD, Eq. 2) over the dataset.
+// At query time the RDDs of the viewpoints closest to the query are blended
+// with inverse-distance weights into a query-adapted estimate of F_Q, which
+// any of the cost models can consume in place of the global F̂ⁿ.
+
+#ifndef MCM_DISTRIBUTION_VIEWPOINTS_H_
+#define MCM_DISTRIBUTION_VIEWPOINTS_H_
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "mcm/common/random.h"
+#include "mcm/distribution/histogram.h"
+
+namespace mcm {
+
+/// How a viewpoint's RDD is adapted to the query position.
+///
+/// Neither mode dominates (see bench/ext_multi_viewpoint): the triangle
+/// bracket is markedly better when the query may sit in a region no
+/// viewpoint represents (strongly non-homogeneous spaces), while the plain
+/// RDD is better when the nearest viewpoint shares the query's
+/// neighborhood structure (e.g. one viewpoint per cluster).
+enum class BlendMode {
+  kPlain,             ///< Use each viewpoint's RDD unshifted.
+  kTriangleMidpoint,  ///< Midpoint of the triangle-inequality bracket
+                      ///< F_p(x−d) ≤ F_Q(x) ≤ F_p(x+d).
+};
+
+/// How viewpoints are chosen from the dataset.
+enum class ViewpointSelection {
+  kRandom,  ///< Uniform sample of the dataset.
+  kMaxMin,  ///< Greedy k-center (farthest-point) sample: viewpoints spread
+            ///< out to cover distinct regions of the space.
+};
+
+/// Options for ViewpointSet construction.
+struct ViewpointOptions {
+  size_t num_viewpoints = 8;
+  size_t num_bins = 100;  ///< Bins of each per-viewpoint RDD histogram.
+  double d_plus = 1.0;
+  ViewpointSelection selection = ViewpointSelection::kMaxMin;
+  size_t sample_targets = 2000;  ///< Dataset sample each RDD is built from.
+  uint64_t seed = 42;
+};
+
+/// A set of pivot objects with their RDD histograms.
+template <typename Object, typename Metric>
+class ViewpointSet {
+ public:
+  /// Builds the set over a database instance.
+  static ViewpointSet Build(const std::vector<Object>& objects,
+                            const Metric& metric,
+                            const ViewpointOptions& options) {
+    if (objects.size() < 2) {
+      throw std::invalid_argument("ViewpointSet: need >= 2 objects");
+    }
+    if (options.num_viewpoints == 0) {
+      throw std::invalid_argument("ViewpointSet: need >= 1 viewpoint");
+    }
+    ViewpointSet set;
+    set.metric_ = metric;
+    set.d_plus_ = options.d_plus;
+    RandomEngine rng = MakeEngine(options.seed, /*stream=*/19);
+
+    const size_t k = std::min(options.num_viewpoints, objects.size());
+    std::vector<size_t> chosen;
+    if (options.selection == ViewpointSelection::kRandom) {
+      for (size_t i = 0; i < k; ++i) {
+        chosen.push_back(UniformIndex(rng, objects.size()));
+      }
+    } else {
+      // Greedy farthest-point: start random, then repeatedly take the
+      // object maximizing the distance to its nearest chosen viewpoint.
+      chosen.push_back(UniformIndex(rng, objects.size()));
+      std::vector<double> nearest(objects.size(),
+                                  std::numeric_limits<double>::infinity());
+      // Work on a sample for large datasets.
+      const size_t probe = std::min<size_t>(objects.size(), 4000);
+      std::vector<size_t> pool(probe);
+      for (auto& p : pool) p = UniformIndex(rng, objects.size());
+      while (chosen.size() < k) {
+        const Object& last = objects[chosen.back()];
+        size_t best = pool.front();
+        double best_d = -1.0;
+        for (size_t idx : pool) {
+          double& nd = nearest[idx];
+          nd = std::min(nd, metric(last, objects[idx]));
+          if (nd > best_d) {
+            best_d = nd;
+            best = idx;
+          }
+        }
+        chosen.push_back(best);
+      }
+    }
+
+    // Build each viewpoint's RDD over a target sample.
+    const size_t t = std::min(options.sample_targets, objects.size());
+    std::vector<size_t> targets(t);
+    for (auto& idx : targets) idx = UniformIndex(rng, objects.size());
+    std::vector<double> distances(t);
+    for (size_t c : chosen) {
+      set.viewpoints_.push_back(objects[c]);
+      for (size_t j = 0; j < t; ++j) {
+        distances[j] = metric(objects[c], objects[targets[j]]);
+      }
+      set.rdds_.emplace_back(distances, options.num_bins, options.d_plus);
+    }
+    return set;
+  }
+
+  /// Query-adapted distance distribution. For each of the `blend` nearest
+  /// viewpoints p with d = d(Q, p), the triangle inequality brackets the
+  /// query's RDD:  F_p(x − d) ≤ F_Q(x) ≤ F_p(x + d); we take the midpoint
+  /// of the bracket and average the viewpoints with inverse-distance
+  /// weights. When Q coincides with a viewpoint this reduces to that
+  /// viewpoint's own RDD. Costs `num_viewpoints` distance computations.
+  DistanceHistogram QueryDistribution(
+      const Object& query, size_t blend = 3,
+      BlendMode mode = BlendMode::kTriangleMidpoint) const {
+    blend = std::max<size_t>(1, std::min(blend, viewpoints_.size()));
+    std::vector<std::pair<double, size_t>> by_distance;
+    by_distance.reserve(viewpoints_.size());
+    for (size_t i = 0; i < viewpoints_.size(); ++i) {
+      by_distance.emplace_back(metric_(query, viewpoints_[i]), i);
+    }
+    std::partial_sort(by_distance.begin(), by_distance.begin() + blend,
+                      by_distance.end());
+    const double epsilon = 0.05 * d_plus_;
+    const size_t bins = rdds_.front().num_bins();
+    const double width = d_plus_ / static_cast<double>(bins);
+
+    // Blend the CDF at every bin edge, then difference into masses.
+    std::vector<double> cdf(bins + 1, 0.0);
+    double total_weight = 0.0;
+    for (size_t b = 0; b < blend; ++b) {
+      const auto& [distance, idx] = by_distance[b];
+      const double weight = 1.0 / (distance + epsilon);
+      const DistanceHistogram& rdd = rdds_[idx];
+      for (size_t e = 0; e <= bins; ++e) {
+        const double x = width * static_cast<double>(e);
+        const double value =
+            mode == BlendMode::kTriangleMidpoint
+                ? 0.5 * (rdd.Cdf(x - distance) + rdd.Cdf(x + distance))
+                : rdd.Cdf(x);
+        cdf[e] += weight * value;
+      }
+      total_weight += weight;
+    }
+    std::vector<double> masses(bins, 0.0);
+    double prev = 0.0;
+    for (size_t e = 1; e <= bins; ++e) {
+      const double value = cdf[e] / total_weight;
+      masses[e - 1] = std::max(value - prev, 0.0);
+      prev = std::max(value, prev);
+    }
+    // Any residual mass (blend CDF below 1 at d⁺) goes to the last bin.
+    double total_mass = 0.0;
+    for (double m : masses) total_mass += m;
+    if (total_mass < 1.0) {
+      masses.back() += 1.0 - total_mass;
+    }
+    return DistanceHistogram::FromMasses(masses, d_plus_);
+  }
+
+  const std::vector<Object>& viewpoints() const { return viewpoints_; }
+  const std::vector<DistanceHistogram>& rdds() const { return rdds_; }
+  double d_plus() const { return d_plus_; }
+
+ private:
+  ViewpointSet() = default;
+
+  Metric metric_;
+  double d_plus_ = 1.0;
+  std::vector<Object> viewpoints_;
+  std::vector<DistanceHistogram> rdds_;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_DISTRIBUTION_VIEWPOINTS_H_

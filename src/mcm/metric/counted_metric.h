@@ -1,0 +1,57 @@
+// A metric decorator that counts invocations. The paper's CPU cost is the
+// number of distance computations; wrapping the metric of an index or of a
+// linear scan with CountedMetric gives the exact measured `dists` value.
+
+#ifndef MCM_METRIC_COUNTED_METRIC_H_
+#define MCM_METRIC_COUNTED_METRIC_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace mcm {
+
+/// Shared mutable counter of distance computations.
+class DistanceCounter {
+ public:
+  void Increment() { ++count_; }
+  void Reset() { count_ = 0; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Wraps a metric functor and increments a shared DistanceCounter on every
+/// evaluation. Copies of a CountedMetric share the same counter.
+template <typename Metric>
+class CountedMetric {
+ public:
+  template <typename ObjectT>
+  using DistanceResult = double;
+
+  explicit CountedMetric(Metric metric = Metric())
+      : metric_(std::move(metric)),
+        counter_(std::make_shared<DistanceCounter>()) {}
+
+  template <typename ObjectT>
+  double operator()(const ObjectT& a, const ObjectT& b) const {
+    counter_->Increment();
+    return metric_(a, b);
+  }
+
+  /// Number of distance evaluations since construction or the last Reset.
+  uint64_t count() const { return counter_->count(); }
+
+  /// Resets the shared counter to zero.
+  void Reset() const { counter_->Reset(); }
+
+  const Metric& inner() const { return metric_; }
+
+ private:
+  Metric metric_;
+  std::shared_ptr<DistanceCounter> counter_;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_METRIC_COUNTED_METRIC_H_

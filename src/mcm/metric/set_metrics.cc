@@ -1,0 +1,56 @@
+#include "mcm/metric/set_metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mcm {
+
+double DirectedHausdorff(const PointSet& a, const PointSet& b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("DirectedHausdorff: empty point set");
+  }
+  const L2Distance base;
+  double worst = 0.0;
+  for (const auto& p : a) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& q : b) {
+      best = std::min(best, base(p, q));
+      if (best == 0.0) break;
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+double HausdorffDistance(const PointSet& a, const PointSet& b) {
+  return std::max(DirectedHausdorff(a, b), DirectedHausdorff(b, a));
+}
+
+double JaccardDistance(const std::vector<uint64_t>& a,
+                       const std::vector<uint64_t>& b) {
+  if (!std::is_sorted(a.begin(), a.end()) ||
+      !std::is_sorted(b.begin(), b.end())) {
+    throw std::invalid_argument("JaccardDistance: inputs must be sorted");
+  }
+  if (a.empty() && b.empty()) {
+    return 0.0;
+  }
+  size_t i = 0, j = 0, both = 0, either = 0;
+  while (i < a.size() && j < b.size()) {
+    ++either;
+    if (a[i] == b[j]) {
+      ++both;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  either += (a.size() - i) + (b.size() - j);
+  return 1.0 - static_cast<double>(both) / static_cast<double>(either);
+}
+
+}  // namespace mcm

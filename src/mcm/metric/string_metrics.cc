@@ -1,0 +1,124 @@
+#include "mcm/metric/string_metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace mcm {
+
+size_t EditDistance(const std::string& a, const std::string& b) {
+  // Keep the shorter string as the DP row to minimize memory.
+  const std::string& s = a.size() <= b.size() ? a : b;
+  const std::string& t = a.size() <= b.size() ? b : a;
+  const size_t m = s.size();
+  const size_t n = t.size();
+  if (m == 0) return n;
+
+  std::vector<size_t> row(m + 1);
+  for (size_t j = 0; j <= m; ++j) row[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    size_t diag = row[0];  // row[i-1][0]
+    row[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      const size_t up = row[j];
+      const size_t cost = (t[i - 1] == s[j - 1]) ? 0 : 1;
+      row[j] = std::min({up + 1, row[j - 1] + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[m];
+}
+
+size_t BoundedEditDistance(const std::string& a, const std::string& b,
+                           size_t bound) {
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  const size_t len_diff = la > lb ? la - lb : lb - la;
+  if (len_diff > bound) return bound + 1;
+
+  // Banded DP: only cells with |i - j| <= bound can be <= bound.
+  const std::string& s = la <= lb ? a : b;
+  const std::string& t = la <= lb ? b : a;
+  const size_t m = s.size();
+  const size_t n = t.size();
+  const size_t kInf = std::numeric_limits<size_t>::max() / 2;
+
+  std::vector<size_t> row(m + 1, kInf);
+  for (size_t j = 0; j <= std::min(m, bound); ++j) row[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    const size_t lo = i > bound ? i - bound : 1;
+    const size_t hi = std::min(m, i + bound);
+    if (lo > hi) return bound + 1;
+    size_t diag = (lo >= 1) ? row[lo - 1] : kInf;  // row[i-1][lo-1]
+    size_t prev_left = kInf;                       // row[i][lo-1]
+    if (lo == 1) {
+      prev_left = (i <= bound) ? i : kInf;  // first column value
+    }
+    size_t row_min = kInf;
+    for (size_t j = lo; j <= hi; ++j) {
+      const size_t up = row[j];
+      const size_t cost = (t[i - 1] == s[j - 1]) ? 0 : 1;
+      size_t v = diag + cost;
+      if (up != kInf) v = std::min(v, up + 1);
+      if (prev_left != kInf) v = std::min(v, prev_left + 1);
+      diag = up;
+      row[j] = v;
+      prev_left = v;
+      row_min = std::min(row_min, v);
+    }
+    if (lo == 1) {
+      // row[0] is the first DP column: i deletions from the longer string.
+      row[0] = (i <= bound) ? i : kInf;
+    } else {
+      row[lo - 1] = kInf;  // Outside the band for the next row.
+    }
+    if (row_min > bound) return bound + 1;
+  }
+  return row[m] > bound ? bound + 1 : row[m];
+}
+
+WeightedEditDistance::WeightedEditDistance(double insert_cost,
+                                           double delete_cost,
+                                           double substitute_cost)
+    : insert_cost_(insert_cost),
+      delete_cost_(delete_cost),
+      substitute_cost_(substitute_cost) {
+  if (insert_cost <= 0 || delete_cost <= 0 || substitute_cost <= 0) {
+    throw std::invalid_argument("WeightedEditDistance: costs must be > 0");
+  }
+}
+
+double WeightedEditDistance::operator()(const std::string& a,
+                                        const std::string& b) const {
+  const size_t m = a.size();
+  const size_t n = b.size();
+  std::vector<double> row(m + 1);
+  // row[j] = cost of deleting the first j characters of `a`.
+  for (size_t j = 0; j <= m; ++j) row[j] = static_cast<double>(j) * delete_cost_;
+  for (size_t i = 1; i <= n; ++i) {
+    double diag = row[0];
+    row[0] = static_cast<double>(i) * insert_cost_;
+    for (size_t j = 1; j <= m; ++j) {
+      const double up = row[j];
+      const double sub = (b[i - 1] == a[j - 1]) ? 0.0 : substitute_cost_;
+      row[j] = std::min({up + insert_cost_, row[j - 1] + delete_cost_,
+                         diag + sub});
+      diag = up;
+    }
+  }
+  return row[m];
+}
+
+double HammingDistance(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("HammingDistance: length mismatch");
+  }
+  size_t count = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    count += (a[i] != b[i]) ? 1 : 0;
+  }
+  return static_cast<double>(count);
+}
+
+}  // namespace mcm

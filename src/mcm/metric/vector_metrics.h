@@ -1,0 +1,106 @@
+// Minkowski (Lp) metrics on float vectors.
+//
+// These are the metrics used by the paper's synthetic experiments: the
+// `uniform` and `clustered` datasets of Table 1 are compared under the
+// L-infinity metric; L1, L2 and general Lp are provided for completeness
+// (the M-tree is metric-agnostic).
+
+#ifndef MCM_METRIC_VECTOR_METRICS_H_
+#define MCM_METRIC_VECTOR_METRICS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace mcm {
+
+/// Object type for all vector metrics.
+using FloatVector = std::vector<float>;
+
+namespace internal {
+
+inline void CheckSameDim(const FloatVector& a, const FloatVector& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("vector metric: dimensionality mismatch");
+  }
+}
+
+}  // namespace internal
+
+/// Manhattan (L1) distance: sum of coordinate differences.
+struct L1Distance {
+  double operator()(const FloatVector& a, const FloatVector& b) const {
+    internal::CheckSameDim(a, b);
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      sum += std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+    }
+    return sum;
+  }
+};
+
+/// Euclidean (L2) distance.
+struct L2Distance {
+  double operator()(const FloatVector& a, const FloatVector& b) const {
+    internal::CheckSameDim(a, b);
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+      sum += d * d;
+    }
+    return std::sqrt(sum);
+  }
+};
+
+/// Chebyshev (L-infinity) distance: max coordinate difference. This is the
+/// metric of the paper's `uniform` and `clustered` datasets.
+struct LInfDistance {
+  double operator()(const FloatVector& a, const FloatVector& b) const {
+    internal::CheckSameDim(a, b);
+    double best = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const double d =
+          std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+      if (d > best) best = d;
+    }
+    return best;
+  }
+};
+
+/// General Minkowski Lp distance with runtime exponent p >= 1.
+class LpDistance {
+ public:
+  explicit LpDistance(double p) : p_(p) {
+    if (p < 1.0) {
+      throw std::invalid_argument("LpDistance: p must be >= 1");
+    }
+  }
+
+  double operator()(const FloatVector& a, const FloatVector& b) const {
+    internal::CheckSameDim(a, b);
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const double d =
+          std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+      sum += std::pow(d, p_);
+    }
+    return std::pow(sum, 1.0 / p_);
+  }
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+};
+
+/// Maximum possible Lp distance between points of the unit hypercube
+/// [0,1]^dim: dim^(1/p), i.e. sqrt(dim) for L2, dim for L1, 1 for L-inf.
+inline double UnitCubeDiameter(size_t dim, double p) {
+  if (std::isinf(p)) return 1.0;
+  return std::pow(static_cast<double>(dim), 1.0 / p);
+}
+
+}  // namespace mcm
+
+#endif  // MCM_METRIC_VECTOR_METRICS_H_

@@ -1,0 +1,386 @@
+// BulkLoading for the M-tree (Ciaccia & Patella, ADC'98 — reference [9] of
+// the paper; the trees of every experiment in Section 4 are built this way).
+//
+// The loader works bottom-up, one level at a time, which guarantees a
+// balanced tree by construction:
+//   1. recursively cluster the current level's items around sampled seeds
+//      until every cluster fits one node (byte capacity);
+//   2. repair under-filled clusters by reassigning their members to the
+//      nearest cluster with room (minimum-utilization handling of [9]);
+//   3. emit one node per cluster, with the cluster medoid as routing object
+//      and r(N) = max(d(medoid, member) + member radius);
+//   4. the routing objects become the items of the next level; repeat until
+//      a single node remains — the root.
+
+#ifndef MCM_MTREE_BULK_LOAD_H_
+#define MCM_MTREE_BULK_LOAD_H_
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "mcm/common/random.h"
+#include "mcm/mtree/mtree.h"
+
+namespace mcm {
+
+template <typename Traits>
+class BulkLoader {
+ public:
+  using Object = typename Traits::Object;
+  using Metric = typename Traits::Metric;
+  using Node = MTreeNode<Traits>;
+  using Tree = MTree<Traits>;
+
+  /// Builds a tree over `objects`; `oids` may be empty (then oid = index).
+  static Tree Load(const std::vector<Object>& objects,
+                   const std::vector<uint64_t>& oids, Metric metric,
+                   MTreeOptions options,
+                   std::unique_ptr<NodeStore<Traits>> store) {
+    if (!oids.empty() && oids.size() != objects.size()) {
+      throw std::invalid_argument("BulkLoader: oids size mismatch");
+    }
+    Tree tree(std::move(metric), options, std::move(store));
+    if (objects.empty()) {
+      return tree;
+    }
+    BulkLoader loader(tree, objects, oids);
+    loader.Run();
+    return tree;
+  }
+
+ private:
+  /// One item of the level being packed: a leaf object (level L) or the
+  /// routing object of an already-built subtree (upper levels).
+  struct Item {
+    const Object* object = nullptr;
+    uint64_t oid = 0;
+    NodeId child = kInvalidNodeId;  ///< kInvalidNodeId at the leaf level.
+    double radius = 0.0;            ///< Subtree covering radius.
+    size_t entry_bytes = 0;
+  };
+
+  /// A cluster of items destined for one node.
+  struct Group {
+    size_t medoid = 0;              ///< Item index of the routing object.
+    std::vector<size_t> members;    ///< Item indices (medoid included).
+    std::vector<double> distances;  ///< d(medoid, member), aligned.
+  };
+
+  BulkLoader(Tree& tree, const std::vector<Object>& objects,
+             const std::vector<uint64_t>& oids)
+      : tree_(tree),
+        objects_(objects),
+        oids_(oids),
+        rng_(MakeEngine(tree.options().seed, /*stream=*/5)) {}
+
+  void Run() {
+    const MTreeOptions& options = tree_.options();
+    capacity_ = options.node_size_bytes - Node::HeaderSize();
+
+    std::vector<Item> items;
+    items.reserve(objects_.size());
+    for (size_t i = 0; i < objects_.size(); ++i) {
+      Item item;
+      item.object = &objects_[i];
+      item.oid = oids_.empty() ? static_cast<uint64_t>(i) : oids_[i];
+      item.entry_bytes = Node::LeafEntrySize(objects_[i]);
+      if (item.entry_bytes > capacity_) {
+        throw std::invalid_argument("BulkLoader: object exceeds node size");
+      }
+      items.push_back(item);
+    }
+
+    bool leaf_level = true;
+    uint32_t levels = 0;
+    while (true) {
+      std::vector<Group> groups = Cluster(items);
+      ++levels;
+      if (groups.size() == 1) {
+        tree_.root_ = EmitNode(items, groups.front(), leaf_level).child;
+        break;
+      }
+      std::vector<Item> next;
+      next.reserve(groups.size());
+      for (const Group& group : groups) {
+        next.push_back(EmitNode(items, group, leaf_level));
+      }
+      items = std::move(next);
+      leaf_level = false;
+    }
+    tree_.height_ = levels;
+    tree_.num_objects_ = objects_.size();
+  }
+
+  /// Writes one node for `group` and returns the item representing it at
+  /// the next level up.
+  Item EmitNode(const std::vector<Item>& items, const Group& group,
+                bool leaf_level) {
+    Node node;
+    node.is_leaf = leaf_level;
+    double radius = 0.0;
+    for (size_t g = 0; g < group.members.size(); ++g) {
+      const Item& member = items[group.members[g]];
+      const double d = group.distances[g];
+      radius = std::max(radius, d + member.radius);
+      if (leaf_level) {
+        LeafEntry<Object> e;
+        e.object = *member.object;
+        e.oid = member.oid;
+        e.parent_distance = d;
+        node.leaf_entries.push_back(std::move(e));
+      } else {
+        RoutingEntry<Object> e;
+        e.object = *member.object;
+        e.covering_radius = member.radius;
+        e.parent_distance = d;
+        e.child = member.child;
+        node.routing_entries.push_back(std::move(e));
+      }
+    }
+    const NodeId id = tree_.store_->Allocate();
+    tree_.store_->Write(id, node);
+
+    Item up;
+    up.object = items[group.medoid].object;
+    up.child = id;
+    up.radius = radius;
+    up.entry_bytes = Node::RoutingEntrySize(*up.object);
+    return up;
+  }
+
+  /// Clusters all items into groups that each fit one node.
+  std::vector<Group> Cluster(const std::vector<Item>& items) {
+    std::vector<size_t> all(items.size());
+    std::iota(all.begin(), all.end(), 0);
+    std::vector<Group> groups;
+    Partition(items, all, 0, &groups);
+    RepairUtilization(items, &groups);
+    return groups;
+  }
+
+  size_t GroupBytes(const std::vector<Item>& items,
+                    const std::vector<size_t>& members) const {
+    size_t bytes = 0;
+    for (size_t i : members) bytes += items[i].entry_bytes;
+    return bytes;
+  }
+
+  void Partition(const std::vector<Item>& items, std::vector<size_t> idxs,
+                 int depth, std::vector<Group>* out) {
+    const size_t bytes = GroupBytes(items, idxs);
+    if (bytes <= capacity_ || idxs.size() == 1) {
+      out->push_back(Finalize(items, std::move(idxs)));
+      return;
+    }
+    // Target a 75% fill so nodes keep insertion slack.
+    const double target = 0.75 * static_cast<double>(capacity_);
+    size_t num_seeds = static_cast<size_t>(
+        std::ceil(static_cast<double>(bytes) / target));
+    num_seeds = std::clamp<size_t>(num_seeds, 2, std::min<size_t>(
+        idxs.size(), kMaxFanout));
+
+    std::vector<size_t> seeds = SampleDistinct(idxs, num_seeds);
+    std::vector<std::vector<size_t>> clusters(seeds.size());
+    for (size_t idx : idxs) {
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t s = 0; s < seeds.size(); ++s) {
+        const double d = tree_.metric_(*items[seeds[s]].object,
+                                       *items[idx].object);
+        if (d < best_d) {
+          best_d = d;
+          best = s;
+        }
+      }
+      clusters[best].push_back(idx);
+    }
+
+    // Guard against degenerate sampling (e.g. all-duplicate objects): if a
+    // single cluster swallowed everything, fall back to even chunking.
+    size_t nonempty = 0;
+    for (const auto& c : clusters) nonempty += c.empty() ? 0 : 1;
+    if (nonempty <= 1 || depth > kMaxDepth) {
+      ChunkEvenly(items, idxs, out);
+      return;
+    }
+    for (auto& cluster : clusters) {
+      if (cluster.empty()) continue;
+      if (GroupBytes(items, cluster) <= capacity_) {
+        out->push_back(Finalize(items, std::move(cluster)));
+      } else {
+        Partition(items, std::move(cluster), depth + 1, out);
+      }
+    }
+  }
+
+  /// Last-resort splitter: cut `idxs` into byte-bounded chunks in order.
+  void ChunkEvenly(const std::vector<Item>& items, std::vector<size_t>& idxs,
+                   std::vector<Group>* out) {
+    std::vector<size_t> chunk;
+    size_t bytes = 0;
+    for (size_t idx : idxs) {
+      if (!chunk.empty() && bytes + items[idx].entry_bytes > capacity_) {
+        out->push_back(Finalize(items, std::move(chunk)));
+        chunk.clear();
+        bytes = 0;
+      }
+      chunk.push_back(idx);
+      bytes += items[idx].entry_bytes;
+    }
+    if (!chunk.empty()) {
+      out->push_back(Finalize(items, std::move(chunk)));
+    }
+  }
+
+  /// Picks the medoid (min-max distance routing object) and computes member
+  /// distances. For large groups, medoid candidates are sampled.
+  Group Finalize(const std::vector<Item>& items, std::vector<size_t> members) {
+    Group group;
+    group.members = std::move(members);
+    std::vector<size_t> candidates;
+    if (group.members.size() <= kMedoidExhaustive) {
+      candidates = group.members;
+    } else {
+      candidates = SampleDistinct(group.members, kMedoidSamples);
+    }
+    double best_quality = std::numeric_limits<double>::infinity();
+    std::vector<double> best_distances;
+    size_t best_candidate = group.members.front();
+    std::vector<double> distances(group.members.size());
+    for (size_t cand : candidates) {
+      double quality = 0.0;
+      for (size_t m = 0; m < group.members.size(); ++m) {
+        const double d = tree_.metric_(*items[cand].object,
+                                       *items[group.members[m]].object);
+        distances[m] = d;
+        quality = std::max(quality, d + items[group.members[m]].radius);
+      }
+      if (quality < best_quality) {
+        best_quality = quality;
+        best_candidate = cand;
+        best_distances = distances;
+      }
+    }
+    group.medoid = best_candidate;
+    group.distances = std::move(best_distances);
+    return group;
+  }
+
+  /// Moves the members of under-filled groups into the nearest group with
+  /// room, then drops the emptied groups.
+  void RepairUtilization(const std::vector<Item>& items,
+                         std::vector<Group>* groups) {
+    if (groups->size() < 2) return;
+    const size_t min_bytes = static_cast<size_t>(
+        tree_.options().min_utilization * static_cast<double>(capacity_));
+    std::vector<size_t> bytes(groups->size());
+    for (size_t g = 0; g < groups->size(); ++g) {
+      bytes[g] = GroupBytes(items, (*groups)[g].members);
+    }
+    std::vector<bool> dropped(groups->size(), false);
+    for (size_t g = 0; g < groups->size(); ++g) {
+      if (bytes[g] >= min_bytes) continue;
+      // Try to place every member elsewhere; only commit if all fit.
+      struct Move {
+        size_t member_pos;
+        size_t target_group;
+        double distance;
+      };
+      std::vector<Move> moves;
+      std::vector<size_t> projected = bytes;
+      bool ok = true;
+      const Group& group = (*groups)[g];
+      // With many groups, scanning all of them per member is quadratic in
+      // the tree width; sample a bounded candidate set instead (quality
+      // degrades gracefully: a slightly farther target only loosens that
+      // target's covering radius).
+      std::vector<size_t> candidates;
+      if (groups->size() > kRepairExhaustive) {
+        candidates.reserve(kRepairCandidates);
+        for (size_t s = 0; s < kRepairCandidates; ++s) {
+          candidates.push_back(UniformIndex(rng_, groups->size()));
+        }
+      } else {
+        candidates.resize(groups->size());
+        std::iota(candidates.begin(), candidates.end(), 0);
+      }
+      for (size_t m = 0; m < group.members.size(); ++m) {
+        const Item& item = items[group.members[m]];
+        size_t best_target = groups->size();
+        double best_d = std::numeric_limits<double>::infinity();
+        for (size_t h : candidates) {
+          if (h == g || dropped[h]) continue;
+          if (projected[h] + item.entry_bytes > capacity_) continue;
+          const double d =
+              tree_.metric_(*items[(*groups)[h].medoid].object, *item.object);
+          if (d < best_d) {
+            best_d = d;
+            best_target = h;
+          }
+        }
+        if (best_target == groups->size()) {
+          ok = false;
+          break;
+        }
+        projected[best_target] += item.entry_bytes;
+        moves.push_back({m, best_target, best_d});
+      }
+      if (!ok) continue;
+      for (const Move& move : moves) {
+        Group& target = (*groups)[move.target_group];
+        target.members.push_back(group.members[move.member_pos]);
+        target.distances.push_back(move.distance);
+      }
+      bytes = projected;
+      bytes[g] = 0;
+      dropped[g] = true;
+    }
+    std::vector<Group> kept;
+    kept.reserve(groups->size());
+    for (size_t g = 0; g < groups->size(); ++g) {
+      if (!dropped[g]) kept.push_back(std::move((*groups)[g]));
+    }
+    *groups = std::move(kept);
+  }
+
+  std::vector<size_t> SampleDistinct(const std::vector<size_t>& from,
+                                     size_t count) {
+    count = std::min(count, from.size());
+    std::vector<size_t> pool = from;
+    for (size_t i = 0; i < count; ++i) {
+      const size_t j = i + UniformIndex(rng_, pool.size() - i);
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(count);
+    return pool;
+  }
+
+  static constexpr size_t kMaxFanout = 64;
+  static constexpr size_t kRepairExhaustive = 1024;
+  static constexpr size_t kRepairCandidates = 128;
+  static constexpr int kMaxDepth = 64;
+  static constexpr size_t kMedoidExhaustive = 48;
+  static constexpr size_t kMedoidSamples = 16;
+
+  Tree& tree_;
+  const std::vector<Object>& objects_;
+  const std::vector<uint64_t>& oids_;
+  RandomEngine rng_;
+  size_t capacity_ = 0;
+};
+
+template <typename Traits>
+MTree<Traits> MTree<Traits>::BulkLoad(
+    const std::vector<Object>& objects, Metric metric, MTreeOptions options,
+    std::unique_ptr<NodeStore<Traits>> store) {
+  return BulkLoader<Traits>::Load(objects, {}, std::move(metric), options,
+                                  std::move(store));
+}
+
+}  // namespace mcm
+
+#endif  // MCM_MTREE_BULK_LOAD_H_

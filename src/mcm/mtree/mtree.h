@@ -1,0 +1,623 @@
+// The M-tree (Ciaccia, Patella, Zezula; VLDB'97): a paged, dynamic,
+// balanced metric access method. This is the index the paper's cost model
+// predicts. Supports dynamic insertion with the VLDB'97 split policies,
+// range and optimal k-NN search, and statistics export for the cost models.
+//
+// Search runs in one of two pruning modes (options.h): kBasic computes the
+// distance from the query to every entry of every accessed node — exactly
+// the CPU cost the paper models (footnote 2) — while kOptimized applies the
+// stored-parent-distance pruning of the original M-tree.
+
+#ifndef MCM_MTREE_MTREE_H_
+#define MCM_MTREE_MTREE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "mcm/common/random.h"
+#include "mcm/cost/tree_stats.h"
+#include "mcm/mtree/node.h"
+#include "mcm/mtree/node_store.h"
+#include "mcm/mtree/options.h"
+#include "mcm/mtree/split.h"
+#include "mcm/common/query_stats.h"
+
+namespace mcm {
+
+template <typename Traits>
+class BulkLoader;
+
+/// One query answer: the object, its external id, and its distance to the
+/// query object.
+template <typename Object>
+struct SearchResult {
+  uint64_t oid = 0;
+  Object object;
+  double distance = 0.0;
+};
+
+template <typename Traits>
+class MTree {
+ public:
+  using Object = typename Traits::Object;
+  using Metric = typename Traits::Metric;
+  using Node = MTreeNode<Traits>;
+  using Result = SearchResult<Object>;
+
+  /// Creates an empty tree. When `store` is null a MemoryNodeStore is used.
+  MTree(Metric metric, MTreeOptions options,
+        std::unique_ptr<NodeStore<Traits>> store = nullptr)
+      : metric_(std::move(metric)),
+        options_(options),
+        store_(store ? std::move(store)
+                     : std::make_unique<MemoryNodeStore<Traits>>()),
+        rng_(MakeEngine(options.seed, /*stream=*/3)) {
+    if (options_.node_size_bytes <= Node::HeaderSize()) {
+      throw std::invalid_argument("MTree: node size too small");
+    }
+  }
+
+  /// Bulk-loads a tree from `objects` (oid = position index). Implemented in
+  /// bulk_load.h; declared here for discoverability.
+  static MTree BulkLoad(const std::vector<Object>& objects, Metric metric,
+                        MTreeOptions options,
+                        std::unique_ptr<NodeStore<Traits>> store = nullptr);
+
+  /// Inserts one object with external id `oid`.
+  void Insert(const Object& object, uint64_t oid) {
+    if (Node::LeafEntrySize(object) + Node::HeaderSize() >
+        options_.node_size_bytes) {
+      throw std::invalid_argument("MTree::Insert: object exceeds node size");
+    }
+    if (root_ == kInvalidNodeId) {
+      root_ = store_->Allocate();
+      Node node;
+      node.is_leaf = true;
+      node.leaf_entries.push_back({object, oid, 0.0});
+      store_->Write(root_, node);
+      height_ = 1;
+      num_objects_ = 1;
+      return;
+    }
+    auto split = InsertRecursive(root_, nullptr, object, oid);
+    if (split.has_value()) {
+      Node new_root;
+      new_root.is_leaf = false;
+      split->first.parent_distance = 0.0;
+      split->second.parent_distance = 0.0;
+      new_root.routing_entries.push_back(std::move(split->first));
+      new_root.routing_entries.push_back(std::move(split->second));
+      const NodeId new_root_id = store_->Allocate();
+      store_->Write(new_root_id, new_root);
+      root_ = new_root_id;
+      ++height_;
+    }
+    ++num_objects_;
+  }
+
+  /// range(Q, r_Q): all objects within distance `radius` of `query`,
+  /// sorted by increasing distance. Fills `stats` (if given) with the
+  /// paper's I/O and CPU cost counters.
+  std::vector<Result> RangeSearch(const Object& query, double radius,
+                                  QueryStats* stats = nullptr) const {
+    QueryStats local;
+    QueryStats* st = stats ? stats : &local;
+    *st = QueryStats{};
+    std::vector<Result> results;
+    if (root_ == kInvalidNodeId || radius < 0.0) {
+      return results;
+    }
+    RangeRecurse(root_, query, radius,
+                 std::numeric_limits<double>::quiet_NaN(), st, &results);
+    std::sort(results.begin(), results.end(),
+              [](const Result& a, const Result& b) {
+                return a.distance < b.distance;
+              });
+    return results;
+  }
+
+  /// NN(Q, k): the k nearest neighbors of `query`, sorted by increasing
+  /// distance (fewer if the tree holds fewer than k objects). Implements
+  /// the optimal best-first algorithm: only nodes whose region intersects
+  /// the final NN(Q, k) ball are accessed.
+  std::vector<Result> KnnSearch(const Object& query, size_t k,
+                                QueryStats* stats = nullptr) const {
+    QueryStats local;
+    QueryStats* st = stats ? stats : &local;
+    *st = QueryStats{};
+    std::vector<Result> results;
+    if (root_ == kInvalidNodeId || k == 0) {
+      return results;
+    }
+
+    struct PqItem {
+      double dmin;
+      NodeId node;
+      double parent_query_distance;  // NaN for the root.
+    };
+    auto pq_greater = [](const PqItem& a, const PqItem& b) {
+      return a.dmin > b.dmin;
+    };
+    std::priority_queue<PqItem, std::vector<PqItem>, decltype(pq_greater)>
+        frontier(pq_greater);
+    frontier.push({0.0, root_, std::numeric_limits<double>::quiet_NaN()});
+
+    auto cand_less = [](const Result& a, const Result& b) {
+      return a.distance < b.distance;
+    };
+    // Max-heap of the k best candidates seen so far.
+    std::priority_queue<Result, std::vector<Result>, decltype(cand_less)>
+        candidates(cand_less);
+    auto rk = [&]() {
+      return candidates.size() < k ? std::numeric_limits<double>::infinity()
+                                   : candidates.top().distance;
+    };
+
+    const bool optimized = options_.pruning == PruningMode::kOptimized;
+    while (!frontier.empty()) {
+      const PqItem item = frontier.top();
+      frontier.pop();
+      if (item.dmin > rk()) {
+        break;  // No remaining region can intersect the NN ball.
+      }
+      const Node node = store_->Read(item.node);
+      ++st->nodes_accessed;
+      const bool can_prune =
+          optimized && !std::isnan(item.parent_query_distance);
+      if (node.is_leaf) {
+        for (const auto& e : node.leaf_entries) {
+          if (can_prune &&
+              std::fabs(item.parent_query_distance - e.parent_distance) >
+                  rk()) {
+            continue;
+          }
+          const double d = Dist(query, e.object, st);
+          if (d <= rk() || candidates.size() < k) {
+            candidates.push({e.oid, e.object, d});
+            if (candidates.size() > k) candidates.pop();
+          }
+        }
+      } else {
+        for (const auto& e : node.routing_entries) {
+          if (can_prune &&
+              std::fabs(item.parent_query_distance - e.parent_distance) -
+                      e.covering_radius >
+                  rk()) {
+            continue;
+          }
+          const double d = Dist(query, e.object, st);
+          const double dmin = std::max(d - e.covering_radius, 0.0);
+          if (dmin <= rk()) {
+            frontier.push({dmin, e.child, d});
+          }
+        }
+      }
+    }
+
+    results.reserve(candidates.size());
+    while (!candidates.empty()) {
+      results.push_back(candidates.top());
+      candidates.pop();
+    }
+    std::reverse(results.begin(), results.end());
+    return results;
+  }
+
+  /// A single similarity predicate of a complex query: "within `radius`
+  /// of `query`".
+  struct Predicate {
+    Object query;
+    double radius = 0.0;
+  };
+
+  /// How the predicates of a complex query combine.
+  enum class Combine {
+    kAnd,  ///< Conjunction: every predicate must hold.
+    kOr,   ///< Disjunction: at least one predicate must hold.
+  };
+
+  /// Complex similarity query (future work #3; EDBT'98 [11]): objects
+  /// satisfying the conjunction/disjunction of several range predicates,
+  /// evaluated in a single tree traversal. A node is visited iff its ball
+  /// can intersect every (kAnd) / any (kOr) predicate ball; each accessed
+  /// entry computes one distance per predicate (counted in `stats`).
+  /// Results are sorted by the combined distance: max over predicates for
+  /// kAnd, min for kOr.
+  std::vector<Result> ComplexRangeSearch(
+      const std::vector<Predicate>& predicates, Combine combine,
+      QueryStats* stats = nullptr) const {
+    QueryStats local;
+    QueryStats* st = stats ? stats : &local;
+    *st = QueryStats{};
+    std::vector<Result> results;
+    if (root_ == kInvalidNodeId || predicates.empty()) {
+      return results;
+    }
+    ComplexRecurse(root_, predicates, combine, st, &results);
+    std::sort(results.begin(), results.end(),
+              [](const Result& a, const Result& b) {
+                return a.distance < b.distance;
+              });
+    return results;
+  }
+
+  /// Deletes the object equal to `object` (distance 0) carrying id `oid`.
+  /// Returns false when no such entry exists.
+  ///
+  /// The original M-tree paper defines no deletion; this implements the
+  /// standard conservative scheme: the entry is removed from its leaf,
+  /// emptied nodes are unlinked bottom-up, a single-child root collapses,
+  /// and covering radii are left untouched (they remain valid — possibly
+  /// loose — upper bounds, so all search invariants still hold).
+  bool Delete(const Object& object, uint64_t oid) {
+    if (root_ == kInvalidNodeId) {
+      return false;
+    }
+    if (!DeleteRecurse(root_, object, oid)) {
+      return false;
+    }
+    --num_objects_;
+    CollapseRoot();
+    return true;
+  }
+
+  /// Reattaches a tree whose nodes already live in `store` — the
+  /// persistence layer (mtree/persist.h) uses this to reopen a saved index.
+  /// The caller must pass the same metric and options the tree was built
+  /// with; `root`, `num_objects` and `height` come from the saved metadata.
+  static MTree Attach(Metric metric, MTreeOptions options,
+                      std::unique_ptr<NodeStore<Traits>> store, NodeId root,
+                      size_t num_objects, uint32_t height) {
+    MTree tree(std::move(metric), options, std::move(store));
+    tree.root_ = root;
+    tree.num_objects_ = num_objects;
+    tree.height_ = height;
+    return tree;
+  }
+
+  /// Number of indexed objects.
+  size_t size() const { return num_objects_; }
+
+  /// Tree height L (0 for an empty tree; root = level 1, leaves = level L).
+  uint32_t height() const { return height_; }
+
+  NodeId root() const { return root_; }
+  const MTreeOptions& options() const { return options_; }
+  const Metric& metric() const { return metric_; }
+  NodeStore<Traits>& store() const { return *store_; }
+
+  /// Snapshots the statistics the cost models need. `root_radius` is the
+  /// conventional covering radius of the root — d⁺ per footnote 1.
+  MTreeStatsView CollectStats(double root_radius) const {
+    MTreeStatsView view;
+    view.num_objects = num_objects_;
+    view.height = height_;
+    if (root_ == kInvalidNodeId) {
+      return view;
+    }
+    struct Item {
+      NodeId id;
+      uint32_t level;
+      double radius;
+    };
+    std::vector<Item> frontier{{root_, 1, root_radius}};
+    while (!frontier.empty()) {
+      const Item item = frontier.back();
+      frontier.pop_back();
+      const Node node = store_->Read(item.id);
+      NodeStatRecord rec;
+      rec.level = item.level;
+      rec.covering_radius = item.radius;
+      rec.num_entries = static_cast<uint32_t>(node.NumEntries());
+      rec.is_leaf = node.is_leaf;
+      view.nodes.push_back(rec);
+      if (!node.is_leaf) {
+        for (const auto& e : node.routing_entries) {
+          frontier.push_back({e.child, item.level + 1, e.covering_radius});
+        }
+      }
+    }
+    view.levels = AggregateLevels(view.nodes);
+    return view;
+  }
+
+ private:
+  friend class BulkLoader<Traits>;
+
+  struct SplitInfo {
+    RoutingEntry<Object> first;
+    RoutingEntry<Object> second;
+  };
+
+  double Dist(const Object& a, const Object& b, QueryStats* st) const {
+    ++st->distance_computations;
+    return metric_(a, b);
+  }
+
+  void ComplexRecurse(NodeId id, const std::vector<Predicate>& predicates,
+                      Combine combine, QueryStats* st,
+                      std::vector<Result>* out) const {
+    const Node node = store_->Read(id);
+    ++st->nodes_accessed;
+    const bool conjunctive = combine == Combine::kAnd;
+    if (node.is_leaf) {
+      for (const auto& e : node.leaf_entries) {
+        bool all = true, any = false;
+        double combined = conjunctive ? 0.0
+                                      : std::numeric_limits<double>::max();
+        for (const auto& p : predicates) {
+          const double d = Dist(p.query, e.object, st);
+          const bool hit = d <= p.radius;
+          all = all && hit;
+          any = any || hit;
+          combined = conjunctive ? std::max(combined, d)
+                                 : std::min(combined, d);
+        }
+        if (conjunctive ? all : any) {
+          out->push_back({e.oid, e.object, combined});
+        }
+      }
+      return;
+    }
+    for (const auto& e : node.routing_entries) {
+      bool all = true, any = false;
+      for (const auto& p : predicates) {
+        const double d = Dist(p.query, e.object, st);
+        const bool overlap = d <= e.covering_radius + p.radius;
+        all = all && overlap;
+        any = any || overlap;
+      }
+      if (conjunctive ? all : any) {
+        ComplexRecurse(e.child, predicates, combine, st, out);
+      }
+    }
+  }
+
+  /// Removes (object, oid) from the subtree at `id`; prunes emptied
+  /// children on the way back up. Returns true when the entry was found.
+  bool DeleteRecurse(NodeId id, const Object& object, uint64_t oid) {
+    Node node = store_->Read(id);
+    if (node.is_leaf) {
+      for (auto it = node.leaf_entries.begin(); it != node.leaf_entries.end();
+           ++it) {
+        if (it->oid == oid && metric_(it->object, object) == 0.0) {
+          node.leaf_entries.erase(it);
+          store_->Write(id, node);
+          return true;
+        }
+      }
+      return false;
+    }
+    for (auto it = node.routing_entries.begin();
+         it != node.routing_entries.end(); ++it) {
+      // The entry can only live in subtrees whose ball covers the object.
+      if (metric_(it->object, object) > it->covering_radius) {
+        continue;
+      }
+      if (!DeleteRecurse(it->child, object, oid)) {
+        continue;
+      }
+      const Node child = store_->Read(it->child);
+      if (child.NumEntries() == 0) {
+        store_->Free(it->child);
+        node.routing_entries.erase(it);
+        store_->Write(id, node);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  /// Shrinks the root after deletions: a single-child internal root is
+  /// replaced by its child; an emptied root leaves the tree empty.
+  void CollapseRoot() {
+    while (root_ != kInvalidNodeId) {
+      const Node root_node = store_->Read(root_);
+      if (root_node.is_leaf) {
+        if (root_node.leaf_entries.empty()) {
+          store_->Free(root_);
+          root_ = kInvalidNodeId;
+          height_ = 0;
+        }
+        return;
+      }
+      if (root_node.routing_entries.size() != 1) {
+        return;
+      }
+      const NodeId old_root = root_;
+      root_ = root_node.routing_entries.front().child;
+      store_->Free(old_root);
+      --height_;
+      // The new root's entries keep stale parent distances; they are never
+      // consulted at the root (search passes "no parent" there).
+    }
+  }
+
+  void RangeRecurse(NodeId id, const Object& query, double radius,
+                    double parent_query_distance, QueryStats* st,
+                    std::vector<Result>* out) const {
+    const Node node = store_->Read(id);
+    ++st->nodes_accessed;
+    const bool can_prune = options_.pruning == PruningMode::kOptimized &&
+                           !std::isnan(parent_query_distance);
+    if (node.is_leaf) {
+      for (const auto& e : node.leaf_entries) {
+        if (can_prune &&
+            std::fabs(parent_query_distance - e.parent_distance) > radius) {
+          continue;
+        }
+        const double d = Dist(query, e.object, st);
+        if (d <= radius) {
+          out->push_back({e.oid, e.object, d});
+        }
+      }
+    } else {
+      for (const auto& e : node.routing_entries) {
+        if (can_prune &&
+            std::fabs(parent_query_distance - e.parent_distance) >
+                e.covering_radius + radius) {
+          continue;
+        }
+        const double d = Dist(query, e.object, st);
+        if (d <= e.covering_radius + radius) {
+          RangeRecurse(e.child, query, radius, d, st, out);
+        }
+      }
+    }
+  }
+
+  /// Inserts below `node_id` (whose routing object is `parent_object`, null
+  /// at the root). Returns the two replacement entries when the node split.
+  std::optional<SplitInfo> InsertRecursive(NodeId node_id,
+                                           const Object* parent_object,
+                                           const Object& object,
+                                           uint64_t oid) {
+    Node node = store_->Read(node_id);
+    if (node.is_leaf) {
+      LeafEntry<Object> entry;
+      entry.object = object;
+      entry.oid = oid;
+      entry.parent_distance =
+          parent_object ? metric_(*parent_object, object) : 0.0;
+      node.leaf_entries.push_back(std::move(entry));
+      if (node.SerializedSize() > options_.node_size_bytes &&
+          node.NumEntries() >= 2) {
+        return SplitNode(node_id, std::move(node));
+      }
+      store_->Write(node_id, node);
+      return std::nullopt;
+    }
+
+    // Choose the subtree: prefer entries that need no radius enlargement
+    // (min distance); otherwise min enlargement.
+    size_t best = 0;
+    double best_distance = std::numeric_limits<double>::infinity();
+    bool best_contained = false;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    std::vector<double> distances(node.routing_entries.size());
+    for (size_t i = 0; i < node.routing_entries.size(); ++i) {
+      const auto& e = node.routing_entries[i];
+      const double d = metric_(e.object, object);
+      distances[i] = d;
+      const bool contained = d <= e.covering_radius;
+      if (contained) {
+        if (!best_contained || d < best_distance) {
+          best = i;
+          best_distance = d;
+          best_contained = true;
+        }
+      } else if (!best_contained) {
+        const double enlargement = d - e.covering_radius;
+        if (enlargement < best_enlargement) {
+          best = i;
+          best_enlargement = enlargement;
+          best_distance = d;
+        }
+      }
+    }
+    auto& chosen = node.routing_entries[best];
+    if (distances[best] > chosen.covering_radius) {
+      chosen.covering_radius = distances[best];
+    }
+    auto child_split =
+        InsertRecursive(chosen.child, &chosen.object, object, oid);
+    if (!child_split.has_value()) {
+      store_->Write(node_id, node);
+      return std::nullopt;
+    }
+
+    // The child split: replace its entry with the two new ones.
+    child_split->first.parent_distance =
+        parent_object ? metric_(*parent_object, child_split->first.object)
+                      : 0.0;
+    child_split->second.parent_distance =
+        parent_object ? metric_(*parent_object, child_split->second.object)
+                      : 0.0;
+    node.routing_entries.erase(node.routing_entries.begin() +
+                               static_cast<ptrdiff_t>(best));
+    node.routing_entries.push_back(std::move(child_split->first));
+    node.routing_entries.push_back(std::move(child_split->second));
+    if (node.SerializedSize() > options_.node_size_bytes &&
+        node.NumEntries() >= 2) {
+      return SplitNode(node_id, std::move(node));
+    }
+    store_->Write(node_id, node);
+    return std::nullopt;
+  }
+
+  /// Splits `node` (which overflowed); the first half stays at `node_id`,
+  /// the second goes to a fresh node. Returns the two parent entries.
+  SplitInfo SplitNode(NodeId node_id, Node node) {
+    std::vector<const Object*> objects;
+    std::vector<double> radii;
+    const size_t count = node.NumEntries();
+    objects.reserve(count);
+    radii.reserve(count);
+    if (node.is_leaf) {
+      for (const auto& e : node.leaf_entries) {
+        objects.push_back(&e.object);
+        radii.push_back(0.0);
+      }
+    } else {
+      for (const auto& e : node.routing_entries) {
+        objects.push_back(&e.object);
+        radii.push_back(e.covering_radius);
+      }
+    }
+    NodeSplitter<Object, Metric> splitter(objects, radii, metric_);
+    const SplitOutcome outcome =
+        splitter.Split(options_.promote_policy, options_.partition_policy,
+                       options_.promote_samples, rng_);
+
+    Node first, second;
+    first.is_leaf = second.is_leaf = node.is_leaf;
+    auto fill = [&](Node* dst, const std::vector<size_t>& group,
+                    const std::vector<double>& dist_to_center) {
+      for (size_t g = 0; g < group.size(); ++g) {
+        const size_t i = group[g];
+        if (node.is_leaf) {
+          LeafEntry<Object> e = node.leaf_entries[i];
+          e.parent_distance = dist_to_center[g];
+          dst->leaf_entries.push_back(std::move(e));
+        } else {
+          RoutingEntry<Object> e = node.routing_entries[i];
+          e.parent_distance = dist_to_center[g];
+          dst->routing_entries.push_back(std::move(e));
+        }
+      }
+    };
+    fill(&first, outcome.first_group, outcome.first_distances);
+    fill(&second, outcome.second_group, outcome.second_distances);
+
+    const NodeId second_id = store_->Allocate();
+    store_->Write(node_id, first);
+    store_->Write(second_id, second);
+
+    SplitInfo info;
+    info.first.object = *objects[outcome.promoted_first];
+    info.first.covering_radius = outcome.first_radius;
+    info.first.child = node_id;
+    info.second.object = *objects[outcome.promoted_second];
+    info.second.covering_radius = outcome.second_radius;
+    info.second.child = second_id;
+    return info;
+  }
+
+  Metric metric_;
+  MTreeOptions options_;
+  mutable std::unique_ptr<NodeStore<Traits>> store_;
+  NodeId root_ = kInvalidNodeId;
+  size_t num_objects_ = 0;
+  uint32_t height_ = 0;
+  RandomEngine rng_;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_MTREE_MTREE_H_

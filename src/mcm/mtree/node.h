@@ -1,0 +1,136 @@
+// M-tree node and entry layouts (Section 1.1 of the paper):
+//   leaf entry:     [O_i, oid(O_i)]           plus the stored d(O_i, O_parent)
+//   routing entry:  [O_r, r(N_r), ptr(N_r)]   plus the stored d(O_r, O_parent)
+// Nodes serialize into fixed-size pages; SerializedSize() is the overflow
+// test used by insertion, splitting and bulk loading.
+
+#ifndef MCM_MTREE_NODE_H_
+#define MCM_MTREE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcm/metric/bytes.h"
+
+namespace mcm {
+
+/// Identifier of an M-tree node within its NodeStore.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNodeId = static_cast<NodeId>(-1);
+
+/// Entry of a leaf node: an indexed object with its external identifier and
+/// its distance to the parent routing object (used by the optimized search
+/// to avoid distance computations).
+template <typename Object>
+struct LeafEntry {
+  Object object;
+  uint64_t oid = 0;
+  double parent_distance = 0.0;
+};
+
+/// Entry of an internal node: a routing object with its covering radius and
+/// a pointer to the child it covers.
+template <typename Object>
+struct RoutingEntry {
+  Object object;
+  double covering_radius = 0.0;
+  double parent_distance = 0.0;
+  NodeId child = kInvalidNodeId;
+};
+
+/// An M-tree node: either a leaf (LeafEntry list) or internal
+/// (RoutingEntry list).
+template <typename Traits>
+struct MTreeNode {
+  using Object = typename Traits::Object;
+
+  bool is_leaf = true;
+  std::vector<LeafEntry<Object>> leaf_entries;
+  std::vector<RoutingEntry<Object>> routing_entries;
+
+  size_t NumEntries() const {
+    return is_leaf ? leaf_entries.size() : routing_entries.size();
+  }
+
+  /// Serialized byte footprint of one leaf entry.
+  static size_t LeafEntrySize(const Object& object) {
+    return Traits::SerializedSize(object) + sizeof(uint64_t) + sizeof(double);
+  }
+
+  /// Serialized byte footprint of one routing entry.
+  static size_t RoutingEntrySize(const Object& object) {
+    return Traits::SerializedSize(object) + 2 * sizeof(double) +
+           sizeof(NodeId);
+  }
+
+  /// Fixed node header: leaf flag + entry count.
+  static size_t HeaderSize() { return sizeof(uint8_t) + sizeof(uint32_t); }
+
+  /// Total bytes this node occupies when serialized into a page.
+  size_t SerializedSize() const {
+    size_t size = HeaderSize();
+    if (is_leaf) {
+      for (const auto& e : leaf_entries) size += LeafEntrySize(e.object);
+    } else {
+      for (const auto& e : routing_entries) size += RoutingEntrySize(e.object);
+    }
+    return size;
+  }
+
+  /// Serializes into `out` (appended).
+  void Serialize(std::vector<uint8_t>* out) const {
+    ByteWriter w(out);
+    w.Put<uint8_t>(is_leaf ? 1 : 0);
+    if (is_leaf) {
+      w.Put<uint32_t>(static_cast<uint32_t>(leaf_entries.size()));
+      for (const auto& e : leaf_entries) {
+        Traits::Serialize(e.object, w);
+        w.Put<uint64_t>(e.oid);
+        w.Put<double>(e.parent_distance);
+      }
+    } else {
+      w.Put<uint32_t>(static_cast<uint32_t>(routing_entries.size()));
+      for (const auto& e : routing_entries) {
+        Traits::Serialize(e.object, w);
+        w.Put<double>(e.covering_radius);
+        w.Put<double>(e.parent_distance);
+        w.Put<NodeId>(e.child);
+      }
+    }
+  }
+
+  /// Parses a node from `data` (as produced by Serialize).
+  static MTreeNode Deserialize(const uint8_t* data, size_t size) {
+    ByteReader r(data, size);
+    MTreeNode node;
+    node.is_leaf = r.Get<uint8_t>() != 0;
+    const uint32_t count = r.Get<uint32_t>();
+    if (node.is_leaf) {
+      node.leaf_entries.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        LeafEntry<Object> e;
+        e.object = Traits::Deserialize(r);
+        e.oid = r.Get<uint64_t>();
+        e.parent_distance = r.Get<double>();
+        node.leaf_entries.push_back(std::move(e));
+      }
+    } else {
+      node.routing_entries.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        RoutingEntry<Object> e;
+        e.object = Traits::Deserialize(r);
+        e.covering_radius = r.Get<double>();
+        e.parent_distance = r.Get<double>();
+        e.child = r.Get<NodeId>();
+        node.routing_entries.push_back(std::move(e));
+      }
+    }
+    return node;
+  }
+};
+
+}  // namespace mcm
+
+#endif  // MCM_MTREE_NODE_H_

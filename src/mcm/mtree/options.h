@@ -1,0 +1,64 @@
+// Configuration knobs of the M-tree. Defaults match the paper's
+// experimental setup: 4 KB nodes, 30% minimum utilization, and — because
+// footnote 2 excludes the distance-saving search optimizations from the
+// cost model — a switchable pruning mode so measured CPU costs can be
+// compared against the model (Basic) or against the real optimized search.
+
+#ifndef MCM_MTREE_OPTIONS_H_
+#define MCM_MTREE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mcm {
+
+/// How routing objects are promoted when a node splits (VLDB'97 policies).
+enum class PromotePolicy {
+  kRandom,      ///< Two random entries.
+  kSampling,    ///< Best of a fixed number of sampled pairs (min-max radius).
+  kMMRad,       ///< Exhaustive pair search minimizing the larger radius.
+  kMaxLbDist,   ///< Keep the old routing object; promote the farthest entry.
+};
+
+/// How entries are distributed between the two nodes after promotion.
+enum class PartitionPolicy {
+  kBalanced,    ///< Alternately assign the nearest unassigned entry.
+  kHyperplane,  ///< Generalized hyperplane: each entry to its closer center.
+};
+
+/// Distance-computation saving during search (M-tree paper, Section 4).
+/// The cost model of the paper deliberately ignores these optimizations
+/// (footnote 2), so experiments run in kBasic mode; kOptimized is the real
+/// search used by applications.
+enum class PruningMode {
+  kBasic,      ///< Compute the distance to every entry of an accessed node.
+  kOptimized,  ///< Skip entries pruned by the stored parent distances.
+};
+
+/// M-tree construction and search options.
+struct MTreeOptions {
+  /// Node (disk page) size in bytes. Paper default: 4 KB.
+  size_t node_size_bytes = 4096;
+
+  /// Minimum fraction of a node's byte capacity that must stay occupied
+  /// after a split / during bulk loading (root excluded). Paper: 0.3.
+  double min_utilization = 0.3;
+
+  PromotePolicy promote_policy = PromotePolicy::kSampling;
+  PartitionPolicy partition_policy = PartitionPolicy::kBalanced;
+
+  /// Pairs sampled by PromotePolicy::kSampling.
+  size_t promote_samples = 64;
+
+  PruningMode pruning = PruningMode::kBasic;
+
+  /// Buffer-pool frames when a paged node store is used.
+  size_t buffer_pool_frames = 1024;
+
+  /// Seed for randomized promotion and bulk-load seed sampling.
+  uint64_t seed = 42;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_MTREE_OPTIONS_H_

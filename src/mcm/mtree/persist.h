@@ -1,0 +1,140 @@
+// M-tree persistence: save any tree (whatever its node store) into a page
+// file + metadata file pair, and reopen it later as a page-backed tree.
+//
+//   SaveMTree(tree, "/data/index.mtree");
+//   auto tree = OpenMTree<Traits>("/data/index.mtree", metric, options);
+//
+// The saved layout is compact: nodes are rewritten in depth-first order
+// into a fresh page file (one node per page of options.node_size_bytes),
+// and a small binary sidecar `<path>.meta` records the root page, object
+// count, height and node size. The object serialization comes from the
+// tree's Traits, so any Traits-compatible object type persists.
+
+#ifndef MCM_MTREE_PERSIST_H_
+#define MCM_MTREE_PERSIST_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "mcm/mtree/mtree.h"
+#include "mcm/mtree/node_store.h"
+#include "mcm/storage/page_file.h"
+
+namespace mcm {
+namespace persist_internal {
+
+inline constexpr uint32_t kMagic = 0x4d434d54;  // "MCMT".
+inline constexpr uint32_t kVersion = 1;
+
+struct Meta {
+  uint64_t node_size = 0;
+  uint32_t root = kInvalidNodeId;
+  uint32_t height = 0;
+  uint64_t num_objects = 0;
+  uint64_t num_nodes = 0;
+};
+
+inline std::string MetaPath(const std::string& path) { return path + ".meta"; }
+
+inline void WriteMeta(const std::string& path, const Meta& meta) {
+  std::FILE* f = std::fopen(MetaPath(path).c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("SaveMTree: cannot write " + MetaPath(path));
+  }
+  const uint32_t head[2] = {kMagic, kVersion};
+  bool ok = std::fwrite(head, sizeof(head), 1, f) == 1 &&
+            std::fwrite(&meta, sizeof(meta), 1, f) == 1;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    throw std::runtime_error("SaveMTree: short write to " + MetaPath(path));
+  }
+}
+
+inline Meta ReadMeta(const std::string& path) {
+  std::FILE* f = std::fopen(MetaPath(path).c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("OpenMTree: cannot read " + MetaPath(path));
+  }
+  uint32_t head[2] = {0, 0};
+  Meta meta;
+  const bool ok = std::fread(head, sizeof(head), 1, f) == 1 &&
+                  std::fread(&meta, sizeof(meta), 1, f) == 1;
+  std::fclose(f);
+  if (!ok || head[0] != kMagic) {
+    throw std::runtime_error("OpenMTree: bad metadata in " + MetaPath(path));
+  }
+  if (head[1] != kVersion) {
+    throw std::runtime_error("OpenMTree: unsupported version");
+  }
+  return meta;
+}
+
+}  // namespace persist_internal
+
+/// Saves `tree` to `path` (+ `<path>.meta`), rewriting nodes compactly.
+/// Works for any node store; an empty tree saves an empty page file.
+template <typename Traits>
+void SaveMTree(const MTree<Traits>& tree, const std::string& path) {
+  using Node = MTreeNode<Traits>;
+  StdioPageFile out(path, tree.options().node_size_bytes,
+                    StdioPageFile::Mode::kCreate);
+  std::vector<uint8_t> buffer;
+
+  // Depth-first copy; children are written before their parent so the
+  // parent's rewritten child pointers are final.
+  auto copy = [&](auto&& self, NodeId id) -> PageId {
+    Node node = tree.store().Read(id);
+    if (!node.is_leaf) {
+      for (auto& e : node.routing_entries) {
+        e.child = static_cast<NodeId>(self(self, e.child));
+      }
+    }
+    buffer.clear();
+    node.Serialize(&buffer);
+    if (buffer.size() > out.page_size()) {
+      throw std::runtime_error("SaveMTree: node exceeds page size");
+    }
+    buffer.resize(out.page_size(), 0);
+    const PageId page = out.Allocate();
+    out.Write(page, buffer.data());
+    return page;
+  };
+
+  persist_internal::Meta meta;
+  meta.node_size = tree.options().node_size_bytes;
+  meta.height = tree.height();
+  meta.num_objects = tree.size();
+  if (tree.root() != kInvalidNodeId) {
+    meta.root = static_cast<uint32_t>(copy(copy, tree.root()));
+  }
+  meta.num_nodes = out.num_pages();
+  persist_internal::WriteMeta(path, meta);
+}
+
+/// Reopens a tree saved by SaveMTree. `metric` and `options` must match
+/// construction time (the node size is checked against the metadata).
+template <typename Traits>
+MTree<Traits> OpenMTree(const std::string& path,
+                        typename Traits::Metric metric,
+                        MTreeOptions options) {
+  const persist_internal::Meta meta = persist_internal::ReadMeta(path);
+  if (meta.node_size != options.node_size_bytes) {
+    throw std::runtime_error(
+        "OpenMTree: node size mismatch between metadata and options");
+  }
+  auto store = std::make_unique<PagedNodeStore<Traits>>(
+      std::make_unique<StdioPageFile>(path, options.node_size_bytes,
+                                      StdioPageFile::Mode::kOpenExisting),
+      options.buffer_pool_frames);
+  store->RestoreNodeCount(meta.num_nodes);
+  return MTree<Traits>::Attach(std::move(metric), options, std::move(store),
+                               static_cast<NodeId>(meta.root),
+                               meta.num_objects, meta.height);
+}
+
+}  // namespace mcm
+
+#endif  // MCM_MTREE_PERSIST_H_

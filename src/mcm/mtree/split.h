@@ -1,0 +1,227 @@
+// Node-split machinery: promotion of two routing objects and distribution
+// of the entries between the two resulting nodes, per the policies of the
+// M-tree paper (VLDB'97, Section 3.2).
+//
+// The splitter works on an abstract view of the overflowing node: the entry
+// objects plus each entry's own covering radius (0 for leaf entries), so the
+// same code serves leaf and internal splits.
+
+#ifndef MCM_MTREE_SPLIT_H_
+#define MCM_MTREE_SPLIT_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "mcm/common/random.h"
+#include "mcm/mtree/options.h"
+
+namespace mcm {
+
+/// Outcome of a split: two promoted entries, the index groups assigned to
+/// each (promoted entries included in their own group), each group's
+/// covering radius, and each member's distance to its promoted object
+/// (which becomes the stored parent distance).
+struct SplitOutcome {
+  size_t promoted_first = 0;
+  size_t promoted_second = 0;
+  std::vector<size_t> first_group;
+  std::vector<size_t> second_group;
+  std::vector<double> first_distances;   ///< Aligned with first_group.
+  std::vector<double> second_distances;  ///< Aligned with second_group.
+  double first_radius = 0.0;
+  double second_radius = 0.0;
+};
+
+/// Splits a set of entries described by `objects` (borrowed pointers) and
+/// `radii` (covering radius of each entry's subtree; zeros for leaves).
+template <typename Object, typename Metric>
+class NodeSplitter {
+ public:
+  NodeSplitter(const std::vector<const Object*>& objects,
+               const std::vector<double>& radii, const Metric& metric)
+      : objects_(objects), radii_(radii), metric_(metric) {
+    if (objects.size() < 2) {
+      throw std::invalid_argument("NodeSplitter: need >= 2 entries");
+    }
+    if (objects.size() != radii.size()) {
+      throw std::invalid_argument("NodeSplitter: objects/radii mismatch");
+    }
+    const size_t n = objects.size();
+    matrix_.assign(n * n, -1.0);
+  }
+
+  /// Runs promotion + partition under the given policies.
+  SplitOutcome Split(PromotePolicy promote, PartitionPolicy partition,
+                     size_t promote_samples, RandomEngine& rng) {
+    const auto [p1, p2] = Promote(promote, partition, promote_samples, rng);
+    return Partition(p1, p2, partition);
+  }
+
+ private:
+  size_t Count() const { return objects_.size(); }
+
+  double Dist(size_t i, size_t j) {
+    if (i == j) return 0.0;
+    double& cell = matrix_[i * Count() + j];
+    if (cell < 0.0) {
+      cell = metric_(*objects_[i], *objects_[j]);
+      matrix_[j * Count() + i] = cell;
+    }
+    return cell;
+  }
+
+  std::pair<size_t, size_t> Promote(PromotePolicy promote,
+                                    PartitionPolicy partition,
+                                    size_t promote_samples,
+                                    RandomEngine& rng) {
+    const size_t n = Count();
+    switch (promote) {
+      case PromotePolicy::kRandom: {
+        const size_t a = UniformIndex(rng, n);
+        size_t b = UniformIndex(rng, n - 1);
+        if (b >= a) ++b;
+        return {a, b};
+      }
+      case PromotePolicy::kMaxLbDist: {
+        // Approximation of M_LB_DIST without stored parent distances: anchor
+        // on a random entry and promote the entry farthest from it.
+        const size_t a = UniformIndex(rng, n);
+        size_t best = a == 0 ? 1 : 0;
+        double best_d = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          if (i == a) continue;
+          const double d = Dist(a, i);
+          if (d > best_d) {
+            best_d = d;
+            best = i;
+          }
+        }
+        return {a, best};
+      }
+      case PromotePolicy::kSampling: {
+        return BestOfPairs(SamplePairs(promote_samples, rng), partition);
+      }
+      case PromotePolicy::kMMRad: {
+        std::vector<std::pair<size_t, size_t>> pairs;
+        pairs.reserve(n * (n - 1) / 2);
+        for (size_t i = 0; i < n; ++i) {
+          for (size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+        }
+        return BestOfPairs(pairs, partition);
+      }
+    }
+    throw std::invalid_argument("NodeSplitter: bad promote policy");
+  }
+
+  std::vector<std::pair<size_t, size_t>> SamplePairs(size_t samples,
+                                                     RandomEngine& rng) {
+    const size_t n = Count();
+    std::vector<std::pair<size_t, size_t>> pairs;
+    pairs.reserve(samples);
+    for (size_t s = 0; s < samples; ++s) {
+      const size_t a = UniformIndex(rng, n);
+      size_t b = UniformIndex(rng, n - 1);
+      if (b >= a) ++b;
+      pairs.emplace_back(std::min(a, b), std::max(a, b));
+    }
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    return pairs;
+  }
+
+  /// mM_RAD criterion: among candidate pairs, the one minimizing the larger
+  /// of the two covering radii after partitioning.
+  std::pair<size_t, size_t> BestOfPairs(
+      const std::vector<std::pair<size_t, size_t>>& pairs,
+      PartitionPolicy partition) {
+    if (pairs.empty()) {
+      throw std::logic_error("NodeSplitter: no candidate pairs");
+    }
+    std::pair<size_t, size_t> best = pairs.front();
+    double best_quality = std::numeric_limits<double>::infinity();
+    for (const auto& [a, b] : pairs) {
+      const SplitOutcome out = Partition(a, b, partition);
+      const double quality = std::max(out.first_radius, out.second_radius);
+      if (quality < best_quality) {
+        best_quality = quality;
+        best = {a, b};
+      }
+    }
+    return best;
+  }
+
+  SplitOutcome Partition(size_t p1, size_t p2, PartitionPolicy partition) {
+    const size_t n = Count();
+    std::vector<double> d1(n), d2(n);
+    for (size_t i = 0; i < n; ++i) {
+      d1[i] = Dist(p1, i);
+      d2[i] = Dist(p2, i);
+    }
+    SplitOutcome out;
+    out.promoted_first = p1;
+    out.promoted_second = p2;
+
+    std::vector<int> owner(n, -1);
+    owner[p1] = 0;
+    owner[p2] = 1;
+    if (partition == PartitionPolicy::kHyperplane) {
+      for (size_t i = 0; i < n; ++i) {
+        if (owner[i] < 0) owner[i] = d1[i] <= d2[i] ? 0 : 1;
+      }
+    } else {
+      // Balanced distribution: alternately give each promoted object its
+      // nearest unassigned entry.
+      std::vector<size_t> by_d1(n), by_d2(n);
+      std::iota(by_d1.begin(), by_d1.end(), 0);
+      by_d2 = by_d1;
+      std::sort(by_d1.begin(), by_d1.end(),
+                [&](size_t a, size_t b) { return d1[a] < d1[b]; });
+      std::sort(by_d2.begin(), by_d2.end(),
+                [&](size_t a, size_t b) { return d2[a] < d2[b]; });
+      size_t i1 = 0, i2 = 0, assigned = 2;
+      int turn = 0;
+      while (assigned < n) {
+        if (turn == 0) {
+          while (i1 < n && owner[by_d1[i1]] >= 0) ++i1;
+          if (i1 < n) {
+            owner[by_d1[i1]] = 0;
+            ++assigned;
+          }
+        } else {
+          while (i2 < n && owner[by_d2[i2]] >= 0) ++i2;
+          if (i2 < n) {
+            owner[by_d2[i2]] = 1;
+            ++assigned;
+          }
+        }
+        turn = 1 - turn;
+      }
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+      if (owner[i] == 0) {
+        out.first_group.push_back(i);
+        out.first_distances.push_back(d1[i]);
+        out.first_radius = std::max(out.first_radius, d1[i] + radii_[i]);
+      } else {
+        out.second_group.push_back(i);
+        out.second_distances.push_back(d2[i]);
+        out.second_radius = std::max(out.second_radius, d2[i] + radii_[i]);
+      }
+    }
+    return out;
+  }
+
+  const std::vector<const Object*>& objects_;
+  const std::vector<double>& radii_;
+  const Metric& metric_;
+  std::vector<double> matrix_;  ///< Lazy pairwise distance cache; -1 = unset.
+};
+
+}  // namespace mcm
+
+#endif  // MCM_MTREE_SPLIT_H_

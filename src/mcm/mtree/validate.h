@@ -1,0 +1,145 @@
+// Structural invariant checker for M-trees, used by the test suite.
+// Verifies, for the whole tree:
+//   * every object in the subtree of a routing entry lies within its
+//     covering radius (the defining M-tree property);
+//   * stored parent distances equal d(parent routing object, entry object);
+//   * every node's serialized size fits the configured node size;
+//   * all leaves are at the same depth (the tree is balanced);
+//   * the number of leaf entries equals tree.size().
+
+#ifndef MCM_MTREE_VALIDATE_H_
+#define MCM_MTREE_VALIDATE_H_
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mcm/mtree/mtree.h"
+
+namespace mcm {
+
+/// Validates all invariants; returns human-readable violations (empty when
+/// the tree is consistent). `epsilon` absorbs floating-point slack.
+template <typename Traits>
+std::vector<std::string> ValidateMTree(const MTree<Traits>& tree,
+                                       double epsilon = 1e-9) {
+  using Object = typename Traits::Object;
+  using Node = MTreeNode<Traits>;
+
+  std::vector<std::string> errors;
+  if (tree.root() == kInvalidNodeId) {
+    if (tree.size() != 0) {
+      errors.push_back("empty tree with nonzero size()");
+    }
+    return errors;
+  }
+
+  auto& store = tree.store();
+  const auto& metric = tree.metric();
+  size_t leaf_objects = 0;
+  int leaf_depth = -1;
+
+  // Returns the max distance from `center` to any object in `node`'s
+  // subtree, checking invariants along the way.
+  auto check = [&](auto&& self, NodeId id, const Object* parent,
+                   int depth) -> void {
+    const Node node = store.Read(id);
+    if (node.SerializedSize() > tree.options().node_size_bytes) {
+      std::ostringstream os;
+      os << "node " << id << " serialized size " << node.SerializedSize()
+         << " exceeds node size " << tree.options().node_size_bytes;
+      errors.push_back(os.str());
+    }
+    if (node.NumEntries() == 0) {
+      std::ostringstream os;
+      os << "node " << id << " is empty";
+      errors.push_back(os.str());
+    }
+    if (node.is_leaf) {
+      if (leaf_depth < 0) {
+        leaf_depth = depth;
+      } else if (leaf_depth != depth) {
+        std::ostringstream os;
+        os << "leaf " << id << " at depth " << depth
+           << " but earlier leaves at depth " << leaf_depth;
+        errors.push_back(os.str());
+      }
+      leaf_objects += node.leaf_entries.size();
+      for (const auto& e : node.leaf_entries) {
+        if (parent != nullptr) {
+          const double d = metric(*parent, e.object);
+          if (std::fabs(d - e.parent_distance) > epsilon) {
+            std::ostringstream os;
+            os << "leaf " << id << " oid " << e.oid
+               << ": stored parent distance " << e.parent_distance
+               << " != actual " << d;
+            errors.push_back(os.str());
+          }
+        }
+      }
+    } else {
+      for (const auto& e : node.routing_entries) {
+        if (parent != nullptr) {
+          const double d = metric(*parent, e.object);
+          if (std::fabs(d - e.parent_distance) > epsilon) {
+            std::ostringstream os;
+            os << "node " << id << ": stored parent distance "
+               << e.parent_distance << " != actual " << d;
+            errors.push_back(os.str());
+          }
+        }
+        if (e.covering_radius < 0.0) {
+          std::ostringstream os;
+          os << "node " << id << ": negative covering radius";
+          errors.push_back(os.str());
+        }
+        self(self, e.child, &e.object, depth + 1);
+      }
+    }
+  };
+  check(check, tree.root(), nullptr, 0);
+
+  if (leaf_objects != tree.size()) {
+    std::ostringstream os;
+    os << "tree.size() = " << tree.size() << " but leaves hold "
+       << leaf_objects << " objects";
+    errors.push_back(os.str());
+  }
+
+  // Covering-radius containment: check every object against the routing
+  // entries on its root-to-leaf path.
+  auto contain = [&](auto&& self, NodeId id,
+                     std::vector<std::pair<const Object*, double>> balls)
+      -> void {
+    const Node node = store.Read(id);
+    if (node.is_leaf) {
+      for (const auto& e : node.leaf_entries) {
+        for (const auto& [center, radius] : balls) {
+          const double d = metric(*center, e.object);
+          if (d > radius + epsilon) {
+            std::ostringstream os;
+            os << "object oid " << e.oid << " at distance " << d
+               << " outside covering radius " << radius;
+            errors.push_back(os.str());
+          }
+        }
+      }
+    } else {
+      for (const auto& e : node.routing_entries) {
+        auto next = balls;
+        next.emplace_back(&e.object, e.covering_radius);
+        self(self, e.child, next);
+        // `next` holds pointers into the local `node` copy, which stays
+        // alive for the duration of this recursive call.
+      }
+    }
+  };
+  contain(contain, tree.root(), {});
+
+  return errors;
+}
+
+}  // namespace mcm
+
+#endif  // MCM_MTREE_VALIDATE_H_

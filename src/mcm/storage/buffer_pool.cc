@@ -1,0 +1,166 @@
+#include "mcm/storage/buffer_pool.h"
+
+#include <stdexcept>
+
+namespace mcm {
+
+PageGuard::PageGuard(BufferPool* pool, PageId id, uint8_t* data)
+    : pool_(pool), id_(id), data_(data) {}
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_), id_(other.id_), data_(other.data_) {
+  other.pool_ = nullptr;
+  other.data_ = nullptr;
+  other.id_ = kInvalidPageId;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+    other.id_ = kInvalidPageId;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { Release(); }
+
+void PageGuard::MarkDirty() {
+  if (pool_ != nullptr) {
+    pool_->MarkDirty(id_);
+  }
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    id_ = kInvalidPageId;
+  }
+}
+
+BufferPool::BufferPool(PageFile* file, size_t capacity)
+    : file_(file), capacity_(capacity) {
+  if (file == nullptr) {
+    throw std::invalid_argument("BufferPool: null page file");
+  }
+  if (capacity == 0) {
+    throw std::invalid_argument("BufferPool: capacity must be > 0");
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best effort write-back; errors in destructors cannot be reported.
+  try {
+    FlushAll();
+  } catch (...) {
+  }
+}
+
+PageGuard BufferPool::Fetch(PageId id) {
+  ++stats_.fetches;
+  Frame& frame = LoadFrame(id, /*read_from_file=*/true);
+  return PageGuard(this, id, frame.data.data());
+}
+
+PageGuard BufferPool::NewPage() {
+  const PageId id = file_->Allocate();
+  ++stats_.fetches;
+  Frame& frame = LoadFrame(id, /*read_from_file=*/false);
+  frame.dirty = true;
+  return PageGuard(this, id, frame.data.data());
+}
+
+BufferPool::Frame& BufferPool::LoadFrame(PageId id, bool read_from_file) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    Frame& frame = it->second;
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return frame;
+  }
+  ++stats_.misses;
+  EvictOneIfFull();
+  Frame& frame = frames_[id];
+  frame.data.assign(file_->page_size(), 0);
+  if (read_from_file) {
+    file_->Read(id, frame.data.data());
+  }
+  frame.pin_count = 1;
+  return frame;
+}
+
+void BufferPool::EvictOneIfFull() {
+  if (frames_.size() < capacity_) {
+    return;
+  }
+  if (lru_.empty()) {
+    throw std::runtime_error("BufferPool: all frames pinned, cannot evict");
+  }
+  const PageId victim = lru_.back();
+  lru_.pop_back();
+  auto it = frames_.find(victim);
+  FlushFrame(victim, it->second);
+  frames_.erase(it);
+  ++stats_.evictions;
+}
+
+void BufferPool::Unpin(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end() || it->second.pin_count == 0) {
+    throw std::logic_error("BufferPool: unpin of unpinned page");
+  }
+  Frame& frame = it->second;
+  if (--frame.pin_count == 0) {
+    lru_.push_front(id);
+    frame.lru_pos = lru_.begin();
+    frame.in_lru = true;
+  }
+}
+
+void BufferPool::MarkDirty(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    throw std::logic_error("BufferPool: MarkDirty of absent page");
+  }
+  it->second.dirty = true;
+}
+
+void BufferPool::FlushFrame(PageId id, Frame& frame) {
+  if (frame.dirty) {
+    file_->Write(id, frame.data.data());
+    frame.dirty = false;
+    ++stats_.flushes;
+  }
+}
+
+void BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    FlushFrame(id, frame);
+  }
+}
+
+void BufferPool::EvictAll() {
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->second.pin_count == 0) {
+      FlushFrame(it->first, it->second);
+      if (it->second.in_lru) {
+        lru_.erase(it->second.lru_pos);
+      }
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace mcm

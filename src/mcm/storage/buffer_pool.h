@@ -1,0 +1,112 @@
+// LRU buffer pool over a PageFile. Index node stores fetch their pages
+// through the pool; logical fetches are what the paper counts as I/O cost,
+// while pool misses correspond to physical reads.
+
+#ifndef MCM_STORAGE_BUFFER_POOL_H_
+#define MCM_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "mcm/storage/page_file.h"
+
+namespace mcm {
+
+/// Buffer pool counters.
+struct BufferPoolStats {
+  uint64_t fetches = 0;    ///< Logical page requests.
+  uint64_t hits = 0;       ///< Requests served from the pool.
+  uint64_t misses = 0;     ///< Requests that read from the PageFile.
+  uint64_t evictions = 0;  ///< Frames evicted to make room.
+  uint64_t flushes = 0;    ///< Dirty pages written back.
+};
+
+class BufferPool;
+
+/// RAII pin on a buffered page. The frame cannot be evicted while at least
+/// one PageGuard references it. Call MarkDirty() after mutating data().
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, PageId id, uint8_t* data);
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard();
+
+  /// Mutable page bytes (page_size() of them). Valid while the guard lives.
+  uint8_t* data() const { return data_; }
+  PageId id() const { return id_; }
+  bool valid() const { return pool_ != nullptr; }
+
+  /// Flags the page so it is written back before eviction.
+  void MarkDirty();
+
+  /// Releases the pin early.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  uint8_t* data_ = nullptr;
+};
+
+/// Fixed-capacity LRU page cache with pin counts and dirty write-back.
+class BufferPool {
+ public:
+  /// Creates a pool of `capacity` frames over `file` (not owned).
+  BufferPool(PageFile* file, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches page `id`, pinning it in the pool.
+  PageGuard Fetch(PageId id);
+
+  /// Allocates a fresh page and returns it pinned and zeroed.
+  PageGuard NewPage();
+
+  /// Writes back all dirty pages (pinned ones included).
+  void FlushAll();
+
+  /// Drops all unpinned frames (after flushing them); used by tests to force
+  /// cold reads.
+  void EvictAll();
+
+  size_t capacity() const { return capacity_; }
+  size_t num_buffered() const { return frames_.size(); }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+  PageFile* file() const { return file_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    std::vector<uint8_t> data;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    std::list<PageId>::iterator lru_pos;  // Valid only when pin_count == 0.
+    bool in_lru = false;
+  };
+
+  void Unpin(PageId id);
+  void MarkDirty(PageId id);
+  Frame& LoadFrame(PageId id, bool read_from_file);
+  void EvictOneIfFull();
+  void FlushFrame(PageId id, Frame& frame);
+
+  PageFile* file_;
+  size_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // Front = most recently used; only unpinned pages.
+  BufferPoolStats stats_;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_STORAGE_BUFFER_POOL_H_

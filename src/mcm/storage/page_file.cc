@@ -1,0 +1,122 @@
+#include "mcm/storage/page_file.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace mcm {
+
+PageFile::PageFile(size_t page_size) : page_size_(page_size) {
+  if (page_size == 0) {
+    throw std::invalid_argument("PageFile: page size must be > 0");
+  }
+}
+
+PageId PageFile::Allocate() {
+  ++stats_.allocations;
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    return id;
+  }
+  const PageId id = static_cast<PageId>(num_pages_);
+  ++num_pages_;
+  DoExtend(num_pages_);
+  return id;
+}
+
+void PageFile::Free(PageId id) {
+  CheckId(id);
+  free_list_.push_back(id);
+}
+
+void PageFile::Read(PageId id, uint8_t* out) {
+  CheckId(id);
+  ++stats_.reads;
+  DoRead(id, out);
+}
+
+void PageFile::Write(PageId id, const uint8_t* data) {
+  CheckId(id);
+  ++stats_.writes;
+  DoWrite(id, data);
+}
+
+void PageFile::CheckId(PageId id) const {
+  if (id >= num_pages_) {
+    throw std::out_of_range("PageFile: page id out of range");
+  }
+}
+
+InMemoryPageFile::InMemoryPageFile(size_t page_size) : PageFile(page_size) {}
+
+void InMemoryPageFile::DoRead(PageId id, uint8_t* out) {
+  std::memcpy(out, data_.data() + static_cast<size_t>(id) * page_size_,
+              page_size_);
+}
+
+void InMemoryPageFile::DoWrite(PageId id, const uint8_t* data) {
+  std::memcpy(data_.data() + static_cast<size_t>(id) * page_size_, data,
+              page_size_);
+}
+
+void InMemoryPageFile::DoExtend(size_t new_num_pages) {
+  data_.resize(new_num_pages * page_size_, 0);
+}
+
+StdioPageFile::StdioPageFile(const std::string& path, size_t page_size,
+                             Mode mode)
+    : PageFile(page_size) {
+  file_ = std::fopen(path.c_str(),
+                     mode == Mode::kCreate ? "wb+" : "rb+");
+  if (file_ == nullptr) {
+    throw std::runtime_error("StdioPageFile: cannot open " + path);
+  }
+  if (mode == Mode::kOpenExisting) {
+    if (std::fseek(file_, 0, SEEK_END) != 0) {
+      throw std::runtime_error("StdioPageFile: cannot size " + path);
+    }
+    const long bytes = std::ftell(file_);
+    if (bytes < 0 || static_cast<size_t>(bytes) % page_size != 0) {
+      throw std::runtime_error(
+          "StdioPageFile: file size is not a multiple of the page size");
+    }
+    num_pages_ = static_cast<size_t>(bytes) / page_size;
+  }
+}
+
+StdioPageFile::~StdioPageFile() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void StdioPageFile::DoRead(PageId id, uint8_t* out) {
+  if (std::fseek(file_, static_cast<long>(static_cast<size_t>(id) *
+                                          page_size_),
+                 SEEK_SET) != 0 ||
+      std::fread(out, 1, page_size_, file_) != page_size_) {
+    throw std::runtime_error("StdioPageFile: read failed");
+  }
+}
+
+void StdioPageFile::DoWrite(PageId id, const uint8_t* data) {
+  if (std::fseek(file_, static_cast<long>(static_cast<size_t>(id) *
+                                          page_size_),
+                 SEEK_SET) != 0 ||
+      std::fwrite(data, 1, page_size_, file_) != page_size_) {
+    throw std::runtime_error("StdioPageFile: write failed");
+  }
+}
+
+void StdioPageFile::DoExtend(size_t new_num_pages) {
+  // Extend the file with a zero page at the end so reads of fresh pages
+  // succeed.
+  std::vector<uint8_t> zeros(page_size_, 0);
+  if (std::fseek(file_, static_cast<long>((new_num_pages - 1) * page_size_),
+                 SEEK_SET) != 0 ||
+      std::fwrite(zeros.data(), 1, page_size_, file_) != page_size_) {
+    throw std::runtime_error("StdioPageFile: extend failed");
+  }
+}
+
+}  // namespace mcm

@@ -1,0 +1,116 @@
+// Disk-page substrate. An M-tree node occupies exactly one fixed-size page;
+// the paper's I/O cost is the number of page (node) reads. PageFile is the
+// raw store; BufferPool (buffer_pool.h) adds caching on top.
+
+#ifndef MCM_STORAGE_PAGE_FILE_H_
+#define MCM_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mcm {
+
+/// Identifier of a page within a PageFile.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
+
+/// Physical I/O counters of a PageFile.
+struct PageFileStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocations = 0;
+};
+
+/// Abstract store of fixed-size pages.
+///
+/// Implementations must support random reads and writes of whole pages.
+/// Freed pages are recycled by subsequent allocations.
+class PageFile {
+ public:
+  explicit PageFile(size_t page_size);
+  virtual ~PageFile() = default;
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Allocates a new (zeroed) page and returns its id.
+  PageId Allocate();
+
+  /// Returns a previously allocated page to the free list.
+  void Free(PageId id);
+
+  /// Reads page `id` into `out` (must hold page_size() bytes).
+  void Read(PageId id, uint8_t* out);
+
+  /// Writes page_size() bytes from `data` to page `id`.
+  void Write(PageId id, const uint8_t* data);
+
+  size_t page_size() const { return page_size_; }
+
+  /// Number of pages ever allocated (including freed ones).
+  size_t num_pages() const { return num_pages_; }
+
+  const PageFileStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PageFileStats(); }
+
+ protected:
+  virtual void DoRead(PageId id, uint8_t* out) = 0;
+  virtual void DoWrite(PageId id, const uint8_t* data) = 0;
+  virtual void DoExtend(size_t new_num_pages) = 0;
+
+  void CheckId(PageId id) const;
+
+  size_t page_size_;
+  size_t num_pages_ = 0;
+  std::vector<PageId> free_list_;
+  PageFileStats stats_;
+};
+
+/// Page store backed by heap memory. This is the default store for
+/// experiments: node accesses are still counted logically through the
+/// buffer pool, without paying real disk latency.
+class InMemoryPageFile : public PageFile {
+ public:
+  explicit InMemoryPageFile(size_t page_size);
+
+ protected:
+  void DoRead(PageId id, uint8_t* out) override;
+  void DoWrite(PageId id, const uint8_t* data) override;
+  void DoExtend(size_t new_num_pages) override;
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+/// Page store backed by a real file (stdio, buffered). Demonstrates that the
+/// index is genuinely disk-resident; used by the persistence layer.
+class StdioPageFile : public PageFile {
+ public:
+  enum class Mode {
+    kCreate,        ///< Create or truncate the file.
+    kOpenExisting,  ///< Open a previously written page file; the page count
+                    ///< is recovered from the file size.
+  };
+
+  /// Opens `path` as a page file in the given mode.
+  StdioPageFile(const std::string& path, size_t page_size,
+                Mode mode = Mode::kCreate);
+  ~StdioPageFile() override;
+
+ protected:
+  void DoRead(PageId id, uint8_t* out) override;
+  void DoWrite(PageId id, const uint8_t* data) override;
+  void DoExtend(size_t new_num_pages) override;
+
+ private:
+  std::FILE* file_;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_STORAGE_PAGE_FILE_H_

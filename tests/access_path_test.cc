@@ -1,0 +1,89 @@
+#include "mcm/cost/access_path.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mcm/cost/nmcm.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/distribution/estimator.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/bulk_load.h"
+
+namespace mcm {
+namespace {
+
+using VecTraits = VectorTraits<LInfDistance>;
+
+TEST(SequentialScanMs, Formula) {
+  DiskCostParameters params;  // 5 ms/dist, 10 ms pos, 1 ms/KB.
+  SequentialScanProfile profile;
+  profile.num_objects = 100;
+  profile.data_bytes = 2048;
+  EXPECT_DOUBLE_EQ(SequentialScanMs(params, profile), 500.0 + 10.0 + 2.0);
+}
+
+TEST(ChooseAccessPath, SelectiveQueryPrefersIndex) {
+  DiskCostParameters params;
+  SequentialScanProfile profile;
+  profile.num_objects = 10000;
+  profile.data_bytes = 10000 * 64;
+  // Index touches a sliver of the data.
+  const auto d = ChooseAccessPath(params, 200.0, 20.0, 4096, profile);
+  EXPECT_EQ(d.choice, AccessPath::kIndexScan);
+  EXPECT_LT(d.index_ms, d.sequential_ms);
+}
+
+TEST(ChooseAccessPath, NonSelectiveQueryPrefersSequentialScan) {
+  DiskCostParameters params;
+  SequentialScanProfile profile;
+  profile.num_objects = 10000;
+  profile.data_bytes = 10000 * 64;
+  // Index would compute nearly every distance AND pay random I/O.
+  const auto d = ChooseAccessPath(params, 10000.0, 500.0, 4096, profile);
+  EXPECT_EQ(d.choice, AccessPath::kSequentialScan);
+  EXPECT_GT(d.index_ms, d.sequential_ms);
+}
+
+TEST(ChooseAccessPath, TieGoesToIndex) {
+  DiskCostParameters free;
+  free.cpu_ms_per_distance = 0.0;
+  free.position_ms = 0.0;
+  free.transfer_ms_per_kb = 0.0;
+  const auto d = ChooseAccessPath(free, 1.0, 1.0, 4096, {});
+  EXPECT_EQ(d.choice, AccessPath::kIndexScan);
+  EXPECT_DOUBLE_EQ(d.index_ms, d.sequential_ms);
+}
+
+TEST(ChooseAccessPath, CrossoverMovesWithRadius) {
+  // End to end: with the paper's coefficients (CPU-dominant), the index
+  // wins at small radii and the crossover appears as the radius grows.
+  const size_t n = 5000, dim = 10;
+  const auto data = GenerateClustered(n, dim, 331);
+  MTreeOptions options;
+  auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
+  EstimatorOptions eo;
+  eo.num_bins = 100;
+  const auto hist = EstimateDistanceDistribution(data, LInfDistance{}, eo);
+  const NodeBasedCostModel model(hist, tree.CollectStats(1.0));
+
+  DiskCostParameters params;
+  SequentialScanProfile profile;
+  profile.num_objects = n;
+  profile.data_bytes =
+      n * MTreeNode<VecTraits>::LeafEntrySize(FloatVector(dim, 0.0f));
+
+  const auto small = ChooseAccessPath(params, model.RangeDistances(0.02),
+                                      model.RangeNodes(0.02),
+                                      options.node_size_bytes, profile);
+  EXPECT_EQ(small.choice, AccessPath::kIndexScan);
+  // At full radius the index degenerates to scanning everything through
+  // random reads: sequential must win.
+  const auto full = ChooseAccessPath(params, model.RangeDistances(1.0),
+                                     model.RangeNodes(1.0),
+                                     options.node_size_bytes, profile);
+  EXPECT_EQ(full.choice, AccessPath::kSequentialScan);
+}
+
+}  // namespace
+}  // namespace mcm

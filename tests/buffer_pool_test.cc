@@ -1,0 +1,148 @@
+#include "mcm/storage/buffer_pool.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(BufferPool, FetchHitAvoidsPhysicalRead) {
+  InMemoryPageFile file(32);
+  BufferPool pool(&file, 4);
+  const PageId id = file.Allocate();
+  { PageGuard g = pool.Fetch(id); }
+  { PageGuard g = pool.Fetch(id); }
+  EXPECT_EQ(pool.stats().fetches, 2u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(file.stats().reads, 1u);
+}
+
+TEST(BufferPool, DirtyPageWrittenBackOnEviction) {
+  InMemoryPageFile file(32);
+  BufferPool pool(&file, 1);
+  const PageId a = file.Allocate();
+  const PageId b = file.Allocate();
+  {
+    PageGuard g = pool.Fetch(a);
+    g.data()[0] = 42;
+    g.MarkDirty();
+  }
+  { PageGuard g = pool.Fetch(b); }  // Evicts a, flushing it.
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_EQ(pool.stats().flushes, 1u);
+  std::vector<uint8_t> buf(32, 0);
+  file.Read(a, buf.data());
+  EXPECT_EQ(buf[0], 42u);
+}
+
+TEST(BufferPool, CleanEvictionSkipsWriteBack) {
+  InMemoryPageFile file(32);
+  BufferPool pool(&file, 1);
+  const PageId a = file.Allocate();
+  const PageId b = file.Allocate();
+  { PageGuard g = pool.Fetch(a); }
+  const uint64_t writes_before = file.stats().writes;
+  { PageGuard g = pool.Fetch(b); }
+  EXPECT_EQ(file.stats().writes, writes_before);
+}
+
+TEST(BufferPool, LruEvictsLeastRecentlyUsed) {
+  InMemoryPageFile file(32);
+  BufferPool pool(&file, 2);
+  const PageId a = file.Allocate();
+  const PageId b = file.Allocate();
+  const PageId c = file.Allocate();
+  { PageGuard g = pool.Fetch(a); }
+  { PageGuard g = pool.Fetch(b); }
+  { PageGuard g = pool.Fetch(a); }  // a is now more recent than b.
+  { PageGuard g = pool.Fetch(c); }  // Should evict b.
+  pool.ResetStats();
+  { PageGuard g = pool.Fetch(a); }
+  EXPECT_EQ(pool.stats().hits, 1u);  // a still buffered.
+  pool.ResetStats();
+  { PageGuard g = pool.Fetch(b); }
+  EXPECT_EQ(pool.stats().misses, 1u);  // b was evicted.
+}
+
+TEST(BufferPool, PinnedPagesCannotBeEvicted) {
+  InMemoryPageFile file(32);
+  BufferPool pool(&file, 1);
+  const PageId a = file.Allocate();
+  const PageId b = file.Allocate();
+  PageGuard pinned = pool.Fetch(a);
+  EXPECT_THROW(pool.Fetch(b), std::runtime_error);
+  pinned.Release();
+  EXPECT_NO_THROW(pool.Fetch(b));
+}
+
+TEST(BufferPool, NewPageIsPinnedZeroedAndDirty) {
+  InMemoryPageFile file(16);
+  BufferPool pool(&file, 2);
+  PageGuard g = pool.NewPage();
+  const PageId id = g.id();
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(g.data()[i], 0u);
+  }
+  g.data()[3] = 9;
+  g.Release();
+  pool.FlushAll();
+  std::vector<uint8_t> buf(16, 0);
+  file.Read(id, buf.data());
+  EXPECT_EQ(buf[3], 9u);
+}
+
+TEST(BufferPool, GuardMoveTransfersPin) {
+  InMemoryPageFile file(16);
+  BufferPool pool(&file, 2);
+  const PageId a = file.Allocate();
+  PageGuard g1 = pool.Fetch(a);
+  PageGuard g2 = std::move(g1);
+  EXPECT_FALSE(g1.valid());
+  EXPECT_TRUE(g2.valid());
+  g2.Release();
+  // Pin fully released: page evictable again.
+  const PageId b = file.Allocate();
+  BufferPool tight(&file, 1);
+  { PageGuard g = tight.Fetch(a); }
+  EXPECT_NO_THROW(tight.Fetch(b));
+}
+
+TEST(BufferPool, EvictAllFlushesAndDrops) {
+  InMemoryPageFile file(16);
+  BufferPool pool(&file, 4);
+  const PageId a = file.Allocate();
+  {
+    PageGuard g = pool.Fetch(a);
+    g.data()[0] = 5;
+    g.MarkDirty();
+  }
+  pool.EvictAll();
+  EXPECT_EQ(pool.num_buffered(), 0u);
+  std::vector<uint8_t> buf(16, 0);
+  file.Read(a, buf.data());
+  EXPECT_EQ(buf[0], 5u);
+  pool.ResetStats();
+  { PageGuard g = pool.Fetch(a); }
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST(BufferPool, RejectsBadConstruction) {
+  InMemoryPageFile file(16);
+  EXPECT_THROW(BufferPool(nullptr, 4), std::invalid_argument);
+  EXPECT_THROW(BufferPool(&file, 0), std::invalid_argument);
+}
+
+TEST(BufferPool, DoubleUnpinDetected) {
+  InMemoryPageFile file(16);
+  BufferPool pool(&file, 2);
+  const PageId a = file.Allocate();
+  PageGuard g = pool.Fetch(a);
+  g.Release();
+  EXPECT_FALSE(g.valid());
+  g.Release();  // Second release on an invalid guard is a no-op.
+}
+
+}  // namespace
+}  // namespace mcm

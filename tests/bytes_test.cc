@@ -1,0 +1,71 @@
+#include "mcm/metric/bytes.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(ByteStream, PrimitiveRoundTrip) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  w.Put<uint32_t>(0xdeadbeef);
+  w.Put<double>(3.25);
+  w.Put<uint8_t>(7);
+  ByteReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.Get<uint32_t>(), 0xdeadbeefu);
+  EXPECT_DOUBLE_EQ(r.Get<double>(), 3.25);
+  EXPECT_EQ(r.Get<uint8_t>(), 7u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteStream, StringRoundTrip) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  w.PutString("ciao mondo");
+  w.PutString("");
+  ByteReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.GetString(), "ciao mondo");
+  EXPECT_EQ(r.GetString(), "");
+}
+
+TEST(ByteStream, RawBytesRoundTrip) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  const float values[3] = {1.0f, 2.0f, 3.0f};
+  w.PutBytes(values, sizeof(values));
+  ByteReader r(buf.data(), buf.size());
+  float out[3];
+  r.GetBytes(out, sizeof(out));
+  EXPECT_EQ(out[0], 1.0f);
+  EXPECT_EQ(out[2], 3.0f);
+}
+
+TEST(ByteReader, OverrunThrows) {
+  std::vector<uint8_t> buf = {1, 2};
+  ByteReader r(buf.data(), buf.size());
+  EXPECT_THROW(r.Get<uint64_t>(), std::out_of_range);
+  EXPECT_EQ(r.Get<uint16_t>(), 0x0201u);
+  EXPECT_THROW(r.Get<uint8_t>(), std::out_of_range);
+}
+
+TEST(ByteReader, StringOverrunThrows) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  w.Put<uint32_t>(100);  // Claims 100 bytes follow; none do.
+  ByteReader r(buf.data(), buf.size());
+  EXPECT_THROW(r.GetString(), std::out_of_range);
+}
+
+TEST(ByteWriter, AppendsToExistingBuffer) {
+  std::vector<uint8_t> buf = {0xff};
+  ByteWriter w(&buf);
+  w.Put<uint8_t>(1);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0xffu);
+  EXPECT_EQ(buf[1], 1u);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,42 @@
+#include "mcm/common/env.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(GetEnvInt, UnsetReturnsDefault) {
+  unsetenv("MCM_TEST_UNSET_VAR");
+  EXPECT_EQ(GetEnvInt("MCM_TEST_UNSET_VAR", 42), 42);
+}
+
+TEST(GetEnvInt, ParsesValue) {
+  setenv("MCM_TEST_INT", "12345", 1);
+  EXPECT_EQ(GetEnvInt("MCM_TEST_INT", 0), 12345);
+  setenv("MCM_TEST_INT", "-7", 1);
+  EXPECT_EQ(GetEnvInt("MCM_TEST_INT", 0), -7);
+  unsetenv("MCM_TEST_INT");
+}
+
+TEST(GetEnvInt, GarbageFallsBackToDefault) {
+  setenv("MCM_TEST_INT", "12abc", 1);
+  EXPECT_EQ(GetEnvInt("MCM_TEST_INT", 9), 9);
+  setenv("MCM_TEST_INT", "", 1);
+  EXPECT_EQ(GetEnvInt("MCM_TEST_INT", 9), 9);
+  unsetenv("MCM_TEST_INT");
+}
+
+TEST(GetEnvDouble, ParsesAndDefaults) {
+  unsetenv("MCM_TEST_DBL");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("MCM_TEST_DBL", 1.5), 1.5);
+  setenv("MCM_TEST_DBL", "0.25", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("MCM_TEST_DBL", 1.5), 0.25);
+  setenv("MCM_TEST_DBL", "x", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("MCM_TEST_DBL", 1.5), 1.5);
+  unsetenv("MCM_TEST_DBL");
+}
+
+}  // namespace
+}  // namespace mcm

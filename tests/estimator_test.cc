@@ -1,0 +1,81 @@
+#include "mcm/distribution/estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/metric/counted_metric.h"
+#include "mcm/metric/vector_metrics.h"
+
+namespace mcm {
+namespace {
+
+TEST(EstimateDistanceDistribution, AllPairsWhenBudgetAllows) {
+  const auto points = GenerateUniform(40, 2, 1);
+  CountedMetric<LInfDistance> metric;
+  EstimatorOptions options;
+  options.max_pairs = 10000;  // 40*39/2 = 780 <= budget.
+  const auto h = EstimateDistanceDistribution(points, metric, options);
+  EXPECT_EQ(metric.count(), 780u);
+  EXPECT_EQ(h.num_samples(), 780u);
+}
+
+TEST(EstimateDistanceDistribution, SamplesWhenPairsExceedBudget) {
+  const auto points = GenerateUniform(200, 2, 1);
+  CountedMetric<LInfDistance> metric;
+  EstimatorOptions options;
+  options.max_pairs = 500;  // 200*199/2 >> 500.
+  const auto h = EstimateDistanceDistribution(points, metric, options);
+  EXPECT_EQ(metric.count(), 500u);
+  EXPECT_EQ(h.num_samples(), 500u);
+}
+
+TEST(EstimateDistanceDistribution, MatchesClosedFormUniform1D) {
+  // For X, Y ~ U[0,1], |X - Y| has CDF F(x) = 2x - x^2.
+  const auto points = GenerateUniform(2000, 1, 3);
+  EstimatorOptions options;
+  options.num_bins = 50;
+  options.d_plus = 1.0;
+  options.max_pairs = 400000;
+  const auto h = EstimateDistanceDistribution(points, LInfDistance{}, options);
+  for (double x = 0.1; x < 1.0; x += 0.1) {
+    EXPECT_NEAR(h.Cdf(x), 2 * x - x * x, 0.02) << "x=" << x;
+  }
+}
+
+TEST(EstimateDistanceDistribution, DeterministicSampling) {
+  const auto points = GenerateUniform(300, 3, 5);
+  EstimatorOptions options;
+  options.max_pairs = 1000;
+  options.seed = 77;
+  const auto a = EstimateDistanceDistribution(points, LInfDistance{}, options);
+  const auto b = EstimateDistanceDistribution(points, LInfDistance{}, options);
+  EXPECT_EQ(a.masses(), b.masses());
+}
+
+TEST(EstimateDistanceDistribution, RequiresTwoObjects) {
+  const std::vector<FloatVector> one = {{0.5f}};
+  EXPECT_THROW(
+      EstimateDistanceDistribution(one, LInfDistance{}, EstimatorOptions{}),
+      std::invalid_argument);
+}
+
+TEST(EstimateDistanceDistribution, ClusteredHasBimodalShape) {
+  // Clustered data: noticeable mass at small distances (same cluster) and a
+  // gap before the inter-cluster mode.
+  ClusteredSpec spec;
+  spec.num_clusters = 4;
+  spec.sigma = 0.02;
+  const auto points = GenerateClustered(400, 8, 9, spec);
+  EstimatorOptions options;
+  options.num_bins = 100;
+  const auto h = EstimateDistanceDistribution(points, LInfDistance{}, options);
+  const double near = h.Cdf(0.1);
+  EXPECT_GT(near, 0.1);   // ~1/4 of pairs share a cluster.
+  EXPECT_LT(near, 0.5);
+  EXPECT_GT(h.Cdf(0.95), 0.9);
+}
+
+}  // namespace
+}  // namespace mcm

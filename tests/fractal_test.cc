@@ -1,0 +1,120 @@
+// Correlation-dimension tests (future work #5): the fit recovers the
+// embedding dimension of uniform data, the smoothed CDF joins the
+// histogram continuously, and power-law quantiles resolve probabilities
+// far below one histogram bin.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/distribution/estimator.h"
+#include "mcm/distribution/fractal.h"
+#include "mcm/metric/vector_metrics.h"
+
+namespace mcm {
+namespace {
+
+DistanceHistogram PowerLawHistogram(double dimension, size_t bins = 200) {
+  // F(r) = r^dimension on [0, 1].
+  std::vector<double> masses(bins);
+  for (size_t b = 0; b < bins; ++b) {
+    const double hi = static_cast<double>(b + 1) / static_cast<double>(bins);
+    const double lo = static_cast<double>(b) / static_cast<double>(bins);
+    masses[b] = std::pow(hi, dimension) - std::pow(lo, dimension);
+  }
+  return DistanceHistogram::FromMasses(masses, 1.0);
+}
+
+TEST(EstimateCorrelationDimension, RecoversExactPowerLaw) {
+  for (double d : {1.0, 2.0, 3.5}) {
+    const auto h = PowerLawHistogram(d);
+    const auto fit = EstimateCorrelationDimension(h);
+    EXPECT_NEAR(fit.dimension, d, 0.05 * d) << "d=" << d;
+    EXPECT_GT(fit.points_used, 2u);
+    EXPECT_LT(fit.r_lo, fit.r_hi);
+  }
+}
+
+TEST(EstimateCorrelationDimension, UniformDataMatchesEmbeddingDimension) {
+  // For uniform [0,1]^D under L-inf, F(r) ~ (2r)^D at small r, so the
+  // correlation dimension equals D.
+  for (size_t dim : {2u, 4u}) {
+    const auto data = GenerateUniform(4000, dim, 307);
+    EstimatorOptions eo;
+    eo.num_bins = 200;
+    eo.max_pairs = 2000000;
+    const auto h = EstimateDistanceDistribution(data, LInfDistance{}, eo);
+    const auto fit = EstimateCorrelationDimension(h, 0.001, 0.2);
+    EXPECT_NEAR(fit.dimension, static_cast<double>(dim),
+                0.35 * static_cast<double>(dim))
+        << "dim=" << dim;
+  }
+}
+
+TEST(EstimateCorrelationDimension, ClusteredDataHasLowerDimension) {
+  // Tight clusters make the small-radius growth much flatter than the
+  // embedding dimension.
+  const size_t dim = 10;
+  const auto clustered = GenerateClustered(4000, dim, 311);
+  EstimatorOptions eo;
+  eo.num_bins = 200;
+  eo.max_pairs = 2000000;
+  const auto h = EstimateDistanceDistribution(clustered, LInfDistance{}, eo);
+  const auto fit = EstimateCorrelationDimension(h, 0.001, 0.2);
+  EXPECT_LT(fit.dimension, static_cast<double>(dim));
+  EXPECT_GT(fit.dimension, 0.5);
+}
+
+TEST(EstimateCorrelationDimension, Validation) {
+  const auto h = PowerLawHistogram(2.0);
+  EXPECT_THROW(EstimateCorrelationDimension(h, 0.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(EstimateCorrelationDimension(h, 0.5, 0.2),
+               std::invalid_argument);
+  // Window so narrow no bin falls inside it.
+  EXPECT_THROW(EstimateCorrelationDimension(h, 1e-9, 2e-9),
+               std::runtime_error);
+}
+
+TEST(FractalSmoothedCdf, JoinsHistogramContinuously) {
+  const auto h = PowerLawHistogram(3.0);
+  const auto fit = EstimateCorrelationDimension(h);
+  const FractalSmoothedCdf smoothed(h, fit);
+  EXPECT_NEAR(smoothed.Cdf(fit.r_lo), h.Cdf(fit.r_lo), 1e-9);
+  EXPECT_NEAR(smoothed.Cdf(fit.r_lo * 0.999), h.Cdf(fit.r_lo), 0.01);
+  // Above the crossover the histogram rules.
+  EXPECT_DOUBLE_EQ(smoothed.Cdf(0.9), h.Cdf(0.9));
+  EXPECT_DOUBLE_EQ(smoothed.Cdf(0.0), 0.0);
+}
+
+TEST(FractalSmoothedCdf, ResolvesSubBinQuantiles) {
+  // Exact power law F = r^3: the histogram's first bin edge is at 1/200,
+  // i.e. F = 1.25e-7; the smoothed quantile should invert far below the
+  // bin resolution, the raw histogram quantile cannot.
+  const auto h = PowerLawHistogram(3.0);
+  const auto fit = EstimateCorrelationDimension(h);
+  const FractalSmoothedCdf smoothed(h, fit);
+  for (double p : {1e-6, 1e-5, 1e-4}) {
+    const double exact = std::pow(p, 1.0 / 3.0);
+    EXPECT_NEAR(smoothed.Quantile(p), exact, 0.15 * exact) << p;
+  }
+  // Round trip.
+  for (double p : {1e-6, 1e-3, 0.5}) {
+    EXPECT_NEAR(smoothed.Cdf(smoothed.Quantile(p)), p, 0.1 * p + 1e-9);
+  }
+}
+
+TEST(FractalSmoothedCdf, Validation) {
+  const auto h = PowerLawHistogram(2.0);
+  FractalFit bad;
+  bad.dimension = 0.0;
+  EXPECT_THROW(FractalSmoothedCdf(h, bad), std::invalid_argument);
+  const auto fit = EstimateCorrelationDimension(h);
+  const FractalSmoothedCdf smoothed(h, fit);
+  EXPECT_THROW(smoothed.Quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(smoothed.Quantile(1.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcm

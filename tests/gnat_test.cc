@@ -1,0 +1,124 @@
+// GNAT correctness: exact agreement with the linear-scan oracle across
+// arities, datasets and metrics; pruning must reduce distance computations.
+
+#include <gtest/gtest.h>
+
+#include "mcm/baseline/linear_scan.h"
+#include "mcm/dataset/text_datasets.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/gnat/gnat.h"
+#include "mcm/metric/traits.h"
+
+namespace mcm {
+namespace {
+
+using VecTraits = VectorTraits<LInfDistance>;
+using StrTraits = StringTraits<>;
+
+class GnatArityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GnatArityTest, RangeMatchesLinearScan) {
+  GnatOptions options;
+  options.arity = GetParam();
+  const auto data = GenerateClustered(800, 6, 443);
+  const Gnat<VecTraits> index(data, LInfDistance{}, options);
+  const LinearScan<VecTraits> scan(data, LInfDistance{});
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 20, 6, 443);
+  for (const auto& q : queries) {
+    for (double radius : {0.0, 0.05, 0.2, 0.6}) {
+      const auto expected = scan.RangeSearch(q, radius);
+      const auto got = index.RangeSearch(q, radius);
+      ASSERT_EQ(got.size(), expected.size()) << "radius=" << radius;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arity, GnatArityTest, ::testing::Values(4, 16, 50),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+TEST(Gnat, KeywordsUnderEditDistance) {
+  const auto words = GenerateKeywords(600, 449);
+  GnatOptions options;
+  options.arity = 8;
+  const Gnat<StrTraits> index(words, EditDistanceMetric{}, options);
+  const LinearScan<StrTraits> scan(words, EditDistanceMetric{});
+  for (const auto& q : GenerateKeywordQueries(10, 449)) {
+    for (double radius : {1.0, 3.0}) {
+      EXPECT_EQ(index.RangeSearch(q, radius).size(),
+                scan.RangeSearch(q, radius).size());
+    }
+  }
+}
+
+TEST(Gnat, PruningSavesDistanceComputations) {
+  const auto data = GenerateClustered(3000, 8, 457);
+  GnatOptions options;
+  const Gnat<VecTraits> index(data, LInfDistance{}, options);
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 20, 8, 457);
+  uint64_t total = 0;
+  for (const auto& q : queries) {
+    QueryStats stats;
+    index.RangeSearch(q, 0.05, &stats);
+    total += stats.distance_computations;
+  }
+  // Selective queries must touch far fewer than n objects on average.
+  EXPECT_LT(total / queries.size(), data.size() / 2);
+}
+
+TEST(Gnat, AllDuplicatesHandled) {
+  const std::vector<FloatVector> data(300, FloatVector{0.5f, 0.5f});
+  const Gnat<VecTraits> index(data, LInfDistance{}, GnatOptions{});
+  EXPECT_EQ(index.RangeSearch({0.5f, 0.5f}, 0.0).size(), 300u);
+  EXPECT_TRUE(index.RangeSearch({0.0f, 0.0f}, 0.1).empty());
+}
+
+TEST(Gnat, EmptyAndDegenerate) {
+  const Gnat<VecTraits> empty({}, LInfDistance{}, GnatOptions{});
+  EXPECT_TRUE(empty.RangeSearch({0.5f}, 1.0).empty());
+  GnatOptions bad;
+  bad.arity = 1;
+  EXPECT_THROW(Gnat<VecTraits>({{0.1f}}, LInfDistance{}, bad),
+               std::invalid_argument);
+  bad.arity = 2;
+  bad.leaf_capacity = 0;
+  EXPECT_THROW(Gnat<VecTraits>({{0.1f}}, LInfDistance{}, bad),
+               std::invalid_argument);
+}
+
+TEST(Gnat, StatsViewConsistent) {
+  const auto data = GenerateUniform(2000, 4, 461);
+  GnatOptions options;
+  options.arity = 8;
+  options.leaf_capacity = 16;
+  const Gnat<VecTraits> index(data, LInfDistance{}, options);
+  const auto stats = index.CollectStats();
+  EXPECT_EQ(stats.num_objects, 2000u);
+  EXPECT_GT(stats.num_internal, 0u);
+  EXPECT_GT(stats.num_leaves, stats.num_internal);
+  EXPECT_GE(stats.height, 2u);
+}
+
+TEST(LinearScanBaseline, KnnMatchesRange) {
+  const auto data = GenerateUniform(500, 5, 467);
+  const LinearScan<VecTraits> scan(data, LInfDistance{});
+  const FloatVector q = {0.4f, 0.3f, 0.6f, 0.2f, 0.8f};
+  QueryStats stats;
+  const auto knn = scan.KnnSearch(q, 7, &stats);
+  EXPECT_EQ(stats.distance_computations, 500u);
+  ASSERT_EQ(knn.size(), 7u);
+  const auto in_ball = scan.RangeSearch(q, knn.back().distance);
+  EXPECT_GE(in_ball.size(), 7u);
+  for (size_t i = 0; i < knn.size(); ++i) {
+    EXPECT_EQ(knn[i].oid, in_ball[i].oid);
+  }
+}
+
+}  // namespace
+}  // namespace mcm

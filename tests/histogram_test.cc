@@ -1,0 +1,115 @@
+#include "mcm/distribution/histogram.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+DistanceHistogram MakeSimple() {
+  // Two bins over [0, 2]: masses 0.25 and 0.75.
+  return DistanceHistogram({0.5, 1.5, 1.5, 1.5}, 2, 2.0);
+}
+
+TEST(DistanceHistogram, CdfAtBinEdges) {
+  const auto h = MakeSimple();
+  EXPECT_DOUBLE_EQ(h.Cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.Cdf(2.0), 1.0);
+}
+
+TEST(DistanceHistogram, CdfLinearWithinBins) {
+  const auto h = MakeSimple();
+  EXPECT_DOUBLE_EQ(h.Cdf(0.5), 0.125);
+  EXPECT_DOUBLE_EQ(h.Cdf(1.5), 0.25 + 0.375);
+}
+
+TEST(DistanceHistogram, CdfClampsOutsideDomain) {
+  const auto h = MakeSimple();
+  EXPECT_DOUBLE_EQ(h.Cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Cdf(5.0), 1.0);
+}
+
+TEST(DistanceHistogram, CdfMonotoneNonDecreasing) {
+  const auto h = DistanceHistogram({0.1, 0.2, 0.21, 0.7, 0.9, 0.95}, 10, 1.0);
+  double prev = -1.0;
+  for (double x = -0.1; x <= 1.1; x += 0.01) {
+    const double v = h.Cdf(x);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+TEST(DistanceHistogram, PdfIntegratesToOne) {
+  const auto h = DistanceHistogram({0.1, 0.4, 0.4, 0.9}, 8, 1.0);
+  double integral = 0.0;
+  const double dx = 1e-3;
+  for (double x = dx / 2; x < 1.0; x += dx) {
+    integral += h.Pdf(x) * dx;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(h.Pdf(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(h.Pdf(1.1), 0.0);
+}
+
+TEST(DistanceHistogram, QuantileInvertsCdf) {
+  const auto h = DistanceHistogram({0.05, 0.3, 0.31, 0.6, 0.85}, 20, 1.0);
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    EXPECT_NEAR(h.Cdf(h.Quantile(p)), p, 1e-9) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1.0);
+}
+
+TEST(DistanceHistogram, QuantileRejectsOutsideUnit) {
+  const auto h = MakeSimple();
+  EXPECT_THROW(h.Quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.Quantile(1.1), std::invalid_argument);
+}
+
+TEST(DistanceHistogram, SamplesAboveDPlusClampIntoLastBin) {
+  const auto h = DistanceHistogram({0.4, 3.0}, 2, 1.0);
+  EXPECT_DOUBLE_EQ(h.Cdf(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.masses()[0], 0.5);  // The in-range sample.
+  EXPECT_DOUBLE_EQ(h.masses()[1], 0.5);  // The clamped out-of-range sample.
+}
+
+TEST(DistanceHistogram, ExactDPlusSampleCountsInLastBin) {
+  const auto h = DistanceHistogram({1.0, 1.0}, 4, 1.0);
+  EXPECT_DOUBLE_EQ(h.masses()[3], 1.0);
+}
+
+TEST(DistanceHistogram, ConstructionErrors) {
+  EXPECT_THROW(DistanceHistogram({}, 10, 1.0), std::invalid_argument);
+  EXPECT_THROW(DistanceHistogram({0.5}, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(DistanceHistogram({0.5}, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(DistanceHistogram({-0.5}, 10, 1.0), std::invalid_argument);
+}
+
+TEST(DistanceHistogram, FromMassesNormalizes) {
+  const auto h = DistanceHistogram::FromMasses({1.0, 3.0}, 2.0);
+  EXPECT_DOUBLE_EQ(h.Cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.Cdf(2.0), 1.0);
+}
+
+TEST(DistanceHistogram, FromMassesErrors) {
+  EXPECT_THROW(DistanceHistogram::FromMasses({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(DistanceHistogram::FromMasses({0.0, 0.0}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(DistanceHistogram::FromMasses({0.5, -0.5}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(DistanceHistogram, Accessors) {
+  const auto h = MakeSimple();
+  EXPECT_EQ(h.num_bins(), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 1.0);
+  EXPECT_DOUBLE_EQ(h.d_plus(), 2.0);
+  EXPECT_EQ(h.num_samples(), 4u);
+  EXPECT_DOUBLE_EQ(h.cum().back(), 1.0);
+}
+
+}  // namespace
+}  // namespace mcm

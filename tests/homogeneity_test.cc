@@ -1,0 +1,147 @@
+#include "mcm/distribution/homogeneity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mcm/dataset/text_datasets.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/metric/string_metrics.h"
+#include "mcm/metric/vector_metrics.h"
+
+namespace mcm {
+namespace {
+
+TEST(BuildRddFromDistances, EmpiricalCdfOnGrid) {
+  const RddGrid g = BuildRddFromDistances({0.25, 0.75}, 5, 1.0);
+  // Grid points: 0, 0.25, 0.5, 0.75, 1.
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g[0], 0.0);
+  EXPECT_DOUBLE_EQ(g[1], 0.5);
+  EXPECT_DOUBLE_EQ(g[2], 0.5);
+  EXPECT_DOUBLE_EQ(g[3], 1.0);
+  EXPECT_DOUBLE_EQ(g[4], 1.0);
+}
+
+TEST(BuildRddFromDistances, Errors) {
+  EXPECT_THROW(BuildRddFromDistances({}, 5, 1.0), std::invalid_argument);
+  EXPECT_THROW(BuildRddFromDistances({0.1}, 1, 1.0), std::invalid_argument);
+  EXPECT_THROW(BuildRddFromDistances({0.1}, 5, 0.0), std::invalid_argument);
+}
+
+TEST(Discrepancy, IdenticalRddsHaveZeroDiscrepancy) {
+  const RddGrid g = BuildRddFromDistances({0.2, 0.4, 0.9}, 11, 1.0);
+  EXPECT_DOUBLE_EQ(Discrepancy(g, g, 1.0), 0.0);
+}
+
+TEST(Discrepancy, SymmetricAndTriangle) {
+  const RddGrid a = BuildRddFromDistances({0.1, 0.2, 0.3}, 21, 1.0);
+  const RddGrid b = BuildRddFromDistances({0.5, 0.6, 0.9}, 21, 1.0);
+  const RddGrid c = BuildRddFromDistances({0.3, 0.5, 0.7}, 21, 1.0);
+  EXPECT_DOUBLE_EQ(Discrepancy(a, b, 1.0), Discrepancy(b, a, 1.0));
+  EXPECT_LE(Discrepancy(a, b, 1.0),
+            Discrepancy(a, c, 1.0) + Discrepancy(c, b, 1.0) + 1e-12);
+}
+
+TEST(Discrepancy, BoundedByUnitInterval) {
+  // Extreme case: one RDD concentrated at 0, the other at d+.
+  const RddGrid lo = BuildRddFromDistances({0.0}, 101, 1.0);
+  const RddGrid hi = BuildRddFromDistances({1.0}, 101, 1.0);
+  const double d = Discrepancy(lo, hi, 1.0);
+  EXPECT_GT(d, 0.9);
+  EXPECT_LE(d, 1.0);
+}
+
+TEST(Discrepancy, GridMismatchThrows) {
+  const RddGrid a(11, 0.0), b(21, 0.0);
+  EXPECT_THROW(Discrepancy(a, b, 1.0), std::invalid_argument);
+}
+
+TEST(SummarizeRdds, MeanAndMaxOfKnownPair) {
+  const RddGrid a = BuildRddFromDistances({0.0}, 101, 1.0);
+  const RddGrid b = BuildRddFromDistances({1.0}, 101, 1.0);
+  const HvResult r = SummarizeRdds({a, b}, 1.0);
+  EXPECT_EQ(r.discrepancies.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.mean_discrepancy, r.max_discrepancy);
+  EXPECT_NEAR(r.hv, 1.0 - r.mean_discrepancy, 1e-12);
+}
+
+TEST(EmpiricalGDelta, StepFunctionOfSamples) {
+  HvResult r;
+  r.discrepancies = {0.1, 0.2, 0.4};
+  EXPECT_DOUBLE_EQ(EmpiricalGDelta(r, 0.05), 0.0);
+  EXPECT_NEAR(EmpiricalGDelta(r, 0.25), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(EmpiricalGDelta(r, 1.0), 1.0);
+}
+
+TEST(HvBinaryHypercubeWithMidpoint, MatchesExample1) {
+  // Paper: for D = 10, HV ≈ 1 − 0.97e-3 ≈ 0.999.
+  const double hv10 = HvBinaryHypercubeWithMidpoint(10);
+  EXPECT_NEAR(1.0 - hv10, 0.97e-3, 0.05e-3);
+  // HV → 1 as D grows.
+  EXPECT_GT(HvBinaryHypercubeWithMidpoint(20),
+            HvBinaryHypercubeWithMidpoint(10));
+  EXPECT_GT(HvBinaryHypercubeWithMidpoint(30), 0.999999);
+}
+
+TEST(EstimateHomogeneity, Example1SpaceMatchesClosedForm) {
+  // Build the Example-1 BRM space explicitly for D = 6: all 2^6 hypercube
+  // corners plus the midpoint, exact RDDs via exhaustive targets.
+  const unsigned D = 6;
+  std::vector<FloatVector> points;
+  for (unsigned mask = 0; mask < (1u << D); ++mask) {
+    FloatVector p(D);
+    for (unsigned b = 0; b < D; ++b) p[b] = (mask >> b) & 1u ? 1.0f : 0.0f;
+    points.push_back(p);
+  }
+  points.push_back(FloatVector(D, 0.5f));
+
+  // Exhaustive viewpoints and targets give the exact E[Δ] under the uniform
+  // weighting of Definition 2.
+  const size_t n = points.size();
+  std::vector<RddGrid> rdds;
+  LInfDistance metric;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> distances(n);
+    for (size_t j = 0; j < n; ++j) distances[j] = metric(points[i], points[j]);
+    rdds.push_back(BuildRddFromDistances(distances, 2001, 1.0));
+  }
+  // Mean over *all ordered pairs including self-pairs* equals Definition 2's
+  // E[Δ] with independent O1, O2. SummarizeRdds averages unordered distinct
+  // pairs; convert: E_all = E_distinct * (n-1)/n  (self pairs contribute 0).
+  const HvResult r = SummarizeRdds(rdds, 1.0);
+  const double e_all = r.mean_discrepancy * static_cast<double>(n - 1) /
+                       static_cast<double>(n);
+  const double hv_exact = HvBinaryHypercubeWithMidpoint(D);
+  EXPECT_NEAR(1.0 - e_all, hv_exact, 2e-3);
+}
+
+TEST(EstimateHomogeneity, UniformVectorsAreHighlyHomogeneous) {
+  const auto points = GenerateUniform(1500, 20, 5);
+  HvOptions options;
+  options.num_viewpoints = 60;
+  options.num_targets = 600;
+  const HvResult r = EstimateHomogeneity(points, LInfDistance{}, options);
+  EXPECT_GT(r.hv, 0.95);
+  EXPECT_EQ(r.num_viewpoints, 60u);
+  EXPECT_EQ(r.num_targets, 600u);
+}
+
+TEST(EstimateHomogeneity, KeywordsUnderEditDistanceAreHomogeneous) {
+  const auto words = GenerateKeywords(1200, 7);
+  HvOptions options;
+  options.num_viewpoints = 40;
+  options.num_targets = 400;
+  options.d_plus = 25.0;
+  const HvResult r = EstimateHomogeneity(words, EditDistanceMetric{}, options);
+  EXPECT_GT(r.hv, 0.9);
+}
+
+TEST(EstimateHomogeneity, RequiresTwoObjects) {
+  const std::vector<FloatVector> one = {{0.0f}};
+  EXPECT_THROW(EstimateHomogeneity(one, LInfDistance{}, HvOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,171 @@
+// End-to-end pipelines mirroring the paper's experiments at reduced scale:
+// dataset -> histogram -> index -> workload -> model-vs-measured, for both
+// the text/edit-distance space (Fig. 3 setup) and clustered vectors
+// (Figs. 1/2/4 setup), plus a miniature Section-4.1 tuning sweep.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mcm/bench_util/experiment.h"
+#include "mcm/cost/lmcm.h"
+#include "mcm/cost/nmcm.h"
+#include "mcm/cost/tuner.h"
+#include "mcm/dataset/text_datasets.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/distribution/estimator.h"
+#include "mcm/distribution/homogeneity.h"
+#include "mcm/metric/counted_metric.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/bulk_load.h"
+#include "mcm/mtree/validate.h"
+
+namespace mcm {
+namespace {
+
+using VecTraits = VectorTraits<LInfDistance>;
+using StrTraits = StringTraits<>;
+
+TEST(Integration, TextPipelineMatchesFig3Setup) {
+  // 25-bin histogram, radius-3 range queries, edit distance — Fig. 3 at
+  // reduced vocabulary scale.
+  const auto words = GenerateKeywords(4000, 42);
+  MTreeOptions options;  // 4 KB nodes, paper defaults.
+  auto tree = MTree<StrTraits>::BulkLoad(words, EditDistanceMetric{}, options);
+  ASSERT_TRUE(ValidateMTree(tree).empty());
+
+  EstimatorOptions eo;
+  eo.num_bins = 25;
+  eo.d_plus = 25.0;
+  const auto hist =
+      EstimateDistanceDistribution(words, EditDistanceMetric{}, eo);
+  const auto stats = tree.CollectStats(25.0);
+  const NodeBasedCostModel nmcm(hist, stats);
+  const LevelBasedCostModel lmcm(hist, stats);
+
+  const auto queries = GenerateKeywordQueries(300, 42);
+  const auto measured = MeasureRange(tree, queries, 3.0);
+
+  // Paper: errors usually below 10%, rarely 15%. Assert 25% for stability.
+  EXPECT_NEAR(nmcm.RangeNodes(3.0), measured.avg_nodes,
+              0.25 * measured.avg_nodes);
+  EXPECT_NEAR(nmcm.RangeDistances(3.0), measured.avg_dists,
+              0.25 * measured.avg_dists);
+  EXPECT_NEAR(lmcm.RangeNodes(3.0), measured.avg_nodes,
+              0.30 * measured.avg_nodes);
+  EXPECT_NEAR(lmcm.RangeDistances(3.0), measured.avg_dists,
+              0.30 * measured.avg_dists);
+}
+
+TEST(Integration, TextHomogeneityIsHigh) {
+  // Section 2.1: the HV index of the keyword datasets is close to 1.
+  const auto words = GenerateKeywords(3000, 42);
+  HvOptions ho;
+  ho.d_plus = 25.0;
+  ho.num_viewpoints = 60;
+  ho.num_targets = 500;
+  const auto hv = EstimateHomogeneity(words, EditDistanceMetric{}, ho);
+  EXPECT_GT(hv.hv, 0.93);
+}
+
+TEST(Integration, ClusteredVectorNnEstimatorsOrdering) {
+  // Fig. 2's three estimators: L-MCM, range(E[nn]), range(r(1)) — all must
+  // land in the same ballpark as the measured NN cost.
+  const size_t n = 8000, D = 15;
+  const auto data = GenerateClustered(n, D, 42);
+  MTreeOptions options;
+  auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
+  EstimatorOptions eo;
+  eo.num_bins = 100;
+  const auto hist = EstimateDistanceDistribution(data, LInfDistance{}, eo);
+  const auto stats = tree.CollectStats(1.0);
+  const LevelBasedCostModel lmcm(hist, stats);
+
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 200, D, 42);
+  const auto measured = MeasureKnn(tree, queries, 1);
+
+  const double est_integral = lmcm.NnNodes(1);
+  const double enn = lmcm.nn_model().ExpectedNnDistance(1);
+  const double est_range_enn = lmcm.RangeNodes(enn);
+  const double r1 = lmcm.nn_model().RadiusForExpectedObjects(1.0);
+  const double est_range_r1 = lmcm.RangeNodes(r1);
+
+  for (double est : {est_integral, est_range_enn, est_range_r1}) {
+    EXPECT_GT(est, 0.3 * measured.avg_nodes);
+    EXPECT_LT(est, 2.0 * measured.avg_nodes);
+  }
+  // The integral estimator is the principled one; it should be the closest
+  // or nearly so.
+  EXPECT_NEAR(est_integral, measured.avg_nodes, 0.30 * measured.avg_nodes);
+}
+
+TEST(Integration, RadiusSweepTracksMeasurement) {
+  // Fig. 4 setup: clustered D = 20, variable radius.
+  const size_t n = 6000, D = 20;
+  const auto data = GenerateClustered(n, D, 7);
+  MTreeOptions options;
+  auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
+  EstimatorOptions eo;
+  eo.num_bins = 100;
+  const auto hist = EstimateDistanceDistribution(data, LInfDistance{}, eo);
+  const NodeBasedCostModel nmcm(hist, tree.CollectStats(1.0));
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 100, D, 7);
+  for (double rq : {0.15, 0.3, 0.45}) {
+    const auto measured = MeasureRange(tree, queries, rq);
+    EXPECT_NEAR(nmcm.RangeNodes(rq), measured.avg_nodes,
+                0.25 * measured.avg_nodes + 1.0)
+        << "rq=" << rq;
+    EXPECT_NEAR(nmcm.RangeDistances(rq), measured.avg_dists,
+                0.25 * measured.avg_dists + 5.0)
+        << "rq=" << rq;
+  }
+}
+
+TEST(Integration, MiniatureTuningSweepHasInteriorCpuMinimum) {
+  // Section 4.1 at small scale: CPU cost (distance computations) should not
+  // be monotone in node size — large nodes waste distance computations.
+  const size_t n = 5000, D = 5;
+  const auto data = GenerateClustered(n, D, 11);
+  EstimatorOptions eo;
+  eo.num_bins = 100;
+  const auto hist = EstimateDistanceDistribution(data, LInfDistance{}, eo);
+  const double rq = std::pow(0.01, 1.0 / D) / 2.0;
+
+  std::vector<NodeSizeSample> samples;
+  for (size_t ns : {512u, 2048u, 8192u, 32768u}) {
+    MTreeOptions options;
+    options.node_size_bytes = ns;
+    auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
+    const NodeBasedCostModel model(hist, tree.CollectStats(1.0));
+    samples.push_back({ns, model.RangeDistances(rq), model.RangeNodes(rq)});
+  }
+  // I/O (node reads) decreases with node size.
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i].nodes, samples[i - 1].nodes);
+  }
+  // CPU at the largest size exceeds the best CPU seen (marked minimum).
+  double best_dists = samples[0].dists;
+  for (const auto& s : samples) best_dists = std::min(best_dists, s.dists);
+  EXPECT_GT(samples.back().dists, best_dists);
+
+  const TuningResult tuned = ChooseNodeSize(DiskCostParameters{}, samples);
+  EXPECT_GT(tuned.best_node_size_bytes, 512u);  // Not the tiniest node.
+}
+
+TEST(Integration, CountedMetricAgreesWithQueryStats) {
+  // The CountedMetric wrapper and QueryStats must report the same CPU cost.
+  using CountedTraits = VectorTraits<CountedMetric<LInfDistance>>;
+  const auto data = GenerateClustered(1000, 6, 13);
+  CountedMetric<LInfDistance> metric;
+  MTreeOptions options;
+  auto tree = MTree<CountedTraits>::BulkLoad(data, metric, options);
+  metric.Reset();
+  QueryStats stats;
+  tree.RangeSearch(data[0], 0.2, &stats);
+  EXPECT_EQ(metric.count(), stats.distance_computations);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,117 @@
+// L-MCM tests: consistency with N-MCM (they coincide when all nodes of a
+// level share radius and entry count), Eq. 15/16 identities, and measured
+// accuracy (paper: ~10% for range queries; we assert 25%).
+
+#include <gtest/gtest.h>
+
+#include "mcm/bench_util/experiment.h"
+#include "mcm/cost/lmcm.h"
+#include "mcm/cost/nmcm.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/distribution/estimator.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/bulk_load.h"
+
+namespace mcm {
+namespace {
+
+using VecTraits = VectorTraits<LInfDistance>;
+
+DistanceHistogram SmoothHistogram() {
+  std::vector<double> samples;
+  for (int i = 1; i <= 1000; ++i) {
+    samples.push_back(static_cast<double>(i) / 1000.0);
+  }
+  return DistanceHistogram(samples, 100, 1.0);
+}
+
+TEST(LevelBasedCostModel, MatchesNmcmOnDegenerateUniformTree) {
+  // A synthetic stats view where every node of a level is identical: the
+  // two models must agree exactly.
+  MTreeStatsView stats;
+  stats.num_objects = 1000;
+  stats.height = 3;
+  stats.nodes.push_back({1, 1.0, 5, false});
+  for (int i = 0; i < 5; ++i) stats.nodes.push_back({2, 0.4, 10, false});
+  for (int i = 0; i < 50; ++i) stats.nodes.push_back({3, 0.1, 20, true});
+  stats.levels = AggregateLevels(stats.nodes);
+
+  const auto h = SmoothHistogram();
+  const NodeBasedCostModel nmcm(h, stats);
+  const LevelBasedCostModel lmcm(h, stats);
+  for (double r : {0.0, 0.1, 0.3, 0.7, 1.0}) {
+    EXPECT_NEAR(nmcm.RangeNodes(r), lmcm.RangeNodes(r), 1e-9) << r;
+    EXPECT_NEAR(nmcm.RangeObjects(r), lmcm.RangeObjects(r), 1e-9) << r;
+  }
+  // Eq. 16 counts M_{l+1} entries below level l; with exact per-node entry
+  // counts this matches Eq. 7 here too.
+  for (double r : {0.0, 0.2, 0.9}) {
+    EXPECT_NEAR(nmcm.RangeDistances(r), lmcm.RangeDistances(r), 1e-9) << r;
+  }
+  EXPECT_NEAR(nmcm.NnNodes(1), lmcm.NnNodes(1), 1e-6);
+  EXPECT_NEAR(nmcm.NnDistances(1), lmcm.NnDistances(1), 1e-3);
+}
+
+TEST(LevelBasedCostModel, FullRadiusCountsAllNodesAndEntries) {
+  MTreeStatsView stats;
+  stats.num_objects = 300;
+  stats.height = 2;
+  stats.nodes.push_back({1, 1.0, 10, false});
+  for (int i = 0; i < 10; ++i) stats.nodes.push_back({2, 0.2, 30, true});
+  stats.levels = AggregateLevels(stats.nodes);
+  const auto h = SmoothHistogram();
+  const LevelBasedCostModel model(h, stats);
+  EXPECT_NEAR(model.RangeNodes(1.0), 11.0, 1e-9);
+  // Eq. 16: M_2 * F(r̄_1 + r) + n * F(r̄_2 + r) = 10 + 300 at full radius.
+  EXPECT_NEAR(model.RangeDistances(1.0), 310.0, 1e-9);
+}
+
+TEST(LevelBasedCostModel, AccuracyCloseToNmcmOnRealTree) {
+  MTreeOptions options;
+  const auto data = GenerateClustered(8000, 15, 127);
+  auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
+  EstimatorOptions eo;
+  eo.num_bins = 100;
+  const auto h = EstimateDistanceDistribution(data, LInfDistance{}, eo);
+  const auto stats = tree.CollectStats(1.0);
+  const NodeBasedCostModel nmcm(h, stats);
+  const LevelBasedCostModel lmcm(h, stats);
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 150, 15, 127);
+  const double rq = std::pow(0.01, 1.0 / 15.0) / 2.0;
+  const auto measured = MeasureRange(tree, queries, rq);
+  EXPECT_NEAR(lmcm.RangeNodes(rq), measured.avg_nodes,
+              0.25 * measured.avg_nodes);
+  EXPECT_NEAR(lmcm.RangeDistances(rq), measured.avg_dists,
+              0.25 * measured.avg_dists);
+  // L-MCM should be a coarsening of N-MCM, not wildly different.
+  EXPECT_NEAR(lmcm.RangeNodes(rq), nmcm.RangeNodes(rq),
+              0.25 * nmcm.RangeNodes(rq));
+}
+
+TEST(LevelBasedCostModel, NnAccuracyOnRealTree) {
+  MTreeOptions options;
+  const auto data = GenerateClustered(6000, 10, 131);
+  auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
+  EstimatorOptions eo;
+  eo.num_bins = 100;
+  const auto h = EstimateDistanceDistribution(data, LInfDistance{}, eo);
+  const LevelBasedCostModel lmcm(h, tree.CollectStats(1.0));
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 150, 10, 131);
+  const auto measured = MeasureKnn(tree, queries, 1);
+  EXPECT_NEAR(lmcm.NnNodes(1), measured.avg_nodes, 0.35 * measured.avg_nodes);
+  EXPECT_NEAR(lmcm.NnDistances(1), measured.avg_dists,
+              0.35 * measured.avg_dists);
+}
+
+TEST(LevelBasedCostModel, RejectsBadLevelNumbering) {
+  const auto h = SmoothHistogram();
+  std::vector<LevelStatRecord> levels = {{2, 5, 0.3, 10.0}};
+  EXPECT_THROW(LevelBasedCostModel(h, levels, 100), std::invalid_argument);
+  EXPECT_THROW(LevelBasedCostModel(h, std::vector<LevelStatRecord>{}, 100),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,119 @@
+// Property-based checks of the metric axioms — non-negativity, identity,
+// symmetry, triangle inequality — for every metric the library ships, over
+// random samples of the object space.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mcm/common/random.h"
+#include "mcm/dataset/text_datasets.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/metric/counted_metric.h"
+#include "mcm/metric/string_metrics.h"
+#include "mcm/metric/vector_metrics.h"
+
+namespace mcm {
+namespace {
+
+struct VectorMetricCase {
+  std::string name;
+  std::function<double(const FloatVector&, const FloatVector&)> metric;
+};
+
+class VectorMetricProperties
+    : public ::testing::TestWithParam<VectorMetricCase> {};
+
+TEST_P(VectorMetricProperties, AxiomsHoldOnRandomTriples) {
+  const auto& metric = GetParam().metric;
+  const auto points = GenerateUniform(60, 8, /*seed=*/123);
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < points.size(); j += 3) {
+      const double dij = metric(points[i], points[j]);
+      EXPECT_GE(dij, 0.0);
+      EXPECT_NEAR(dij, metric(points[j], points[i]), 1e-9);
+      if (i == j) {
+        EXPECT_NEAR(dij, 0.0, 1e-9);
+      }
+      const size_t k = (i * 7 + j * 3 + 1) % points.size();
+      const double dik = metric(points[i], points[k]);
+      const double dkj = metric(points[k], points[j]);
+      EXPECT_LE(dij, dik + dkj + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVectorMetrics, VectorMetricProperties,
+    ::testing::Values(
+        VectorMetricCase{"L1", L1Distance{}},
+        VectorMetricCase{"L2", L2Distance{}},
+        VectorMetricCase{"LInf", LInfDistance{}},
+        VectorMetricCase{"L3", LpDistance{3.0}},
+        VectorMetricCase{"L1_5", LpDistance{1.5}}),
+    [](const ::testing::TestParamInfo<VectorMetricCase>& info) {
+      return info.param.name;
+    });
+
+struct StringMetricCase {
+  std::string name;
+  std::function<double(const std::string&, const std::string&)> metric;
+};
+
+class StringMetricProperties
+    : public ::testing::TestWithParam<StringMetricCase> {};
+
+TEST_P(StringMetricProperties, AxiomsHoldOnRandomKeywords) {
+  const auto& metric = GetParam().metric;
+  const auto words = GenerateKeywords(40, /*seed=*/321);
+  for (size_t i = 0; i < words.size(); ++i) {
+    for (size_t j = 0; j < words.size(); j += 4) {
+      const double dij = metric(words[i], words[j]);
+      EXPECT_GE(dij, 0.0);
+      EXPECT_NEAR(dij, metric(words[j], words[i]), 1e-9);
+      if (words[i] == words[j]) {
+        EXPECT_NEAR(dij, 0.0, 1e-9);
+      } else {
+        EXPECT_GT(dij, 0.0);
+      }
+      const size_t k = (i * 5 + j + 2) % words.size();
+      EXPECT_LE(dij,
+                metric(words[i], words[k]) + metric(words[k], words[j]) +
+                    1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStringMetrics, StringMetricProperties,
+    ::testing::Values(
+        StringMetricCase{"Edit", EditDistanceMetric{}},
+        StringMetricCase{"WeightedUnit", WeightedEditDistance{1.0, 1.0, 1.0}},
+        StringMetricCase{"WeightedSub",
+                         WeightedEditDistance{1.0, 1.0, 1.5}}),
+    [](const ::testing::TestParamInfo<StringMetricCase>& info) {
+      return info.param.name;
+    });
+
+TEST(CountedMetric, CountsSharedAcrossCopies) {
+  CountedMetric<LInfDistance> metric;
+  const FloatVector a = {0, 0}, b = {1, 1};
+  EXPECT_EQ(metric.count(), 0u);
+  metric(a, b);
+  const CountedMetric<LInfDistance> copy = metric;
+  copy(a, b);
+  EXPECT_EQ(metric.count(), 2u);
+  EXPECT_EQ(copy.count(), 2u);
+  metric.Reset();
+  EXPECT_EQ(copy.count(), 0u);
+}
+
+TEST(CountedMetric, ReturnsInnerMetricValue) {
+  CountedMetric<L2Distance> metric;
+  EXPECT_DOUBLE_EQ(metric(FloatVector{0, 0}, FloatVector{3, 4}), 5.0);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,173 @@
+// Deletion tests: exact query answers against a linear scan of the
+// remaining objects, structural invariants after heavy deletion, root
+// collapse, and interleaved insert/delete workloads.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "mcm/dataset/text_datasets.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/bulk_load.h"
+#include "mcm/mtree/validate.h"
+
+namespace mcm {
+namespace {
+
+using VecTraits = VectorTraits<LInfDistance>;
+using StrTraits = StringTraits<>;
+
+TEST(MTreeDelete, RemovesOnlyTheRequestedEntry) {
+  MTreeOptions options;
+  options.node_size_bytes = 512;
+  const auto data = GenerateClustered(300, 5, 191);
+  auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
+  EXPECT_TRUE(tree.Delete(data[42], 42));
+  EXPECT_EQ(tree.size(), 299u);
+  // oid 42 gone, everything else findable.
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto r = tree.RangeSearch(data[i], 0.0);
+    const bool found =
+        std::any_of(r.begin(), r.end(),
+                    [&](const auto& res) { return res.oid == i; });
+    EXPECT_EQ(found, i != 42) << i;
+  }
+}
+
+TEST(MTreeDelete, MissingEntryReturnsFalse) {
+  MTreeOptions options;
+  const auto data = GenerateUniform(100, 3, 193);
+  auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
+  EXPECT_FALSE(tree.Delete({2.0f, 2.0f, 2.0f}, 0));     // No such object.
+  EXPECT_FALSE(tree.Delete(data[5], 9999));             // Wrong oid.
+  EXPECT_TRUE(tree.Delete(data[5], 5));
+  EXPECT_FALSE(tree.Delete(data[5], 5));                // Already gone.
+  EXPECT_EQ(tree.size(), 99u);
+}
+
+TEST(MTreeDelete, InvariantsHoldAfterHeavyDeletion) {
+  MTreeOptions options;
+  options.node_size_bytes = 512;
+  const auto data = GenerateClustered(800, 6, 197);
+  auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
+  for (size_t i = 0; i < data.size(); i += 2) {
+    ASSERT_TRUE(tree.Delete(data[i], i)) << i;
+  }
+  EXPECT_EQ(tree.size(), 400u);
+  const auto errors = ValidateMTree(tree);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+
+  // Queries over the survivors stay exact.
+  const LInfDistance metric;
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 10, 6, 197);
+  for (const auto& q : queries) {
+    size_t expected = 0;
+    for (size_t i = 1; i < data.size(); i += 2) {
+      expected += metric(q, data[i]) <= 0.2 ? 1 : 0;
+    }
+    EXPECT_EQ(tree.RangeSearch(q, 0.2).size(), expected);
+  }
+}
+
+TEST(MTreeDelete, DeletingEverythingEmptiesTheTree) {
+  MTreeOptions options;
+  options.node_size_bytes = 256;
+  const auto data = GenerateUniform(150, 4, 199);
+  auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Delete(data[i], i));
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0u);
+  EXPECT_EQ(tree.root(), kInvalidNodeId);
+  EXPECT_TRUE(tree.RangeSearch({0.5f, 0.5f, 0.5f, 0.5f}, 1.0).empty());
+  // The tree is reusable after total deletion.
+  tree.Insert(data[0], 1000);
+  EXPECT_EQ(tree.KnnSearch(data[0], 1).front().oid, 1000u);
+}
+
+TEST(MTreeDelete, RootCollapsesWhenSingleChildRemains) {
+  MTreeOptions options;
+  options.node_size_bytes = 256;
+  const auto data = GenerateClustered(400, 4, 211);
+  auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
+  const uint32_t initial_height = tree.height();
+  ASSERT_GE(initial_height, 2u);
+  // Delete down to a single object: every internal level collapses away.
+  for (size_t i = 0; i + 1 < data.size(); ++i) {
+    ASSERT_TRUE(tree.Delete(data[i], i));
+  }
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_LT(tree.height(), initial_height);
+  EXPECT_TRUE(ValidateMTree(tree).empty());
+  const auto r = tree.KnnSearch(data.back(), 1);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].oid, data.size() - 1);
+}
+
+TEST(MTreeDelete, DuplicateObjectsDeleteByOid) {
+  MTreeOptions options;
+  options.node_size_bytes = 256;
+  MTree<VecTraits> tree(LInfDistance{}, options);
+  const FloatVector p = {0.5f, 0.5f};
+  for (size_t i = 0; i < 60; ++i) tree.Insert(p, i);
+  EXPECT_TRUE(tree.Delete(p, 30));
+  const auto r = tree.RangeSearch(p, 0.0);
+  EXPECT_EQ(r.size(), 59u);
+  EXPECT_FALSE(std::any_of(r.begin(), r.end(),
+                           [](const auto& res) { return res.oid == 30; }));
+}
+
+TEST(MTreeDelete, InterleavedInsertAndDelete) {
+  MTreeOptions options;
+  options.node_size_bytes = 512;
+  const auto data = GenerateClustered(600, 5, 223);
+  MTree<StrTraits>* unused = nullptr;
+  (void)unused;
+  MTree<VecTraits> tree(LInfDistance{}, options);
+  std::set<size_t> live;
+  for (size_t i = 0; i < data.size(); ++i) {
+    tree.Insert(data[i], i);
+    live.insert(i);
+    if (i % 3 == 2) {
+      const size_t victim = *live.begin();
+      ASSERT_TRUE(tree.Delete(data[victim], victim));
+      live.erase(live.begin());
+    }
+  }
+  EXPECT_EQ(tree.size(), live.size());
+  const auto errors = ValidateMTree(tree);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  // Spot-check membership.
+  for (size_t i : {*live.begin(), *live.rbegin()}) {
+    const auto r = tree.RangeSearch(data[i], 0.0);
+    EXPECT_TRUE(std::any_of(r.begin(), r.end(),
+                            [&](const auto& res) { return res.oid == i; }));
+  }
+}
+
+TEST(MTreeDelete, StringsUnderEditDistance) {
+  MTreeOptions options;
+  options.node_size_bytes = 512;
+  const auto words = GenerateKeywords(400, 227);
+  auto tree = MTree<StrTraits>::BulkLoad(words, EditDistanceMetric{}, options);
+  for (size_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree.Delete(words[i], i));
+  }
+  EXPECT_EQ(tree.size(), 200u);
+  EXPECT_TRUE(ValidateMTree(tree).empty());
+  EXPECT_TRUE(tree.RangeSearch(words[0], 0.0).empty());
+  EXPECT_FALSE(tree.RangeSearch(words[300], 0.0).empty());
+}
+
+TEST(MTreeDelete, EmptyTreeReturnsFalse) {
+  MTree<VecTraits> tree(LInfDistance{}, MTreeOptions{});
+  EXPECT_FALSE(tree.Delete({0.5f}, 0));
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,159 @@
+// Dynamic-insertion tests: structural invariants must hold after every
+// mixture of split policies, node sizes, and object types.
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "mcm/dataset/text_datasets.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/mtree.h"
+#include "mcm/mtree/validate.h"
+
+namespace mcm {
+namespace {
+
+using VecTraits = VectorTraits<LInfDistance>;
+using StrTraits = StringTraits<>;
+
+class InsertPolicyTest
+    : public ::testing::TestWithParam<
+          std::tuple<PromotePolicy, PartitionPolicy>> {};
+
+TEST_P(InsertPolicyTest, InvariantsHoldAfterManyInserts) {
+  MTreeOptions options;
+  options.node_size_bytes = 512;
+  options.promote_policy = std::get<0>(GetParam());
+  options.partition_policy = std::get<1>(GetParam());
+  MTree<VecTraits> tree(LInfDistance{}, options);
+
+  const auto points = GenerateClustered(400, 5, 11);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(points[i], i);
+  }
+  EXPECT_EQ(tree.size(), 400u);
+  EXPECT_GE(tree.height(), 2u);
+  const auto errors = ValidateMTree(tree);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+}
+
+std::string PolicyCaseName(
+    const ::testing::TestParamInfo<std::tuple<PromotePolicy, PartitionPolicy>>&
+        info) {
+  static const char* promote[] = {"Random", "Sampling", "MMRad", "MaxLbDist"};
+  static const char* partition[] = {"Balanced", "Hyperplane"};
+  return std::string(promote[static_cast<int>(std::get<0>(info.param))]) +
+         partition[static_cast<int>(std::get<1>(info.param))];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, InsertPolicyTest,
+    ::testing::Combine(::testing::Values(PromotePolicy::kRandom,
+                                         PromotePolicy::kSampling,
+                                         PromotePolicy::kMMRad,
+                                         PromotePolicy::kMaxLbDist),
+                       ::testing::Values(PartitionPolicy::kBalanced,
+                                         PartitionPolicy::kHyperplane)),
+    PolicyCaseName);
+
+TEST(MTreeInsert, SingleObjectTree) {
+  MTree<VecTraits> tree(LInfDistance{}, MTreeOptions{});
+  tree.Insert({0.5f, 0.5f}, 99);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1u);
+  const auto r = tree.RangeSearch({0.5f, 0.5f}, 0.0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].oid, 99u);
+  EXPECT_TRUE(ValidateMTree(tree).empty());
+}
+
+TEST(MTreeInsert, DuplicateObjectsAreAllKept) {
+  MTreeOptions options;
+  options.node_size_bytes = 256;
+  MTree<VecTraits> tree(LInfDistance{}, options);
+  for (size_t i = 0; i < 100; ++i) {
+    tree.Insert({0.25f, 0.75f}, i);
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_EQ(tree.RangeSearch({0.25f, 0.75f}, 0.0).size(), 100u);
+  EXPECT_TRUE(ValidateMTree(tree).empty());
+}
+
+TEST(MTreeInsert, StringsUnderEditDistance) {
+  MTreeOptions options;
+  options.node_size_bytes = 512;
+  MTree<StrTraits> tree(EditDistanceMetric{}, options);
+  const auto words = GenerateKeywords(300, 3);
+  for (size_t i = 0; i < words.size(); ++i) {
+    tree.Insert(words[i], i);
+  }
+  EXPECT_EQ(tree.size(), 300u);
+  const auto errors = ValidateMTree(tree);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+}
+
+TEST(MTreeInsert, HeightGrowsWithData) {
+  MTreeOptions options;
+  options.node_size_bytes = 256;
+  MTree<VecTraits> tree(LInfDistance{}, options);
+  const auto points = GenerateUniform(600, 4, 13);
+  uint32_t last_height = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(points[i], i);
+    EXPECT_GE(tree.height(), last_height);  // Height never shrinks.
+    last_height = tree.height();
+  }
+  EXPECT_GE(tree.height(), 3u);
+}
+
+TEST(MTreeInsert, ObjectLargerThanNodeRejected) {
+  MTreeOptions options;
+  options.node_size_bytes = 64;
+  MTree<VecTraits> tree(LInfDistance{}, options);
+  EXPECT_THROW(tree.Insert(FloatVector(100, 0.1f), 0), std::invalid_argument);
+}
+
+TEST(MTreeInsert, TinyNodeSizeStillProducesValidTree) {
+  MTreeOptions options;
+  // Room for barely three 2-d leaf entries.
+  options.node_size_bytes = MTreeNode<VecTraits>::HeaderSize() +
+                            3 * MTreeNode<VecTraits>::LeafEntrySize(
+                                    FloatVector{0.0f, 0.0f});
+  MTree<VecTraits> tree(LInfDistance{}, options);
+  const auto points = GenerateUniform(120, 2, 17);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(points[i], i);
+  }
+  EXPECT_EQ(tree.size(), 120u);
+  const auto errors = ValidateMTree(tree);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+}
+
+TEST(MTreeInsert, NodeSizeTooSmallForConstructionRejected) {
+  MTreeOptions options;
+  options.node_size_bytes = 4;
+  EXPECT_THROW(MTree<VecTraits>(LInfDistance{}, options),
+               std::invalid_argument);
+}
+
+TEST(MTreeInsert, VariableLengthStringsRespectByteCapacity) {
+  MTreeOptions options;
+  options.node_size_bytes = 200;
+  MTree<StrTraits> tree(EditDistanceMetric{}, options);
+  // Mix of very short and near-25-char words.
+  std::vector<std::string> words;
+  for (const auto& w : GenerateKeywords(200, 21)) words.push_back(w);
+  words.push_back(std::string(25, 'a'));
+  words.push_back(std::string(25, 'b'));
+  words.push_back("io");
+  for (size_t i = 0; i < words.size(); ++i) {
+    tree.Insert(words[i], i);
+  }
+  const auto errors = ValidateMTree(tree);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,120 @@
+#include "mcm/mtree/node_store.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "mcm/metric/traits.h"
+
+namespace mcm {
+namespace {
+
+using Traits = VectorTraits<LInfDistance>;
+using Node = MTreeNode<Traits>;
+
+template <typename T>
+std::unique_ptr<NodeStore<Traits>> MakeStore();
+
+template <>
+std::unique_ptr<NodeStore<Traits>> MakeStore<MemoryNodeStore<Traits>>() {
+  return std::make_unique<MemoryNodeStore<Traits>>();
+}
+
+template <>
+std::unique_ptr<NodeStore<Traits>> MakeStore<PagedNodeStore<Traits>>() {
+  return std::make_unique<PagedNodeStore<Traits>>(
+      std::make_unique<InMemoryPageFile>(512), 16);
+}
+
+template <typename T>
+class NodeStoreTest : public ::testing::Test {};
+
+using StoreTypes =
+    ::testing::Types<MemoryNodeStore<Traits>, PagedNodeStore<Traits>>;
+TYPED_TEST_SUITE(NodeStoreTest, StoreTypes);
+
+TYPED_TEST(NodeStoreTest, WriteReadRoundTrip) {
+  auto store = MakeStore<TypeParam>();
+  const NodeId id = store->Allocate();
+  Node node;
+  node.is_leaf = true;
+  node.leaf_entries.push_back({{0.25f, 0.75f}, 11, 0.5});
+  store->Write(id, node);
+  const Node out = store->Read(id);
+  ASSERT_EQ(out.leaf_entries.size(), 1u);
+  EXPECT_EQ(out.leaf_entries[0].oid, 11u);
+  EXPECT_EQ(out.leaf_entries[0].object, (FloatVector{0.25f, 0.75f}));
+}
+
+TYPED_TEST(NodeStoreTest, AccessCounterCountsReadsOnly) {
+  auto store = MakeStore<TypeParam>();
+  const NodeId id = store->Allocate();
+  Node node;
+  store->Write(id, node);
+  EXPECT_EQ(store->access_count(), 0u);
+  store->Read(id);
+  store->Read(id);
+  EXPECT_EQ(store->access_count(), 2u);
+  store->ResetAccessCount();
+  EXPECT_EQ(store->access_count(), 0u);
+}
+
+TYPED_TEST(NodeStoreTest, MultipleNodesKeepDistinctContents) {
+  auto store = MakeStore<TypeParam>();
+  std::vector<NodeId> ids;
+  for (uint64_t i = 0; i < 10; ++i) {
+    const NodeId id = store->Allocate();
+    Node node;
+    node.leaf_entries.push_back({{static_cast<float>(i)}, i, 0.0});
+    store->Write(id, node);
+    ids.push_back(id);
+  }
+  EXPECT_EQ(store->NumNodes(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(store->Read(ids[i]).leaf_entries[0].oid, i);
+  }
+}
+
+TYPED_TEST(NodeStoreTest, FreeReducesLiveCount) {
+  auto store = MakeStore<TypeParam>();
+  const NodeId a = store->Allocate();
+  store->Allocate();
+  EXPECT_EQ(store->NumNodes(), 2u);
+  store->Free(a);
+  EXPECT_EQ(store->NumNodes(), 1u);
+}
+
+TEST(MemoryNodeStore, ReadAfterFreeThrows) {
+  MemoryNodeStore<Traits> store;
+  const NodeId id = store.Allocate();
+  store.Free(id);
+  EXPECT_THROW(store.Read(id), std::out_of_range);
+}
+
+TEST(PagedNodeStore, OversizedNodeRejected) {
+  PagedNodeStore<Traits> store(std::make_unique<InMemoryPageFile>(64), 4);
+  const NodeId id = store.Allocate();
+  Node node;
+  node.leaf_entries.push_back({FloatVector(100, 0.0f), 1, 0.0});
+  EXPECT_THROW(store.Write(id, node), std::runtime_error);
+}
+
+TEST(PagedNodeStore, SurvivesBufferPoolPressure) {
+  // Pool holds 2 frames; write 20 nodes, then read them all back.
+  PagedNodeStore<Traits> store(std::make_unique<InMemoryPageFile>(256), 2);
+  std::vector<NodeId> ids;
+  for (uint64_t i = 0; i < 20; ++i) {
+    const NodeId id = store.Allocate();
+    Node node;
+    node.leaf_entries.push_back({{static_cast<float>(i), 0.0f}, i, 0.0});
+    store.Write(id, node);
+    ids.push_back(id);
+  }
+  for (uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(store.Read(ids[i]).leaf_entries[0].oid, i);
+  }
+  EXPECT_GT(store.pool().stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,81 @@
+#include "mcm/mtree/node.h"
+
+#include <gtest/gtest.h>
+
+#include "mcm/metric/traits.h"
+
+namespace mcm {
+namespace {
+
+using VecTraits = VectorTraits<LInfDistance>;
+using StrTraits = StringTraits<>;
+
+TEST(MTreeNode, LeafSerializationRoundTripVectors) {
+  MTreeNode<VecTraits> node;
+  node.is_leaf = true;
+  node.leaf_entries.push_back({{0.1f, 0.2f, 0.3f}, 42, 0.5});
+  node.leaf_entries.push_back({{0.9f, 0.8f, 0.7f}, 43, 0.25});
+
+  std::vector<uint8_t> buf;
+  node.Serialize(&buf);
+  EXPECT_EQ(buf.size(), node.SerializedSize());
+
+  const auto parsed = MTreeNode<VecTraits>::Deserialize(buf.data(), buf.size());
+  ASSERT_TRUE(parsed.is_leaf);
+  ASSERT_EQ(parsed.leaf_entries.size(), 2u);
+  EXPECT_EQ(parsed.leaf_entries[0].object, (FloatVector{0.1f, 0.2f, 0.3f}));
+  EXPECT_EQ(parsed.leaf_entries[0].oid, 42u);
+  EXPECT_DOUBLE_EQ(parsed.leaf_entries[0].parent_distance, 0.5);
+  EXPECT_EQ(parsed.leaf_entries[1].oid, 43u);
+}
+
+TEST(MTreeNode, InternalSerializationRoundTripStrings) {
+  MTreeNode<StrTraits> node;
+  node.is_leaf = false;
+  node.routing_entries.push_back({"parola", 2.5, 1.0, 7});
+  node.routing_entries.push_back({"verso", 3.0, 2.0, 9});
+
+  std::vector<uint8_t> buf;
+  node.Serialize(&buf);
+  EXPECT_EQ(buf.size(), node.SerializedSize());
+
+  const auto parsed = MTreeNode<StrTraits>::Deserialize(buf.data(), buf.size());
+  ASSERT_FALSE(parsed.is_leaf);
+  ASSERT_EQ(parsed.routing_entries.size(), 2u);
+  EXPECT_EQ(parsed.routing_entries[0].object, "parola");
+  EXPECT_DOUBLE_EQ(parsed.routing_entries[0].covering_radius, 2.5);
+  EXPECT_EQ(parsed.routing_entries[0].child, 7u);
+  EXPECT_EQ(parsed.routing_entries[1].object, "verso");
+}
+
+TEST(MTreeNode, EmptyNodeRoundTrip) {
+  MTreeNode<VecTraits> node;
+  std::vector<uint8_t> buf;
+  node.Serialize(&buf);
+  EXPECT_EQ(buf.size(), MTreeNode<VecTraits>::HeaderSize());
+  const auto parsed = MTreeNode<VecTraits>::Deserialize(buf.data(), buf.size());
+  EXPECT_TRUE(parsed.is_leaf);
+  EXPECT_EQ(parsed.NumEntries(), 0u);
+}
+
+TEST(MTreeNode, EntrySizesAccountForObjectPayload) {
+  const FloatVector v(10, 0.5f);
+  EXPECT_EQ(MTreeNode<VecTraits>::LeafEntrySize(v),
+            4u + 40u + 8u + 8u);  // dim prefix + floats + oid + parent dist.
+  EXPECT_EQ(MTreeNode<VecTraits>::RoutingEntrySize(v),
+            4u + 40u + 8u + 8u + 4u);  // + radius replaces oid, + child id.
+  EXPECT_EQ(MTreeNode<StrTraits>::LeafEntrySize("abcde"), 4u + 5u + 8u + 8u);
+}
+
+TEST(MTreeNode, DeserializeTruncatedBufferThrows) {
+  MTreeNode<VecTraits> node;
+  node.leaf_entries.push_back({{0.5f}, 1, 0.0});
+  std::vector<uint8_t> buf;
+  node.Serialize(&buf);
+  EXPECT_THROW(
+      MTreeNode<VecTraits>::Deserialize(buf.data(), buf.size() - 4),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,131 @@
+#include "mcm/common/numeric.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(LogBinomial, SmallValuesMatchExactCoefficients) {
+  EXPECT_NEAR(std::exp(LogBinomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(10, 3)), 120.0, 1e-6);
+  EXPECT_NEAR(std::exp(LogBinomial(6, 6)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(LogBinomial(6, 0)), 1.0, 1e-12);
+}
+
+TEST(LogBinomial, SymmetricInK) {
+  EXPECT_NEAR(LogBinomial(40, 7), LogBinomial(40, 33), 1e-9);
+}
+
+TEST(LogBinomial, LargeNDoesNotOverflow) {
+  const double v = LogBinomial(1000000, 500000);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 0.0);
+}
+
+TEST(LogBinomial, ThrowsWhenKExceedsN) {
+  EXPECT_THROW(LogBinomial(3, 4), std::invalid_argument);
+}
+
+TEST(BinomialLowerTail, MatchesDirectSumForSmallN) {
+  // P(X < 2) for X ~ Binomial(4, 0.3).
+  const double p = 0.3;
+  const double expected = std::pow(1 - p, 4) + 4 * p * std::pow(1 - p, 3);
+  EXPECT_NEAR(BinomialLowerTail(4, 2, p), expected, 1e-12);
+}
+
+TEST(BinomialLowerTail, EdgeProbabilities) {
+  EXPECT_DOUBLE_EQ(BinomialLowerTail(10, 3, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialLowerTail(10, 3, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialLowerTail(10, 11, 1.0), 1.0);
+}
+
+TEST(BinomialLowerTail, ClampsPOutsideUnitInterval) {
+  EXPECT_DOUBLE_EQ(BinomialLowerTail(10, 1, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialLowerTail(10, 1, 1.5), 0.0);
+}
+
+TEST(BinomialLowerTail, MonotoneDecreasingInP) {
+  double prev = 1.0;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double tail = BinomialLowerTail(50, 5, p);
+    EXPECT_LE(tail, prev + 1e-12);
+    prev = tail;
+  }
+}
+
+TEST(BinomialLowerTail, MonotoneIncreasingInK) {
+  double prev = 0.0;
+  for (uint64_t k = 1; k <= 20; ++k) {
+    const double tail = BinomialLowerTail(20, k, 0.4);
+    EXPECT_GE(tail, prev - 1e-12);
+    prev = tail;
+  }
+}
+
+TEST(BinomialLowerTail, StableForHugeNAndTinyP) {
+  // n = 10^6, p = 10^-7: expect ~e^{-0.1} for the k=1 tail.
+  const double tail = BinomialLowerTail(1000000, 1, 1e-7);
+  EXPECT_NEAR(tail, std::exp(-0.1), 1e-3);
+}
+
+TEST(BinomialLowerTail, ThrowsForKZero) {
+  EXPECT_THROW(BinomialLowerTail(10, 0, 0.5), std::invalid_argument);
+}
+
+TEST(TrapezoidIntegrate, ExactForLinearFunctions) {
+  const double integral = TrapezoidIntegrate(
+      [](double x) { return 3.0 * x + 1.0; }, 0.0, 2.0, 4);
+  EXPECT_NEAR(integral, 8.0, 1e-12);
+}
+
+TEST(TrapezoidIntegrate, ConvergesForQuadratic) {
+  const double integral =
+      TrapezoidIntegrate([](double x) { return x * x; }, 0.0, 1.0, 1000);
+  EXPECT_NEAR(integral, 1.0 / 3.0, 1e-6);
+}
+
+TEST(TrapezoidIntegrate, EmptyIntervalIsZero) {
+  EXPECT_DOUBLE_EQ(
+      TrapezoidIntegrate([](double) { return 7.0; }, 1.0, 1.0, 10), 0.0);
+}
+
+TEST(TrapezoidIntegrate, ThrowsForZeroSteps) {
+  EXPECT_THROW(TrapezoidIntegrate([](double) { return 1.0; }, 0.0, 1.0, 0),
+               std::invalid_argument);
+}
+
+TEST(TrapezoidIntegrate, SampledOverloadMatchesFunctional) {
+  std::vector<double> values;
+  const size_t steps = 64;
+  for (size_t i = 0; i <= steps; ++i) {
+    const double x = static_cast<double>(i) / steps;
+    values.push_back(std::sin(x));
+  }
+  const double a = TrapezoidIntegrate(values, 1.0 / steps);
+  const double b = TrapezoidIntegrate([](double x) { return std::sin(x); },
+                                      0.0, 1.0, steps);
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(TrapezoidIntegrate, SampledFewerThanTwoPointsIsZero) {
+  EXPECT_DOUBLE_EQ(TrapezoidIntegrate(std::vector<double>{5.0}, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(TrapezoidIntegrate(std::vector<double>{}, 0.1), 0.0);
+}
+
+TEST(RelativeError, NormalAndZeroReference) {
+  EXPECT_DOUBLE_EQ(RelativeError(11.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(9.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(0.5, 0.0), 0.5);
+}
+
+TEST(Clamp, AllBranches) {
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(Clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(2.0, 0.0, 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace mcm

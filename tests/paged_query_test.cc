@@ -1,0 +1,77 @@
+// Queries through a pressure-cooked buffer pool: with only a couple of
+// frames, every traversal step evicts pages mid-query; answers must stay
+// exact and physical I/O must reflect the pool pressure.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "mcm/baseline/linear_scan.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/bulk_load.h"
+
+namespace mcm {
+namespace {
+
+using VecTraits = VectorTraits<LInfDistance>;
+
+TEST(PagedQuery, TinyPoolKeepsAnswersExact) {
+  MTreeOptions options;
+  options.node_size_bytes = 512;
+  const auto data = GenerateClustered(1200, 6, 509);
+  auto store = std::make_unique<PagedNodeStore<VecTraits>>(
+      std::make_unique<InMemoryPageFile>(options.node_size_bytes),
+      /*pool_frames=*/2);
+  auto* store_ptr = store.get();
+  auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options,
+                                         std::move(store));
+  const LinearScan<VecTraits> oracle(data, LInfDistance{});
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 10, 6, 509);
+  for (const auto& q : queries) {
+    const auto got = tree.RangeSearch(q, 0.25);
+    const auto expected = oracle.RangeSearch(q, 0.25);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].oid, expected[i].oid);
+    }
+    const auto knn = tree.KnnSearch(q, 5);
+    const auto knn_expected = oracle.KnnSearch(q, 5);
+    ASSERT_EQ(knn.size(), 5u);
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_NEAR(knn[i].distance, knn_expected[i].distance, 1e-9);
+    }
+  }
+  // Pressure was real: far more misses than the pool can hold.
+  EXPECT_GT(store_ptr->pool().stats().evictions, 100u);
+}
+
+TEST(PagedQuery, PoolSizeDoesNotChangeLogicalCosts) {
+  // The paper's I/O cost is the *logical* node-access count; it must be
+  // identical whether the pool holds 2 frames or the whole tree.
+  MTreeOptions options;
+  options.node_size_bytes = 1024;
+  const auto data = GenerateClustered(1500, 5, 521);
+
+  auto small_store = std::make_unique<PagedNodeStore<VecTraits>>(
+      std::make_unique<InMemoryPageFile>(options.node_size_bytes), 2);
+  auto big_store = std::make_unique<PagedNodeStore<VecTraits>>(
+      std::make_unique<InMemoryPageFile>(options.node_size_bytes), 4096);
+  auto small_tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options,
+                                               std::move(small_store));
+  auto big_tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options,
+                                             std::move(big_store));
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 15, 5, 521);
+  for (const auto& q : queries) {
+    QueryStats s_small, s_big;
+    small_tree.RangeSearch(q, 0.2, &s_small);
+    big_tree.RangeSearch(q, 0.2, &s_big);
+    EXPECT_EQ(s_small.nodes_accessed, s_big.nodes_accessed);
+    EXPECT_EQ(s_small.distance_computations, s_big.distance_computations);
+  }
+}
+
+}  // namespace
+}  // namespace mcm

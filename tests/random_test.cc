@@ -1,0 +1,54 @@
+#include "mcm/common/random.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(DeriveSeed, DeterministicAndStreamSensitive) {
+  EXPECT_EQ(DeriveSeed(1, 0), DeriveSeed(1, 0));
+  EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(1, 1));
+  EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(2, 0));
+}
+
+TEST(DeriveSeed, AdjacentSeedsDecorrelate) {
+  // Adjacent base seeds should differ in roughly half their bits.
+  const uint64_t a = DeriveSeed(100, 0);
+  const uint64_t b = DeriveSeed(101, 0);
+  const int bits = __builtin_popcountll(a ^ b);
+  EXPECT_GT(bits, 16);
+  EXPECT_LT(bits, 48);
+}
+
+TEST(MakeEngine, ReproducibleSequences) {
+  RandomEngine a = MakeEngine(7, 3);
+  RandomEngine b = MakeEngine(7, 3);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(UniformUnit, StaysInHalfOpenInterval) {
+  RandomEngine rng = MakeEngine(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = UniformUnit(rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(UniformIndex, CoversFullRange) {
+  RandomEngine rng = MakeEngine(13);
+  std::set<size_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const size_t v = UniformIndex(rng, 5);
+    EXPECT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+}  // namespace
+}  // namespace mcm

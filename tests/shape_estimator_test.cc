@@ -1,0 +1,104 @@
+#include "mcm/cost/shape_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "mcm/cost/lmcm.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/distribution/estimator.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/bulk_load.h"
+
+namespace mcm {
+namespace {
+
+using VecTraits = VectorTraits<LInfDistance>;
+
+DistanceHistogram SmoothHistogram() {
+  std::vector<double> samples;
+  for (int i = 1; i <= 1000; ++i) {
+    samples.push_back(std::sqrt(static_cast<double>(i) / 1000.0));
+  }
+  return DistanceHistogram(samples, 100, 1.0);
+}
+
+ShapeEstimatorOptions VecOptions(size_t dim, size_t node_size = 4096) {
+  ShapeEstimatorOptions o;
+  o.node_size_bytes = node_size;
+  o.node_header_bytes = MTreeNode<VecTraits>::HeaderSize();
+  const FloatVector probe(dim, 0.0f);
+  o.leaf_entry_bytes = MTreeNode<VecTraits>::LeafEntrySize(probe);
+  o.routing_entry_bytes = MTreeNode<VecTraits>::RoutingEntrySize(probe);
+  return o;
+}
+
+TEST(EstimateTreeShape, RootFirstContiguousLevels) {
+  const auto levels = EstimateTreeShape(SmoothHistogram(), 50000,
+                                        VecOptions(10));
+  ASSERT_GE(levels.size(), 2u);
+  for (size_t l = 0; l < levels.size(); ++l) {
+    EXPECT_EQ(levels[l].level, l + 1);
+  }
+  EXPECT_EQ(levels.front().num_nodes, 1u);
+  EXPECT_DOUBLE_EQ(levels.front().avg_covering_radius, 1.0);  // d⁺.
+  // Node counts grow down the tree; radii shrink.
+  for (size_t l = 1; l < levels.size(); ++l) {
+    EXPECT_GE(levels[l].num_nodes, levels[l - 1].num_nodes);
+    EXPECT_LE(levels[l].avg_covering_radius,
+              levels[l - 1].avg_covering_radius + 1e-12);
+  }
+}
+
+TEST(EstimateTreeShape, TinyDatasetIsSingleLeafRoot) {
+  const auto levels = EstimateTreeShape(SmoothHistogram(), 10,
+                                        VecOptions(4));
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_EQ(levels[0].num_nodes, 1u);
+  EXPECT_DOUBLE_EQ(levels[0].avg_entries, 10.0);
+}
+
+TEST(EstimateTreeShape, PredictsRealTreeShapeWithinFactorTwo) {
+  const size_t n = 20000, D = 10;
+  const auto data = GenerateClustered(n, D, 179);
+  MTreeOptions topt;  // 4 KB nodes.
+  auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, topt);
+  const auto actual = tree.CollectStats(1.0);
+
+  EstimatorOptions eo;
+  eo.num_bins = 100;
+  const auto h = EstimateDistanceDistribution(data, LInfDistance{}, eo);
+  const auto predicted = EstimateTreeShape(h, n, VecOptions(D));
+
+  EXPECT_EQ(predicted.size(), actual.levels.size());
+  // Leaf count within a factor of 2 of reality.
+  const double real_leaves =
+      static_cast<double>(actual.levels.back().num_nodes);
+  const double pred_leaves =
+      static_cast<double>(predicted.back().num_nodes);
+  EXPECT_GT(pred_leaves, 0.5 * real_leaves);
+  EXPECT_LT(pred_leaves, 2.0 * real_leaves);
+}
+
+TEST(EstimateTreeShape, FeedsLevelBasedModel) {
+  const auto h = SmoothHistogram();
+  const auto levels = EstimateTreeShape(h, 100000, VecOptions(20));
+  const LevelBasedCostModel model(h, levels, 100000);
+  const double nodes = model.RangeNodes(0.1);
+  EXPECT_GT(nodes, 1.0);
+  EXPECT_LT(nodes, 1e6);
+  EXPECT_GT(model.NnNodes(1), 0.0);
+}
+
+TEST(EstimateTreeShape, Validation) {
+  const auto h = SmoothHistogram();
+  EXPECT_THROW(EstimateTreeShape(h, 0, VecOptions(4)), std::invalid_argument);
+  ShapeEstimatorOptions bad = VecOptions(4);
+  bad.leaf_entry_bytes = 0;
+  EXPECT_THROW(EstimateTreeShape(h, 10, bad), std::invalid_argument);
+  bad = VecOptions(4);
+  bad.node_size_bytes = 2;
+  bad.node_header_bytes = 5;
+  EXPECT_THROW(EstimateTreeShape(h, 10, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,152 @@
+// Direct tests of the node splitter: group completeness, radius
+// correctness, parent-distance alignment, and policy-specific behavior.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/metric/vector_metrics.h"
+#include "mcm/mtree/split.h"
+
+namespace mcm {
+namespace {
+
+std::vector<const FloatVector*> Pointers(const std::vector<FloatVector>& v) {
+  std::vector<const FloatVector*> out;
+  for (const auto& p : v) out.push_back(&p);
+  return out;
+}
+
+class SplitPolicyTest
+    : public ::testing::TestWithParam<std::pair<PromotePolicy,
+                                                PartitionPolicy>> {};
+
+TEST_P(SplitPolicyTest, OutcomeIsAPartitionWithCorrectRadii) {
+  const auto points = GenerateClustered(40, 4, 479);
+  const auto ptrs = Pointers(points);
+  const std::vector<double> radii(points.size(), 0.0);
+  const LInfDistance metric;
+  NodeSplitter<FloatVector, LInfDistance> splitter(ptrs, radii, metric);
+  RandomEngine rng = MakeEngine(479);
+  const SplitOutcome out = splitter.Split(GetParam().first, GetParam().second,
+                                          32, rng);
+
+  // Every index appears exactly once across the two groups.
+  std::set<size_t> seen;
+  for (size_t i : out.first_group) EXPECT_TRUE(seen.insert(i).second);
+  for (size_t i : out.second_group) EXPECT_TRUE(seen.insert(i).second);
+  EXPECT_EQ(seen.size(), points.size());
+  EXPECT_FALSE(out.first_group.empty());
+  EXPECT_FALSE(out.second_group.empty());
+
+  // Promoted entries belong to their own groups.
+  EXPECT_NE(std::find(out.first_group.begin(), out.first_group.end(),
+                      out.promoted_first),
+            out.first_group.end());
+  EXPECT_NE(std::find(out.second_group.begin(), out.second_group.end(),
+                      out.promoted_second),
+            out.second_group.end());
+
+  // Distances are to the promoted object; radii cover every member.
+  for (size_t g = 0; g < out.first_group.size(); ++g) {
+    const double d = metric(points[out.promoted_first],
+                            points[out.first_group[g]]);
+    EXPECT_NEAR(out.first_distances[g], d, 1e-12);
+    EXPECT_LE(d, out.first_radius + 1e-12);
+  }
+  for (size_t g = 0; g < out.second_group.size(); ++g) {
+    const double d = metric(points[out.promoted_second],
+                            points[out.second_group[g]]);
+    EXPECT_NEAR(out.second_distances[g], d, 1e-12);
+    EXPECT_LE(d, out.second_radius + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SplitPolicyTest,
+    ::testing::Values(
+        std::pair{PromotePolicy::kRandom, PartitionPolicy::kBalanced},
+        std::pair{PromotePolicy::kSampling, PartitionPolicy::kBalanced},
+        std::pair{PromotePolicy::kMMRad, PartitionPolicy::kHyperplane},
+        std::pair{PromotePolicy::kMaxLbDist, PartitionPolicy::kHyperplane}),
+    [](const auto& info) { return "Case" + std::to_string(info.index); });
+
+TEST(NodeSplitter, BalancedPartitionIsBalanced) {
+  const auto points = GenerateUniform(41, 3, 487);
+  const auto ptrs = Pointers(points);
+  const std::vector<double> radii(points.size(), 0.0);
+  const LInfDistance metric;
+  NodeSplitter<FloatVector, LInfDistance> splitter(ptrs, radii, metric);
+  RandomEngine rng = MakeEngine(487);
+  const auto out = splitter.Split(PromotePolicy::kRandom,
+                                  PartitionPolicy::kBalanced, 8, rng);
+  const size_t a = out.first_group.size();
+  const size_t b = out.second_group.size();
+  EXPECT_LE(a > b ? a - b : b - a, 1u);
+}
+
+TEST(NodeSplitter, InternalEntryRadiiInflateCoveringRadius) {
+  // Routing entries carry their own covering radii; the split radius must
+  // be max(d + child_radius), not just max distance.
+  const std::vector<FloatVector> points = {{0.0f}, {1.0f}};
+  const auto ptrs = Pointers(points);
+  const std::vector<double> radii = {0.25, 0.5};
+  const LInfDistance metric;
+  NodeSplitter<FloatVector, LInfDistance> splitter(ptrs, radii, metric);
+  RandomEngine rng = MakeEngine(491);
+  const auto out = splitter.Split(PromotePolicy::kMMRad,
+                                  PartitionPolicy::kBalanced, 8, rng);
+  // Each singleton group's radius equals its own child radius.
+  const double r1 = out.first_group.front() == 0 ? 0.25 : 0.5;
+  EXPECT_DOUBLE_EQ(out.first_radius, r1);
+}
+
+TEST(NodeSplitter, MMRadPicksTighterSplitThanWorstCase) {
+  // Two tight clusters: mM_RAD must promote one object per cluster,
+  // yielding max radius << the cross-cluster distance.
+  ClusteredSpec spec;
+  spec.num_clusters = 2;
+  spec.sigma = 0.01;
+  const auto points = GenerateClustered(30, 3, 499, spec);
+  const auto ptrs = Pointers(points);
+  const std::vector<double> radii(points.size(), 0.0);
+  const LInfDistance metric;
+  NodeSplitter<FloatVector, LInfDistance> splitter(ptrs, radii, metric);
+  RandomEngine rng = MakeEngine(499);
+  const auto out = splitter.Split(PromotePolicy::kMMRad,
+                                  PartitionPolicy::kHyperplane, 8, rng);
+  EXPECT_LT(std::max(out.first_radius, out.second_radius), 0.2);
+}
+
+TEST(NodeSplitter, DuplicateObjectsSplitCleanly) {
+  const std::vector<FloatVector> points(10, FloatVector{0.5f, 0.5f});
+  const auto ptrs = Pointers(points);
+  const std::vector<double> radii(points.size(), 0.0);
+  const LInfDistance metric;
+  NodeSplitter<FloatVector, LInfDistance> splitter(ptrs, radii, metric);
+  RandomEngine rng = MakeEngine(503);
+  const auto out = splitter.Split(PromotePolicy::kSampling,
+                                  PartitionPolicy::kBalanced, 8, rng);
+  EXPECT_EQ(out.first_group.size() + out.second_group.size(), 10u);
+  EXPECT_DOUBLE_EQ(out.first_radius, 0.0);
+  EXPECT_DOUBLE_EQ(out.second_radius, 0.0);
+}
+
+TEST(NodeSplitter, RejectsDegenerateInput) {
+  const std::vector<FloatVector> one = {{0.5f}};
+  const auto ptrs = Pointers(one);
+  const std::vector<double> radii = {0.0};
+  const LInfDistance metric;
+  EXPECT_THROW((NodeSplitter<FloatVector, LInfDistance>(ptrs, radii, metric)),
+               std::invalid_argument);
+  const std::vector<FloatVector> two = {{0.5f}, {0.6f}};
+  const auto ptrs2 = Pointers(two);
+  const std::vector<double> bad_radii = {0.0};
+  EXPECT_THROW(
+      (NodeSplitter<FloatVector, LInfDistance>(ptrs2, bad_radii, metric)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcm

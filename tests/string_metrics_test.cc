@@ -1,0 +1,90 @@
+#include "mcm/metric/string_metrics.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "mcm/common/random.h"
+#include "mcm/dataset/text_datasets.h"
+
+namespace mcm {
+namespace {
+
+TEST(EditDistance, ClassicCases) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("same", "same"), 0u);
+  EXPECT_EQ(EditDistance("a", "b"), 1u);
+}
+
+TEST(EditDistance, SymmetricAndBoundedByLongerLength) {
+  EXPECT_EQ(EditDistance("casa", "cassa"), EditDistance("cassa", "casa"));
+  EXPECT_LE(EditDistance("amore", "morte"), 5u);
+}
+
+TEST(EditDistance, InsertionOnlyEqualsLengthDifference) {
+  EXPECT_EQ(EditDistance("ab", "aXbY"), 2u);
+  EXPECT_EQ(EditDistance("ciao", "ciaone"), 2u);
+}
+
+TEST(BoundedEditDistance, AgreesWithFullComputationWithinBound) {
+  const std::vector<std::string> words = GenerateKeywords(60, 5);
+  for (size_t i = 0; i < words.size(); ++i) {
+    for (size_t j = i; j < words.size(); j += 7) {
+      const size_t full = EditDistance(words[i], words[j]);
+      for (size_t bound : {1u, 3u, 8u, 30u}) {
+        const size_t bounded = BoundedEditDistance(words[i], words[j], bound);
+        if (full <= bound) {
+          EXPECT_EQ(bounded, full) << words[i] << " / " << words[j];
+        } else {
+          EXPECT_GT(bounded, bound) << words[i] << " / " << words[j];
+        }
+      }
+    }
+  }
+}
+
+TEST(BoundedEditDistance, QuickRejectOnLengthGap) {
+  EXPECT_GT(BoundedEditDistance("ab", "abcdefgh", 3), 3u);
+  EXPECT_EQ(BoundedEditDistance("abc", "abc", 0), 0u);
+  EXPECT_GT(BoundedEditDistance("abc", "abd", 0), 0u);
+}
+
+TEST(WeightedEditDistance, UnitCostsMatchPlainEditDistance) {
+  const WeightedEditDistance w(1.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(w("kitten", "sitting"), 3.0);
+  EXPECT_DOUBLE_EQ(w("", "ab"), 2.0);
+}
+
+TEST(WeightedEditDistance, ExpensiveSubstitutionPrefersInsertDelete) {
+  // substitution cost 3 > insert + delete: a mismatch costs 2.
+  const WeightedEditDistance w(1.0, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(w("a", "b"), 2.0);
+}
+
+TEST(WeightedEditDistance, AsymmetricCostsWeighDirection) {
+  const WeightedEditDistance w(2.0, 1.0, 1.5);
+  EXPECT_DOUBLE_EQ(w("", "aa"), 4.0);  // Two inserts.
+  EXPECT_DOUBLE_EQ(w("aa", ""), 2.0);  // Two deletes.
+}
+
+TEST(WeightedEditDistance, RejectsNonPositiveCosts) {
+  EXPECT_THROW(WeightedEditDistance(0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(WeightedEditDistance(1.0, -1.0, 1.0), std::invalid_argument);
+}
+
+TEST(HammingDistance, CountsMismatches) {
+  EXPECT_DOUBLE_EQ(HammingDistance("karolin", "kathrin"), 3.0);
+  EXPECT_DOUBLE_EQ(HammingDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(HammingDistance("abc", "abc"), 0.0);
+}
+
+TEST(HammingDistance, LengthMismatchThrows) {
+  EXPECT_THROW(HammingDistance("ab", "abc"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcm

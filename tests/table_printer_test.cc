@@ -1,0 +1,39 @@
+#include "mcm/common/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "22"});
+  std::ostringstream out;
+  t.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  // All four lines (header, separator, two rows) present.
+  size_t lines = 0;
+  for (char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(TablePrinter, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::ostringstream out;
+  EXPECT_NO_THROW(t.Print(out));
+}
+
+TEST(TablePrinter, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Num(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,104 @@
+#include "mcm/dataset/text_datasets.h"
+
+#include <cctype>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "mcm/metric/string_metrics.h"
+
+namespace mcm {
+namespace {
+
+TEST(TextDatasets, SpecsMatchTable1) {
+  const auto& specs = TextDatasets();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].code, "D");
+  EXPECT_EQ(specs[0].vocabulary_size, 17936u);
+  EXPECT_EQ(specs[1].code, "DC");
+  EXPECT_EQ(specs[1].vocabulary_size, 12701u);
+  EXPECT_EQ(specs[2].code, "GL");
+  EXPECT_EQ(specs[2].vocabulary_size, 11973u);
+  EXPECT_EQ(specs[3].code, "OF");
+  EXPECT_EQ(specs[3].vocabulary_size, 18719u);
+  EXPECT_EQ(specs[4].code, "PS");
+  EXPECT_EQ(specs[4].vocabulary_size, 19846u);
+}
+
+TEST(GenerateKeywords, ExactCountAllDistinct) {
+  const auto words = GenerateKeywords(2000, 1);
+  EXPECT_EQ(words.size(), 2000u);
+  const std::set<std::string> unique(words.begin(), words.end());
+  EXPECT_EQ(unique.size(), 2000u);
+}
+
+TEST(GenerateKeywords, LowercaseAsciiOnly) {
+  for (const auto& w : GenerateKeywords(500, 2)) {
+    EXPECT_FALSE(w.empty());
+    for (char c : w) {
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(c))) << w;
+    }
+  }
+}
+
+TEST(GenerateKeywords, RespectsMaxLength) {
+  for (const auto& w : GenerateKeywords(500, 3, /*max_len=*/10)) {
+    EXPECT_LE(w.size(), 10u);
+  }
+}
+
+TEST(GenerateKeywords, DeterministicPerSeed) {
+  EXPECT_EQ(GenerateKeywords(100, 7), GenerateKeywords(100, 7));
+  EXPECT_NE(GenerateKeywords(100, 7), GenerateKeywords(100, 8));
+}
+
+TEST(GenerateKeywords, EditDistancesStayWithin25) {
+  // Words are capped at 25 chars, so pairwise edit distance <= 25 — the
+  // paper's observed maximum, which sizes its 25-bin histograms.
+  const auto words = GenerateKeywords(150, 4);
+  for (size_t i = 0; i < words.size(); i += 3) {
+    for (size_t j = i + 1; j < words.size(); j += 5) {
+      EXPECT_LE(EditDistance(words[i], words[j]), 25u);
+    }
+  }
+}
+
+TEST(GenerateKeywords, WordLengthsLookItalianLike) {
+  // Typical content-word lengths: mass concentrated between 4 and 14 chars.
+  const auto words = GenerateKeywords(3000, 5);
+  size_t mid = 0;
+  double total_len = 0.0;
+  for (const auto& w : words) {
+    total_len += static_cast<double>(w.size());
+    mid += (w.size() >= 4 && w.size() <= 14) ? 1 : 0;
+  }
+  EXPECT_GT(mid, words.size() * 4 / 5);
+  const double mean = total_len / static_cast<double>(words.size());
+  EXPECT_GT(mean, 5.0);
+  EXPECT_LT(mean, 12.0);
+}
+
+TEST(GenerateKeywords, MaxLenTooSmallRejected) {
+  EXPECT_THROW(GenerateKeywords(10, 1, /*max_len=*/2), std::invalid_argument);
+}
+
+TEST(GenerateKeywordQueries, IndependentOfDatasetStream) {
+  const auto words = GenerateKeywords(500, 11);
+  const auto queries = GenerateKeywordQueries(100, 11);
+  EXPECT_EQ(queries.size(), 100u);
+  // Same generator family: queries are plausible keywords (format checks).
+  for (const auto& q : queries) {
+    EXPECT_FALSE(q.empty());
+    EXPECT_LE(q.size(), 25u);
+  }
+  // The two streams are different sequences.
+  EXPECT_NE(std::vector<std::string>(words.begin(), words.begin() + 100),
+            queries);
+}
+
+TEST(GenerateKeywordQueries, Deterministic) {
+  EXPECT_EQ(GenerateKeywordQueries(50, 3), GenerateKeywordQueries(50, 3));
+}
+
+}  // namespace
+}  // namespace mcm

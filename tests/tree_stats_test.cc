@@ -1,0 +1,91 @@
+#include "mcm/cost/tree_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/bulk_load.h"
+
+namespace mcm {
+namespace {
+
+using VecTraits = VectorTraits<LInfDistance>;
+
+TEST(AggregateLevels, AveragesPerLevel) {
+  std::vector<NodeStatRecord> nodes = {
+      {1, 1.0, 2, false},
+      {2, 0.5, 10, true},
+      {2, 0.3, 20, true},
+  };
+  const auto levels = AggregateLevels(nodes);
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[0].level, 1u);
+  EXPECT_EQ(levels[0].num_nodes, 1u);
+  EXPECT_DOUBLE_EQ(levels[0].avg_covering_radius, 1.0);
+  EXPECT_EQ(levels[1].num_nodes, 2u);
+  EXPECT_DOUBLE_EQ(levels[1].avg_covering_radius, 0.4);
+  EXPECT_DOUBLE_EQ(levels[1].avg_entries, 15.0);
+}
+
+TEST(AggregateLevels, EmptyInput) {
+  EXPECT_TRUE(AggregateLevels({}).empty());
+}
+
+TEST(CollectStats, StructuralIdentitiesHold) {
+  MTreeOptions options;
+  options.node_size_bytes = 512;
+  const auto data = GenerateClustered(2500, 6, 97);
+  auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
+  const auto stats = tree.CollectStats(1.0);
+
+  EXPECT_EQ(stats.num_objects, 2500u);
+  EXPECT_EQ(stats.num_nodes(), tree.store().NumNodes());
+  ASSERT_FALSE(stats.levels.empty());
+  // Root level: one node with the conventional radius d+ (footnote 1).
+  EXPECT_EQ(stats.levels.front().num_nodes, 1u);
+  EXPECT_DOUBLE_EQ(stats.levels.front().avg_covering_radius, 1.0);
+
+  // M_{l+1} equals the number of entries at level l (the identity behind
+  // Eq. 16), and leaf entries sum to n.
+  std::vector<double> entries_per_level(stats.levels.size(), 0.0);
+  std::vector<size_t> leaf_entries(1, 0);
+  double total_leaf_entries = 0.0;
+  for (const auto& node : stats.nodes) {
+    entries_per_level[node.level - 1] +=
+        static_cast<double>(node.num_entries);
+    if (node.is_leaf) total_leaf_entries += node.num_entries;
+  }
+  for (size_t l = 0; l + 1 < stats.levels.size(); ++l) {
+    EXPECT_DOUBLE_EQ(entries_per_level[l],
+                     static_cast<double>(stats.levels[l + 1].num_nodes));
+  }
+  EXPECT_DOUBLE_EQ(total_leaf_entries, 2500.0);
+
+  // Radii shrink as we descend (on average): parent balls cover child balls.
+  for (size_t l = 1; l + 1 < stats.levels.size(); ++l) {
+    EXPECT_GE(stats.levels[l].avg_covering_radius,
+              stats.levels[l + 1].avg_covering_radius * 0.5);
+  }
+}
+
+TEST(CollectStats, EmptyTree) {
+  MTree<VecTraits> tree(LInfDistance{}, MTreeOptions{});
+  const auto stats = tree.CollectStats(1.0);
+  EXPECT_EQ(stats.num_objects, 0u);
+  EXPECT_TRUE(stats.nodes.empty());
+  EXPECT_TRUE(stats.levels.empty());
+}
+
+TEST(CollectStats, LeafLevelMarksLeaves) {
+  MTreeOptions options;
+  options.node_size_bytes = 256;
+  const auto data = GenerateUniform(500, 3, 101);
+  auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
+  const auto stats = tree.CollectStats(1.0);
+  for (const auto& node : stats.nodes) {
+    EXPECT_EQ(node.is_leaf, node.level == stats.height);
+  }
+}
+
+}  // namespace
+}  // namespace mcm

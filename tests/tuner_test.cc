@@ -1,0 +1,65 @@
+#include "mcm/cost/tuner.h"
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(IoCostMs, PaperParameters) {
+  const DiskCostParameters params;  // t_pos = 10 ms, t_trans = 1 ms/KB.
+  EXPECT_DOUBLE_EQ(IoCostMs(params, 4096), 14.0);
+  EXPECT_DOUBLE_EQ(IoCostMs(params, 8192), 18.0);
+  EXPECT_DOUBLE_EQ(IoCostMs(params, 512), 10.5);
+}
+
+TEST(TotalCostMs, CombinesCpuAndIo) {
+  const DiskCostParameters params;  // c_CPU = 5 ms.
+  // 100 distances, 10 node reads of 4 KB: 5*100 + 14*10.
+  EXPECT_DOUBLE_EQ(TotalCostMs(params, 100.0, 10.0, 4096), 640.0);
+}
+
+TEST(ChooseNodeSize, PicksInteriorMinimum) {
+  const DiskCostParameters params;
+  // Shape like Fig. 5: I/O falls with node size, CPU rises past a point.
+  const std::vector<NodeSizeSample> samples = {
+      {1024, 50.0, 200.0},   // 250 + 2200   = 2450
+      {4096, 60.0, 70.0},    // 300 + 980    = 1280
+      {8192, 90.0, 40.0},    // 450 + 720    = 1170
+      {16384, 180.0, 25.0},  // 900 + 650    = 1550
+  };
+  const TuningResult result = ChooseNodeSize(params, samples);
+  EXPECT_EQ(result.best_node_size_bytes, 8192u);
+  EXPECT_DOUBLE_EQ(result.best_total_ms, 1170.0);
+  ASSERT_EQ(result.total_ms.size(), 4u);
+  EXPECT_DOUBLE_EQ(result.total_ms[0], 2450.0);
+  EXPECT_DOUBLE_EQ(result.total_ms[3], 1550.0);
+}
+
+TEST(ChooseNodeSize, SingleSample) {
+  const TuningResult result =
+      ChooseNodeSize(DiskCostParameters{}, {{2048, 1.0, 1.0}});
+  EXPECT_EQ(result.best_node_size_bytes, 2048u);
+}
+
+TEST(ChooseNodeSize, EmptyRejected) {
+  EXPECT_THROW(ChooseNodeSize(DiskCostParameters{}, {}),
+               std::invalid_argument);
+}
+
+TEST(ChooseNodeSize, CustomCoefficientsShiftOptimum) {
+  // Free CPU: the largest node size (lowest I/O count) must win.
+  DiskCostParameters io_only;
+  io_only.cpu_ms_per_distance = 0.0;
+  const std::vector<NodeSizeSample> samples = {
+      {1024, 50.0, 200.0}, {4096, 60.0, 70.0}, {65536, 500.0, 10.0}};
+  EXPECT_EQ(ChooseNodeSize(io_only, samples).best_node_size_bytes, 65536u);
+
+  // Free I/O: the smallest CPU cost wins.
+  DiskCostParameters cpu_only;
+  cpu_only.position_ms = 0.0;
+  cpu_only.transfer_ms_per_kb = 0.0;
+  EXPECT_EQ(ChooseNodeSize(cpu_only, samples).best_node_size_bytes, 1024u);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,124 @@
+#include "mcm/dataset/vector_datasets.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "mcm/metric/vector_metrics.h"
+
+namespace mcm {
+namespace {
+
+TEST(GenerateUniform, ShapeAndBounds) {
+  const auto points = GenerateUniform(500, 7, 1);
+  ASSERT_EQ(points.size(), 500u);
+  for (const auto& p : points) {
+    ASSERT_EQ(p.size(), 7u);
+    for (float x : p) {
+      EXPECT_GE(x, 0.0f);
+      EXPECT_LE(x, 1.0f);
+    }
+  }
+}
+
+TEST(GenerateUniform, DeterministicPerSeed) {
+  EXPECT_EQ(GenerateUniform(50, 3, 9), GenerateUniform(50, 3, 9));
+  EXPECT_NE(GenerateUniform(50, 3, 9), GenerateUniform(50, 3, 10));
+}
+
+TEST(GenerateUniform, CoordinateMeanNearHalf) {
+  const auto points = GenerateUniform(5000, 2, 5);
+  double sum = 0.0;
+  for (const auto& p : points) sum += p[0];
+  EXPECT_NEAR(sum / 5000.0, 0.5, 0.03);
+}
+
+TEST(GenerateClustered, ShapeBoundsAndDeterminism) {
+  const auto points = GenerateClustered(400, 10, 2);
+  ASSERT_EQ(points.size(), 400u);
+  for (const auto& p : points) {
+    ASSERT_EQ(p.size(), 10u);
+    for (float x : p) {
+      EXPECT_GE(x, 0.0f);
+      EXPECT_LE(x, 1.0f);
+    }
+  }
+  EXPECT_EQ(points, GenerateClustered(400, 10, 2));
+}
+
+TEST(GenerateClustered, PointsConcentrateAroundFewCenters) {
+  // With sigma = 0.1 the nearest-neighbor distance within a cluster is far
+  // smaller than the typical inter-cluster distance: most points must have
+  // a close neighbor.
+  const auto points = GenerateClustered(300, 8, 3);
+  LInfDistance metric;
+  size_t with_close_neighbor = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    double best = 1.0;
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      best = std::min(best, metric(points[i], points[j]));
+    }
+    with_close_neighbor += best < 0.2 ? 1 : 0;
+  }
+  EXPECT_GT(with_close_neighbor, points.size() * 9 / 10);
+}
+
+TEST(GenerateClustered, CustomSpecControlsSpread) {
+  ClusteredSpec tight;
+  tight.num_clusters = 2;
+  tight.sigma = 0.01;
+  const auto points = GenerateClustered(200, 4, 3, tight);
+  // With two tiny clusters, pairwise L-inf distances are bimodal: near zero
+  // or near the center separation. Count the near-zero fraction.
+  LInfDistance metric;
+  size_t small = 0, total = 0;
+  for (size_t i = 0; i < points.size(); i += 5) {
+    for (size_t j = i + 1; j < points.size(); j += 5) {
+      small += metric(points[i], points[j]) < 0.1 ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(small) / static_cast<double>(total), 0.3);
+}
+
+TEST(GenerateVectorQueries, BiasedModelSharesDistributionButNotPoints) {
+  const auto data =
+      GenerateVectorDataset(VectorDatasetKind::kClustered, 500, 6, 7);
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 100, 6, 7);
+  // Queries are fresh draws: not members of the dataset.
+  for (const auto& q : queries) {
+    EXPECT_EQ(std::count(data.begin(), data.end(), q), 0);
+  }
+  // But they follow the same cluster centers: every query must lie close to
+  // some data point (same S).
+  LInfDistance metric;
+  for (const auto& q : queries) {
+    double best = 1.0;
+    for (const auto& p : data) best = std::min(best, metric(q, p));
+    EXPECT_LT(best, 0.35);
+  }
+}
+
+TEST(GenerateVectorDataset, DispatchesOnKind) {
+  EXPECT_EQ(GenerateVectorDataset(VectorDatasetKind::kUniform, 10, 2, 1),
+            GenerateUniform(10, 2, 1));
+  EXPECT_EQ(GenerateVectorDataset(VectorDatasetKind::kClustered, 10, 2, 1),
+            GenerateClustered(10, 2, 1));
+}
+
+TEST(VectorDatasets, RejectZeroDimension) {
+  EXPECT_THROW(GenerateUniform(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW(GenerateClustered(10, 0, 1), std::invalid_argument);
+}
+
+TEST(GenerateClustered, RejectZeroClusters) {
+  ClusteredSpec spec;
+  spec.num_clusters = 0;
+  EXPECT_THROW(GenerateClustered(10, 2, 1, spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcm

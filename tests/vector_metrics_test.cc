@@ -1,0 +1,59 @@
+#include "mcm/metric/vector_metrics.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(L1Distance, KnownValues) {
+  L1Distance d;
+  EXPECT_DOUBLE_EQ(d({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(d({1, -1}, {1, -1}), 0.0);
+  EXPECT_DOUBLE_EQ(d({-1, 2}, {1, -2}), 6.0);
+}
+
+TEST(L2Distance, KnownValues) {
+  L2Distance d;
+  EXPECT_DOUBLE_EQ(d({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(d({1, 1, 1}, {1, 1, 1}), 0.0);
+  EXPECT_NEAR(d({0}, {1}), 1.0, 1e-12);
+}
+
+TEST(LInfDistance, KnownValues) {
+  LInfDistance d;
+  EXPECT_DOUBLE_EQ(d({0, 0}, {3, 4}), 4.0);
+  EXPECT_DOUBLE_EQ(d({0.5f, 0.25f}, {0.5f, 0.25f}), 0.0);
+  EXPECT_NEAR(d({-1, 0}, {2, 0.5f}), 3.0, 1e-6);
+}
+
+TEST(LpDistance, InterpolatesBetweenL1AndLInf) {
+  const FloatVector a = {0, 0};
+  const FloatVector b = {3, 4};
+  EXPECT_NEAR(LpDistance(1.0)(a, b), L1Distance()(a, b), 1e-9);
+  EXPECT_NEAR(LpDistance(2.0)(a, b), L2Distance()(a, b), 1e-9);
+  // Lp approaches LInf as p grows.
+  EXPECT_NEAR(LpDistance(64.0)(a, b), LInfDistance()(a, b), 0.05);
+}
+
+TEST(LpDistance, RejectsPBelowOne) {
+  EXPECT_THROW(LpDistance(0.5), std::invalid_argument);
+}
+
+TEST(VectorMetrics, DimensionMismatchThrows) {
+  EXPECT_THROW(L1Distance()({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW(L2Distance()({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW(LInfDistance()({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW(LpDistance(3.0)({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(UnitCubeDiameter, KnownValues) {
+  EXPECT_DOUBLE_EQ(UnitCubeDiameter(9, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(UnitCubeDiameter(5, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(
+      UnitCubeDiameter(100, std::numeric_limits<double>::infinity()), 1.0);
+}
+
+}  // namespace
+}  // namespace mcm

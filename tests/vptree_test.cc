@@ -1,0 +1,160 @@
+// vp-tree correctness: exact agreement with linear scan across arities,
+// vantage-selection heuristics and leaf capacities, for vectors and strings.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "mcm/dataset/text_datasets.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/metric/traits.h"
+#include "mcm/vptree/vptree.h"
+
+namespace mcm {
+namespace {
+
+using VecTraits = VectorTraits<LInfDistance>;
+using StrTraits = StringTraits<>;
+
+class VpTreeArityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(VpTreeArityTest, RangeMatchesLinearScan) {
+  VpTreeOptions options;
+  options.arity = GetParam();
+  const auto data = GenerateClustered(600, 6, 137);
+  const VpTree<VecTraits> tree(data, LInfDistance{}, options);
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 20, 6, 137);
+  const LInfDistance metric;
+  for (const auto& q : queries) {
+    for (double radius : {0.0, 0.05, 0.2, 0.6}) {
+      size_t expected = 0;
+      for (const auto& p : data) expected += metric(q, p) <= radius ? 1 : 0;
+      const auto got = tree.RangeSearch(q, radius);
+      EXPECT_EQ(got.size(), expected) << "radius=" << radius;
+      for (size_t i = 1; i < got.size(); ++i) {
+        EXPECT_GE(got[i].distance, got[i - 1].distance);
+      }
+    }
+  }
+}
+
+TEST_P(VpTreeArityTest, KnnMatchesLinearScan) {
+  VpTreeOptions options;
+  options.arity = GetParam();
+  const auto data = GenerateClustered(500, 5, 139);
+  const VpTree<VecTraits> tree(data, LInfDistance{}, options);
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 15, 5, 139);
+  const LInfDistance metric;
+  for (const auto& q : queries) {
+    std::vector<double> all;
+    for (const auto& p : data) all.push_back(metric(q, p));
+    std::sort(all.begin(), all.end());
+    for (size_t k : {1u, 7u}) {
+      const auto got = tree.KnnSearch(q, k);
+      ASSERT_EQ(got.size(), k);
+      for (size_t i = 0; i < k; ++i) {
+        EXPECT_NEAR(got[i].distance, all[i], 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arity, VpTreeArityTest, ::testing::Values(2, 3, 5),
+                         [](const auto& info) {
+                           return "m" + std::to_string(info.param);
+                         });
+
+TEST(VpTree, StringsUnderEditDistance) {
+  const auto words = GenerateKeywords(400, 149);
+  VpTreeOptions options;
+  options.arity = 3;
+  const VpTree<StrTraits> tree(words, EditDistanceMetric{}, options);
+  const EditDistanceMetric metric;
+  for (const auto& q : GenerateKeywordQueries(10, 149)) {
+    size_t expected = 0;
+    for (const auto& w : words) expected += metric(q, w) <= 3.0 ? 1 : 0;
+    EXPECT_EQ(tree.RangeSearch(q, 3.0).size(), expected);
+  }
+}
+
+TEST(VpTree, BestSpreadSelectionStaysCorrect) {
+  VpTreeOptions options;
+  options.selection = VantageSelection::kBestSpread;
+  const auto data = GenerateUniform(300, 4, 151);
+  const VpTree<VecTraits> tree(data, LInfDistance{}, options);
+  const LInfDistance metric;
+  const FloatVector q = {0.3f, 0.7f, 0.1f, 0.9f};
+  size_t expected = 0;
+  for (const auto& p : data) expected += metric(q, p) <= 0.25 ? 1 : 0;
+  EXPECT_EQ(tree.RangeSearch(q, 0.25).size(), expected);
+}
+
+TEST(VpTree, LeafCapacityBucketsStayCorrect) {
+  VpTreeOptions options;
+  options.leaf_capacity = 8;
+  const auto data = GenerateClustered(400, 5, 157);
+  const VpTree<VecTraits> tree(data, LInfDistance{}, options);
+  const LInfDistance metric;
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 10, 5, 157);
+  for (const auto& q : queries) {
+    size_t expected = 0;
+    for (const auto& p : data) expected += metric(q, p) <= 0.3 ? 1 : 0;
+    EXPECT_EQ(tree.RangeSearch(q, 0.3).size(), expected);
+  }
+  const auto stats = tree.CollectStats();
+  EXPECT_GT(stats.num_leaves, 0u);
+  EXPECT_GT(stats.num_internal, 0u);
+}
+
+TEST(VpTree, StatsViewCountsNodes) {
+  VpTreeOptions options;  // Binary, leaf capacity 1.
+  const auto data = GenerateUniform(127, 3, 163);
+  const VpTree<VecTraits> tree(data, LInfDistance{}, options);
+  const auto stats = tree.CollectStats();
+  EXPECT_EQ(stats.num_objects, 127u);
+  // Every object is either a vantage point (internal) or in a leaf bucket:
+  // with capacity 1, internal + leaves == n.
+  EXPECT_EQ(stats.num_internal + stats.num_leaves, 127u);
+  EXPECT_GE(stats.height, 7u);  // At least log2(n).
+}
+
+TEST(VpTree, EmptyAndSingleton) {
+  const VpTree<VecTraits> empty({}, LInfDistance{}, VpTreeOptions{});
+  EXPECT_TRUE(empty.RangeSearch({0.5f}, 1.0).empty());
+  EXPECT_TRUE(empty.KnnSearch({0.5f}, 2).empty());
+
+  const VpTree<VecTraits> one({{0.25f}}, LInfDistance{}, VpTreeOptions{});
+  const auto r = one.RangeSearch({0.5f}, 0.3);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].oid, 0u);
+}
+
+TEST(VpTree, DistanceCountersTrackWork) {
+  VpTreeOptions options;
+  const auto data = GenerateUniform(200, 4, 167);
+  const VpTree<VecTraits> tree(data, LInfDistance{}, options);
+  QueryStats stats;
+  tree.RangeSearch({0.5f, 0.5f, 0.5f, 0.5f}, 1.0, &stats);
+  // Full-radius query touches every object once.
+  EXPECT_EQ(stats.distance_computations, 200u);
+  QueryStats small;
+  tree.RangeSearch({0.5f, 0.5f, 0.5f, 0.5f}, 0.05, &small);
+  EXPECT_LT(small.distance_computations, 200u);
+}
+
+TEST(VpTree, RejectsBadOptions) {
+  VpTreeOptions bad_arity;
+  bad_arity.arity = 1;
+  EXPECT_THROW(VpTree<VecTraits>({{0.1f}}, LInfDistance{}, bad_arity),
+               std::invalid_argument);
+  VpTreeOptions bad_leaf;
+  bad_leaf.leaf_capacity = 0;
+  EXPECT_THROW(VpTree<VecTraits>({{0.1f}}, LInfDistance{}, bad_leaf),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcm

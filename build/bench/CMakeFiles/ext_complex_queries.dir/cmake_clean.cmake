@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_complex_queries.dir/ext_complex_queries.cc.o"
+  "CMakeFiles/ext_complex_queries.dir/ext_complex_queries.cc.o.d"
+  "ext_complex_queries"
+  "ext_complex_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_complex_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

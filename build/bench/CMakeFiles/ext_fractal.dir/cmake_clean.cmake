@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fractal.dir/ext_fractal.cc.o"
+  "CMakeFiles/ext_fractal.dir/ext_fractal.cc.o.d"
+  "ext_fractal"
+  "ext_fractal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fractal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_histogram_resolution.dir/ext_histogram_resolution.cc.o"
+  "CMakeFiles/ext_histogram_resolution.dir/ext_histogram_resolution.cc.o.d"
+  "ext_histogram_resolution"
+  "ext_histogram_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_histogram_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_index_comparison.dir/ext_index_comparison.cc.o"
+  "CMakeFiles/ext_index_comparison.dir/ext_index_comparison.cc.o.d"
+  "ext_index_comparison"
+  "ext_index_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_index_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

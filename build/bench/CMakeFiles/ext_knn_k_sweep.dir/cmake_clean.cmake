@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_knn_k_sweep.dir/ext_knn_k_sweep.cc.o"
+  "CMakeFiles/ext_knn_k_sweep.dir/ext_knn_k_sweep.cc.o.d"
+  "ext_knn_k_sweep"
+  "ext_knn_k_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_knn_k_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

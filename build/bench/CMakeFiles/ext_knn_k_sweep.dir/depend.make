@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_knn_k_sweep.
+# This may be replaced when dependencies are built.

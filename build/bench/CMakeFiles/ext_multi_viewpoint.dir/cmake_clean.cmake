@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multi_viewpoint.dir/ext_multi_viewpoint.cc.o"
+  "CMakeFiles/ext_multi_viewpoint.dir/ext_multi_viewpoint.cc.o.d"
+  "ext_multi_viewpoint"
+  "ext_multi_viewpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_viewpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_vptree_model.dir/ext_vptree_model.cc.o"
+  "CMakeFiles/ext_vptree_model.dir/ext_vptree_model.cc.o.d"
+  "ext_vptree_model"
+  "ext_vptree_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_vptree_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

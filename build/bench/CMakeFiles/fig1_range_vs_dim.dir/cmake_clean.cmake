@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_range_vs_dim.dir/fig1_range_vs_dim.cc.o"
+  "CMakeFiles/fig1_range_vs_dim.dir/fig1_range_vs_dim.cc.o.d"
+  "fig1_range_vs_dim"
+  "fig1_range_vs_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_range_vs_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

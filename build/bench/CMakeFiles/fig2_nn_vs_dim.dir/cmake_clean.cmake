@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_nn_vs_dim.dir/fig2_nn_vs_dim.cc.o"
+  "CMakeFiles/fig2_nn_vs_dim.dir/fig2_nn_vs_dim.cc.o.d"
+  "fig2_nn_vs_dim"
+  "fig2_nn_vs_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_nn_vs_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

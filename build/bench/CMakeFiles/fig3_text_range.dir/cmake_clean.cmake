@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_text_range.dir/fig3_text_range.cc.o"
+  "CMakeFiles/fig3_text_range.dir/fig3_text_range.cc.o.d"
+  "fig3_text_range"
+  "fig3_text_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_text_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_hv.dir/table1_hv.cc.o"
+  "CMakeFiles/table1_hv.dir/table1_hv.cc.o.d"
+  "table1_hv"
+  "table1_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_index.dir/disk_index.cpp.o"
+  "CMakeFiles/disk_index.dir/disk_index.cpp.o.d"
+  "disk_index"
+  "disk_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_size_advisor.dir/node_size_advisor.cpp.o"
+  "CMakeFiles/node_size_advisor.dir/node_size_advisor.cpp.o.d"
+  "node_size_advisor"
+  "node_size_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_size_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_search.dir/shape_search.cpp.o"
+  "CMakeFiles/shape_search.dir/shape_search.cpp.o.d"
+  "shape_search"
+  "shape_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcm/bench_util/experiment.cc" "src/CMakeFiles/mcm.dir/mcm/bench_util/experiment.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/bench_util/experiment.cc.o.d"
+  "/root/repo/src/mcm/common/env.cc" "src/CMakeFiles/mcm.dir/mcm/common/env.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/common/env.cc.o.d"
+  "/root/repo/src/mcm/common/numeric.cc" "src/CMakeFiles/mcm.dir/mcm/common/numeric.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/common/numeric.cc.o.d"
+  "/root/repo/src/mcm/common/table_printer.cc" "src/CMakeFiles/mcm.dir/mcm/common/table_printer.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/common/table_printer.cc.o.d"
+  "/root/repo/src/mcm/cost/access_path.cc" "src/CMakeFiles/mcm.dir/mcm/cost/access_path.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/cost/access_path.cc.o.d"
+  "/root/repo/src/mcm/cost/lmcm.cc" "src/CMakeFiles/mcm.dir/mcm/cost/lmcm.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/cost/lmcm.cc.o.d"
+  "/root/repo/src/mcm/cost/nmcm.cc" "src/CMakeFiles/mcm.dir/mcm/cost/nmcm.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/cost/nmcm.cc.o.d"
+  "/root/repo/src/mcm/cost/nn_distance.cc" "src/CMakeFiles/mcm.dir/mcm/cost/nn_distance.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/cost/nn_distance.cc.o.d"
+  "/root/repo/src/mcm/cost/shape_estimator.cc" "src/CMakeFiles/mcm.dir/mcm/cost/shape_estimator.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/cost/shape_estimator.cc.o.d"
+  "/root/repo/src/mcm/cost/tree_stats.cc" "src/CMakeFiles/mcm.dir/mcm/cost/tree_stats.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/cost/tree_stats.cc.o.d"
+  "/root/repo/src/mcm/cost/tuner.cc" "src/CMakeFiles/mcm.dir/mcm/cost/tuner.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/cost/tuner.cc.o.d"
+  "/root/repo/src/mcm/cost/vp_model.cc" "src/CMakeFiles/mcm.dir/mcm/cost/vp_model.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/cost/vp_model.cc.o.d"
+  "/root/repo/src/mcm/dataset/shape_datasets.cc" "src/CMakeFiles/mcm.dir/mcm/dataset/shape_datasets.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/dataset/shape_datasets.cc.o.d"
+  "/root/repo/src/mcm/dataset/text_datasets.cc" "src/CMakeFiles/mcm.dir/mcm/dataset/text_datasets.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/dataset/text_datasets.cc.o.d"
+  "/root/repo/src/mcm/dataset/vector_datasets.cc" "src/CMakeFiles/mcm.dir/mcm/dataset/vector_datasets.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/dataset/vector_datasets.cc.o.d"
+  "/root/repo/src/mcm/distribution/fractal.cc" "src/CMakeFiles/mcm.dir/mcm/distribution/fractal.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/distribution/fractal.cc.o.d"
+  "/root/repo/src/mcm/distribution/histogram.cc" "src/CMakeFiles/mcm.dir/mcm/distribution/histogram.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/distribution/histogram.cc.o.d"
+  "/root/repo/src/mcm/distribution/homogeneity.cc" "src/CMakeFiles/mcm.dir/mcm/distribution/homogeneity.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/distribution/homogeneity.cc.o.d"
+  "/root/repo/src/mcm/metric/set_metrics.cc" "src/CMakeFiles/mcm.dir/mcm/metric/set_metrics.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/metric/set_metrics.cc.o.d"
+  "/root/repo/src/mcm/metric/string_metrics.cc" "src/CMakeFiles/mcm.dir/mcm/metric/string_metrics.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/metric/string_metrics.cc.o.d"
+  "/root/repo/src/mcm/storage/buffer_pool.cc" "src/CMakeFiles/mcm.dir/mcm/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/mcm/storage/page_file.cc" "src/CMakeFiles/mcm.dir/mcm/storage/page_file.cc.o" "gcc" "src/CMakeFiles/mcm.dir/mcm/storage/page_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

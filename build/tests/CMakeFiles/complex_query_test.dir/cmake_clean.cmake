@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_query_test.dir/complex_query_test.cc.o"
+  "CMakeFiles/complex_query_test.dir/complex_query_test.cc.o.d"
+  "complex_query_test"
+  "complex_query_test.pdb"
+  "complex_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

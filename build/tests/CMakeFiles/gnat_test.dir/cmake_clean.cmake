@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnat_test.dir/gnat_test.cc.o"
+  "CMakeFiles/gnat_test.dir/gnat_test.cc.o.d"
+  "gnat_test"
+  "gnat_test.pdb"
+  "gnat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

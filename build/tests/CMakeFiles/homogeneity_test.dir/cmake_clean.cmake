@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homogeneity_test.dir/homogeneity_test.cc.o"
+  "CMakeFiles/homogeneity_test.dir/homogeneity_test.cc.o.d"
+  "homogeneity_test"
+  "homogeneity_test.pdb"
+  "homogeneity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homogeneity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

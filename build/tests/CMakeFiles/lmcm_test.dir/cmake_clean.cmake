@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmcm_test.dir/lmcm_test.cc.o"
+  "CMakeFiles/lmcm_test.dir/lmcm_test.cc.o.d"
+  "lmcm_test"
+  "lmcm_test.pdb"
+  "lmcm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metric_properties_test.dir/metric_properties_test.cc.o"
+  "CMakeFiles/metric_properties_test.dir/metric_properties_test.cc.o.d"
+  "metric_properties_test"
+  "metric_properties_test.pdb"
+  "metric_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metric_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtree_bulkload_test.dir/mtree_bulkload_test.cc.o"
+  "CMakeFiles/mtree_bulkload_test.dir/mtree_bulkload_test.cc.o.d"
+  "mtree_bulkload_test"
+  "mtree_bulkload_test.pdb"
+  "mtree_bulkload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtree_bulkload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

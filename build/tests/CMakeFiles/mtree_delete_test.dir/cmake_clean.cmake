@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtree_delete_test.dir/mtree_delete_test.cc.o"
+  "CMakeFiles/mtree_delete_test.dir/mtree_delete_test.cc.o.d"
+  "mtree_delete_test"
+  "mtree_delete_test.pdb"
+  "mtree_delete_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtree_delete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtree_query_test.dir/mtree_query_test.cc.o"
+  "CMakeFiles/mtree_query_test.dir/mtree_query_test.cc.o.d"
+  "mtree_query_test"
+  "mtree_query_test.pdb"
+  "mtree_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtree_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmcm_test.dir/nmcm_test.cc.o"
+  "CMakeFiles/nmcm_test.dir/nmcm_test.cc.o.d"
+  "nmcm_test"
+  "nmcm_test.pdb"
+  "nmcm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_distance_test.dir/nn_distance_test.cc.o"
+  "CMakeFiles/nn_distance_test.dir/nn_distance_test.cc.o.d"
+  "nn_distance_test"
+  "nn_distance_test.pdb"
+  "nn_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

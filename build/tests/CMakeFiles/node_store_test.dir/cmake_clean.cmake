@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_store_test.dir/node_store_test.cc.o"
+  "CMakeFiles/node_store_test.dir/node_store_test.cc.o.d"
+  "node_store_test"
+  "node_store_test.pdb"
+  "node_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paged_query_test.dir/paged_query_test.cc.o"
+  "CMakeFiles/paged_query_test.dir/paged_query_test.cc.o.d"
+  "paged_query_test"
+  "paged_query_test.pdb"
+  "paged_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paged_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

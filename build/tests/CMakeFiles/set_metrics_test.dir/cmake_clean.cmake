@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_metrics_test.dir/set_metrics_test.cc.o"
+  "CMakeFiles/set_metrics_test.dir/set_metrics_test.cc.o.d"
+  "set_metrics_test"
+  "set_metrics_test.pdb"
+  "set_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_estimator_test.dir/shape_estimator_test.cc.o"
+  "CMakeFiles/shape_estimator_test.dir/shape_estimator_test.cc.o.d"
+  "shape_estimator_test"
+  "shape_estimator_test.pdb"
+  "shape_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

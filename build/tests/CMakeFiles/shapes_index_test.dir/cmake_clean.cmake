@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapes_index_test.dir/shapes_index_test.cc.o"
+  "CMakeFiles/shapes_index_test.dir/shapes_index_test.cc.o.d"
+  "shapes_index_test"
+  "shapes_index_test.pdb"
+  "shapes_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapes_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_metrics_test.dir/string_metrics_test.cc.o"
+  "CMakeFiles/string_metrics_test.dir/string_metrics_test.cc.o.d"
+  "string_metrics_test"
+  "string_metrics_test.pdb"
+  "string_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

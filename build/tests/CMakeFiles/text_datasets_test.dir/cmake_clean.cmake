@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_datasets_test.dir/text_datasets_test.cc.o"
+  "CMakeFiles/text_datasets_test.dir/text_datasets_test.cc.o.d"
+  "text_datasets_test"
+  "text_datasets_test.pdb"
+  "text_datasets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_datasets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

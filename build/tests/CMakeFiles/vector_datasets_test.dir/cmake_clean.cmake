@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_datasets_test.dir/vector_datasets_test.cc.o"
+  "CMakeFiles/vector_datasets_test.dir/vector_datasets_test.cc.o.d"
+  "vector_datasets_test"
+  "vector_datasets_test.pdb"
+  "vector_datasets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_datasets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

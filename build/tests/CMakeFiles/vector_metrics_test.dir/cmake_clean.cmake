@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_metrics_test.dir/vector_metrics_test.cc.o"
+  "CMakeFiles/vector_metrics_test.dir/vector_metrics_test.cc.o.d"
+  "vector_metrics_test"
+  "vector_metrics_test.pdb"
+  "vector_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

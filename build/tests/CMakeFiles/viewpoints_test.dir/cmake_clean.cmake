@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewpoints_test.dir/viewpoints_test.cc.o"
+  "CMakeFiles/viewpoints_test.dir/viewpoints_test.cc.o.d"
+  "viewpoints_test"
+  "viewpoints_test.pdb"
+  "viewpoints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewpoints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -27,6 +27,7 @@
 #include "mcm/metric/counted_metric.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
+#include "mcm/obs/bench_observer.h"
 
 namespace {
 
@@ -55,6 +56,7 @@ int main() {
   std::cout << "== Ablations (clustered D=" << kDim << ", n=" << n
             << ", r_Q=" << TablePrinter::Num(rq, 3) << ", " << num_queries
             << " queries) ==\n\n";
+  BenchObserver observer("ext_ablations");
   Stopwatch watch;
 
   // ---- A. Pruning modes -------------------------------------------------
@@ -66,8 +68,13 @@ int main() {
       options.pruning =
           optimized ? PruningMode::kOptimized : PruningMode::kBasic;
       auto tree = MTree<Traits>::BulkLoad(data, Counted{}, options);
-      const auto range = MeasureRange(tree, queries, rq);
-      const auto knn = MeasureKnn(tree, queries, 1);
+      const std::string mode_str = optimized ? "optimized" : "basic";
+      const auto range = MeasureRange(tree, queries, rq, &observer,
+                                      "pruning-" + mode_str + "-range", {},
+                                      {{"radius", rq}});
+      const auto knn = MeasureKnn(tree, queries, 1, &observer,
+                                  "pruning-" + mode_str + "-nn1", {},
+                                  {{"k", 1.0}});
       static double basic_range_cpu = 0.0, basic_knn_cpu = 0.0;
       if (!optimized) {
         basic_range_cpu = range.avg_dists;
@@ -123,7 +130,9 @@ int main() {
       metric.Reset();
       for (size_t i = 0; i < insert_n; ++i) tree.Insert(data[i], i);
       const uint64_t build_dists = metric.count();
-      const auto range = MeasureRange(tree, queries, rq);
+      const auto range = MeasureRange(tree, queries, rq, &observer,
+                                      std::string("split-") + c.name, {},
+                                      {{"radius", rq}});
       table.AddRow({c.name, std::to_string(build_dists),
                     std::to_string(tree.store().NumNodes()),
                     TablePrinter::Num(range.avg_nodes, 1),
@@ -152,7 +161,12 @@ int main() {
       }
       const uint64_t build_dists = metric.count();
       const NodeBasedCostModel model(hist, tree.CollectStats(1.0));
-      const auto range = MeasureRange(tree, queries, rq);
+      const auto range = MeasureRange(
+          tree, queries, rq, &observer,
+          bulk ? "construction-bulk" : "construction-insert",
+          {{"N-MCM", model.RangeNodes(rq), model.RangeDistances(rq),
+            model.RangeNodesPerLevel(rq)}},
+          {{"radius", rq}});
       table.AddRow({bulk ? "BulkLoading" : "repeated insert",
                     std::to_string(build_dists),
                     std::to_string(tree.store().NumNodes()),
@@ -206,7 +220,14 @@ int main() {
 
     const LevelBasedCostModel with_actual(hist, actual_stats);
     const LevelBasedCostModel with_predicted(hist, predicted_levels, n);
-    const auto range = MeasureRange(tree, queries, rq);
+    const auto range = MeasureRange(
+        tree, queries, rq, &observer, "shape-estimator",
+        {{"L-MCM", with_actual.RangeNodes(rq), with_actual.RangeDistances(rq),
+          with_actual.RangeNodesPerLevel(rq)},
+         {"L-MCM-pred-shape", with_predicted.RangeNodes(rq),
+          with_predicted.RangeDistances(rq),
+          with_predicted.RangeNodesPerLevel(rq)}},
+        {{"radius", rq}});
     TablePrinter costs({"estimator", "I/O est", "err", "CPU est", "err"});
     costs.AddRow({"L-MCM actual stats",
                   TablePrinter::Num(with_actual.RangeNodes(rq), 1),

@@ -18,6 +18,7 @@
 #include "mcm/distribution/estimator.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
+#include "mcm/obs/bench_observer.h"
 
 int main() {
   using namespace mcm;
@@ -32,6 +33,7 @@ int main() {
   std::cout << "== Extension: complex similarity queries, clustered D="
             << kDim << ", n=" << n << ", per-predicate radius " << kRadius
             << " ==\n\n";
+  BenchObserver observer("ext_complex_queries");
   Stopwatch watch;
 
   const auto data = GenerateClustered(n, kDim, kSeed);
@@ -53,6 +55,19 @@ int main() {
   for (size_t m : {1u, 2u, 3u}) {
     for (const bool conjunctive : {true, false}) {
       if (m == 1 && !conjunctive) continue;  // AND == OR for one predicate.
+      const std::vector<double> est_radii(m, kRadius);
+      const std::string case_label = std::string(conjunctive ? "AND" : "OR") +
+                                     "-m" + std::to_string(m);
+      const bool observing = observer.enabled();
+      QueryTrace trace(observer.trace_capacity());
+      if (observing) {
+        observer.BeginCase(
+            case_label,
+            {{"predicates", static_cast<double>(m)}, {"radius", kRadius}},
+            {{"N-MCM", model.ComplexRangeNodes(est_radii, conjunctive),
+              model.ComplexRangeDistances(est_radii, conjunctive),
+              {}}});
+      }
       double nodes = 0, dists = 0, objs = 0, separate_nodes = 0;
       size_t groups = 0;
       for (size_t q = 0; q + m <= queries.size(); q += m) {
@@ -61,9 +76,28 @@ int main() {
           preds.push_back({queries[q + j], kRadius});
         }
         QueryStats stats;
+        if (observing) {
+          trace.Clear();
+          stats.trace = &trace;
+        }
+        Stopwatch query_watch;
         const auto result = tree.ComplexRangeSearch(
             preds, conjunctive ? Tree::Combine::kAnd : Tree::Combine::kOr,
             &stats);
+        if (observing) {
+          QueryObservation obs;
+          obs.kind = "complex";
+          obs.radius = kRadius;
+          obs.stats = stats;
+          obs.stats.trace = nullptr;
+          obs.results = result.size();
+          obs.latency_us = query_watch.ElapsedSeconds() * 1e6;
+          obs.level_nodes = trace.LevelNodeVisits();
+          obs.prunes_by_reason = trace.prunes_by_reason();
+          obs.trace_dropped = trace.dropped();
+          if (observer.dump_events()) obs.events = trace.Events();
+          observer.RecordQuery(obs);
+        }
         nodes += static_cast<double>(stats.nodes_accessed);
         dists += static_cast<double>(stats.distance_computations);
         objs += static_cast<double>(result.size());
@@ -74,6 +108,7 @@ int main() {
         }
         ++groups;
       }
+      if (observing) observer.EndCase();
       const double g = static_cast<double>(groups);
       nodes /= g;
       dists /= g;

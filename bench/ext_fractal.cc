@@ -21,6 +21,7 @@
 #include "mcm/distribution/fractal.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
+#include "mcm/obs/bench_observer.h"
 
 int main() {
   using namespace mcm;
@@ -29,6 +30,7 @@ int main() {
   const size_t num_queries = static_cast<size_t>(GetEnvInt("MCM_QUERIES", 500));
   constexpr uint64_t kSeed = 42;
 
+  BenchObserver observer("ext_fractal");
   Stopwatch watch;
   std::cout << "== Extension: correlation (fractal) dimension D2 (future "
                "work #5) ==\n\n";
@@ -83,7 +85,10 @@ int main() {
       MTreeOptions topt;
       topt.seed = kSeed;
       auto tree = MTree<Traits>::BulkLoad(data, LInfDistance{}, topt);
-      const auto measured = MeasureKnn(tree, queries, 1);
+      const auto measured =
+          MeasureKnn(tree, queries, 1, &observer,
+                     "D=" + std::to_string(dim),
+                     {}, {{"dim", static_cast<double>(dim)}});
 
       EstimatorOptions eo;
       eo.num_bins = 100;

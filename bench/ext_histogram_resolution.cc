@@ -19,6 +19,7 @@
 #include "mcm/distribution/estimator.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
+#include "mcm/obs/bench_observer.h"
 
 int main() {
   using namespace mcm;
@@ -40,8 +41,11 @@ int main() {
   topt.seed = kSeed;
   auto tree = MTree<Traits>::BulkLoad(data, LInfDistance{}, topt);
   const auto stats = tree.CollectStats(1.0);
-  const auto range_measured = MeasureRange(tree, queries, rq);
-  const auto nn_measured = MeasureKnn(tree, queries, 1);
+  BenchObserver observer("ext_histogram_resolution");
+  const auto range_measured = MeasureRange(tree, queries, rq, &observer,
+                                           "range", {}, {{"radius", rq}});
+  const auto nn_measured =
+      MeasureKnn(tree, queries, 1, &observer, "nn1", {}, {{"k", 1.0}});
 
   // Part 1: bin count at a fixed generous sampling budget.
   {

@@ -21,6 +21,7 @@
 #include "mcm/gnat/gnat.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
+#include "mcm/obs/bench_observer.h"
 #include "mcm/vptree/vptree.h"
 
 namespace {
@@ -31,7 +32,8 @@ template <typename Traits, typename Metric>
 void RunCase(const std::string& label,
              const std::vector<typename Traits::Object>& data,
              const std::vector<typename Traits::Object>& queries,
-             const Metric& metric, const std::vector<double>& radii) {
+             const Metric& metric, const std::vector<double>& radii,
+             mcm::BenchObserver* observer) {
   using namespace mcm;
   MTreeOptions basic_options;
   basic_options.seed = kSeed;
@@ -54,11 +56,20 @@ void RunCase(const std::string& label,
   TablePrinter table({"r_Q", "M-tree basic", "M-tree opt", "vp-tree", "GNAT",
                       "scan", "M-tree 4KB reads"});
   for (double rq : radii) {
-    const auto mb = MeasureRange(mtree_basic, queries, rq);
-    const auto mo = MeasureRange(mtree_opt, queries, rq);
-    const auto vp = MeasureRange(vptree, queries, rq);
-    const auto gn = MeasureRange(gnat, queries, rq);
-    const auto ls = MeasureRange(scan, queries, rq);
+    const std::string r_str = TablePrinter::Num(rq, 2);
+    const std::vector<std::pair<std::string, double>> params = {
+        {"radius", rq}};
+    const auto mb = MeasureRange(mtree_basic, queries, rq, observer,
+                                 label + " mtree-basic r=" + r_str, {},
+                                 params);
+    const auto mo = MeasureRange(mtree_opt, queries, rq, observer,
+                                 label + " mtree-opt r=" + r_str, {}, params);
+    const auto vp = MeasureRange(vptree, queries, rq, observer,
+                                 label + " vptree r=" + r_str, {}, params);
+    const auto gn = MeasureRange(gnat, queries, rq, observer,
+                                 label + " gnat r=" + r_str, {}, params);
+    const auto ls = MeasureRange(scan, queries, rq, observer,
+                                 label + " scan r=" + r_str, {}, params);
     table.AddRow({TablePrinter::Num(rq, 2), TablePrinter::Num(mb.avg_dists, 0),
                   TablePrinter::Num(mo.avg_dists, 0),
                   TablePrinter::Num(vp.avg_dists, 0),
@@ -80,6 +91,7 @@ int main() {
 
   std::cout << "== Extension: index comparison (M-tree vs vp-tree [8] vs "
                "GNAT [6] vs scan), n=" << n << " ==\n\n";
+  BenchObserver observer("ext_index_comparison");
   Stopwatch watch;
   {
     const auto data = GenerateClustered(n, 10, kSeed);
@@ -87,7 +99,7 @@ int main() {
                                                num_queries, 10, kSeed);
     RunCase<VectorTraits<LInfDistance>>("clustered D=10, L_inf", data,
                                         queries, LInfDistance{},
-                                        {0.05, 0.1, 0.2});
+                                        {0.05, 0.1, 0.2}, &observer);
   }
   {
     const auto words = GenerateKeywords(n, kSeed);
@@ -95,7 +107,7 @@ int main() {
     RunCase<StringTraits<EditDistanceMetric>>("keywords, edit distance",
                                               words, queries,
                                               EditDistanceMetric{},
-                                              {1.0, 2.0, 3.0});
+                                              {1.0, 2.0, 3.0}, &observer);
   }
   std::cout << "Expected shape: every index beats the scan at selective "
                "radii; the static trees (vp-tree, GNAT) are competitive on "

@@ -19,6 +19,7 @@
 #include "mcm/distribution/estimator.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
+#include "mcm/obs/bench_observer.h"
 
 namespace {
 
@@ -29,7 +30,8 @@ template <typename Traits, typename Metric>
 void RunCase(const std::string& label,
              const std::vector<typename Traits::Object>& data,
              const std::vector<typename Traits::Object>& queries,
-             const Metric& metric, double d_plus, size_t bins) {
+             const Metric& metric, double d_plus, size_t bins,
+             mcm::BenchObserver* observer) {
   using namespace mcm;
   MTreeOptions options;
   options.seed = kSeed;
@@ -46,9 +48,13 @@ void RunCase(const std::string& label,
   TablePrinter table({"k", "I/O real", "N-MCM", "err", "L-MCM", "err",
                       "nn_k real", "E[nn_k]", "err"});
   for (size_t k : kKs) {
-    const auto measured = MeasureKnn(tree, queries, k);
     const double est_n = nmcm.NnNodes(k);
     const double est_l = lmcm.NnNodes(k);
+    const auto measured = MeasureKnn(
+        tree, queries, k, observer, label + " k=" + std::to_string(k),
+        {{"N-MCM", est_n, nmcm.NnDistances(k), {}},
+         {"L-MCM", est_l, lmcm.NnDistances(k), {}}},
+        {{"k", static_cast<double>(k)}});
     const double enn = nmcm.nn_model().ExpectedNnDistance(k);
     table.AddRow({std::to_string(k), TablePrinter::Num(measured.avg_nodes, 1),
                   TablePrinter::Num(est_n, 1),
@@ -73,13 +79,15 @@ int main() {
 
   std::cout << "== Extension: NN(Q,k) costs for k in {1..100}, n=" << n
             << ", " << num_queries << " queries ==\n\n";
+  BenchObserver observer("ext_knn_k_sweep");
   Stopwatch watch;
   {
     const auto data = GenerateClustered(n, 15, kSeed);
     const auto queries = GenerateVectorQueries(VectorDatasetKind::kClustered,
                                                num_queries, 15, kSeed);
     RunCase<VectorTraits<LInfDistance>>("clustered D=15, L_inf", data,
-                                        queries, LInfDistance{}, 1.0, 100);
+                                        queries, LInfDistance{}, 1.0, 100,
+                                        &observer);
   }
   {
     const auto words = GenerateKeywords(n, kSeed);
@@ -87,7 +95,7 @@ int main() {
     RunCase<StringTraits<EditDistanceMetric>>(
         "keywords, edit distance (the paper's '20 nearest keywords' "
         "motivating query)",
-        words, queries, EditDistanceMetric{}, 25.0, 25);
+        words, queries, EditDistanceMetric{}, 25.0, 25, &observer);
   }
   std::cout << "Expected shape: costs grow with k; model tracks measurement "
                "across the sweep.\n"

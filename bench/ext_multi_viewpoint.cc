@@ -26,6 +26,7 @@
 #include "mcm/distribution/viewpoints.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
+#include "mcm/obs/bench_observer.h"
 
 int main() {
   using namespace mcm;
@@ -35,6 +36,8 @@ int main() {
   constexpr size_t kDim = 8;
   constexpr uint64_t kSeed = 42;
 
+  BenchObserver observer("ext_multi_viewpoint");
+  QueryTrace trace(observer.trace_capacity());
   Stopwatch watch;
   std::cout << "== Extension: multi-viewpoint cost model on a "
                "non-homogeneous space (future work #2) ==\n\n";
@@ -85,9 +88,40 @@ int main() {
       constexpr int kEstimators = 6;
       double cpu_err[kEstimators] = {0, 0, 0, 0, 0, 0};
       double io_err[kEstimators] = {0, 0, 0, 0, 0, 0};
+      const bool observing = observer.enabled();
+      if (observing) {
+        observer.BeginCase(
+            std::string(c.name) + " r=" + TablePrinter::Num(rq, 2),
+            {{"radius", rq}},
+            {{"N-MCM", global_nmcm.RangeNodes(rq),
+              global_nmcm.RangeDistances(rq),
+              global_nmcm.RangeNodesPerLevel(rq)},
+             {"L-MCM", global_lmcm.RangeNodes(rq),
+              global_lmcm.RangeDistances(rq),
+              global_lmcm.RangeNodesPerLevel(rq)}});
+      }
       for (const auto& q : c.queries) {
         QueryStats qs;
-        tree.RangeSearch(q, rq, &qs);
+        if (observing) {
+          trace.Clear();
+          qs.trace = &trace;
+        }
+        Stopwatch query_watch;
+        const auto results = tree.RangeSearch(q, rq, &qs);
+        if (observing) {
+          QueryObservation obs;
+          obs.kind = "range";
+          obs.radius = rq;
+          obs.stats = qs;
+          obs.stats.trace = nullptr;
+          obs.results = results.size();
+          obs.latency_us = query_watch.ElapsedSeconds() * 1e6;
+          obs.level_nodes = trace.LevelNodeVisits();
+          obs.prunes_by_reason = trace.prunes_by_reason();
+          obs.trace_dropped = trace.dropped();
+          if (observer.dump_events()) obs.events = trace.Events();
+          observer.RecordQuery(obs);
+        }
         const double cpu = static_cast<double>(qs.distance_computations);
         const double io = static_cast<double>(qs.nodes_accessed);
 
@@ -112,6 +146,7 @@ int main() {
           io_err[m] += RelativeError(io_est[m], io);
         }
       }
+      if (observing) observer.EndCase();
       const char* names[kEstimators] = {
           "global F, L-MCM",        "global F, N-MCM",
           "bracket nearest (N-MCM)", "bracket blend3 (N-MCM)",

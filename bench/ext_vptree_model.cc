@@ -19,6 +19,7 @@
 #include "mcm/dataset/vector_datasets.h"
 #include "mcm/distribution/estimator.h"
 #include "mcm/metric/traits.h"
+#include "mcm/obs/bench_observer.h"
 #include "mcm/vptree/vptree.h"
 
 namespace {
@@ -30,7 +31,7 @@ void RunCase(const std::string& label,
              const std::vector<typename Traits::Object>& data,
              const std::vector<typename Traits::Object>& queries,
              const Metric& metric, double d_plus, size_t bins,
-             const std::vector<double>& radii) {
+             const std::vector<double>& radii, mcm::BenchObserver* observer) {
   using namespace mcm;
   EstimatorOptions eo;
   eo.num_bins = bins;
@@ -48,8 +49,13 @@ void RunCase(const std::string& label,
     mopt.arity = arity;
     const VpTreeCostModel model(hist, data.size(), mopt);
     for (double rq : radii) {
-      const auto measured = MeasureRange(tree, queries, rq);
       const double predicted = model.RangeDistances(rq);
+      const auto measured = MeasureRange(
+          tree, queries, rq, observer,
+          label + " m=" + std::to_string(arity) + " r=" +
+              TablePrinter::Num(rq, 2),
+          {{"vp-model", -1.0, predicted, {}}},
+          {{"arity", static_cast<double>(arity)}, {"radius", rq}});
       table.AddRow({std::to_string(arity), TablePrinter::Num(rq, 2),
                     TablePrinter::Num(100.0 * hist.Cdf(rq), 2),
                     TablePrinter::Num(measured.avg_dists, 1),
@@ -73,6 +79,7 @@ int main() {
             << "n=" << n << ", " << num_queries
             << " queries; model uses only the distance distribution.\n\n";
 
+  BenchObserver observer("ext_vptree_model");
   Stopwatch watch;
   {
     const auto data = GenerateUniform(n, 10, kSeed);
@@ -80,7 +87,7 @@ int main() {
                                                num_queries, 10, kSeed);
     RunCase<VectorTraits<LInfDistance>>("uniform D=10, L_inf", data, queries,
                                         LInfDistance{}, 1.0, 100,
-                                        {0.05, 0.1, 0.2, 0.3});
+                                        {0.05, 0.1, 0.2, 0.3}, &observer);
   }
   {
     const auto data = GenerateClustered(n, 10, kSeed);
@@ -88,7 +95,7 @@ int main() {
                                                num_queries, 10, kSeed);
     RunCase<VectorTraits<LInfDistance>>("clustered D=10, L_inf", data,
                                         queries, LInfDistance{}, 1.0, 100,
-                                        {0.05, 0.1, 0.2, 0.3});
+                                        {0.05, 0.1, 0.2, 0.3}, &observer);
   }
   {
     const auto words = GenerateKeywords(n, kSeed);
@@ -96,7 +103,8 @@ int main() {
     RunCase<StringTraits<EditDistanceMetric>>("keywords, edit distance",
                                               words, queries,
                                               EditDistanceMetric{}, 25.0, 25,
-                                              {1.0, 2.0, 3.0, 5.0});
+                                              {1.0, 2.0, 3.0, 5.0},
+                                              &observer);
   }
   std::cout << "Expected shape: predictions track measurements (tighter on "
                "uniform data; clustered data stresses the homogeneity "

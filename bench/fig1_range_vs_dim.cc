@@ -22,6 +22,7 @@
 #include "mcm/distribution/estimator.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
+#include "mcm/obs/bench_observer.h"
 
 int main() {
   using namespace mcm;
@@ -39,6 +40,7 @@ int main() {
   TablePrinter io({"D", "r_Q", "I/O real", "N-MCM", "err", "L-MCM", "err"});
   TablePrinter objs({"D", "r_Q", "objs real", "est n*F(r)", "err"});
 
+  BenchObserver observer("fig1_range_vs_dim");
   Stopwatch watch;
   for (size_t dim = 5; dim <= 50; dim += 5) {
     const double rq = std::pow(0.01, 1.0 / static_cast<double>(dim)) / 2.0;
@@ -58,7 +60,17 @@ int main() {
     const NodeBasedCostModel nmcm(hist, stats);
     const LevelBasedCostModel lmcm(hist, stats);
 
-    const auto measured = MeasureRange(tree, queries, rq);
+    std::vector<CostPrediction> predictions;
+    predictions.push_back({"N-MCM", nmcm.RangeNodes(rq),
+                           nmcm.RangeDistances(rq),
+                           nmcm.RangeNodesPerLevel(rq)});
+    predictions.push_back({"L-MCM", lmcm.RangeNodes(rq),
+                           lmcm.RangeDistances(rq),
+                           lmcm.RangeNodesPerLevel(rq)});
+    const auto measured = MeasureRange(
+        tree, queries, rq, &observer, "D=" + std::to_string(dim),
+        std::move(predictions),
+        {{"dim", static_cast<double>(dim)}, {"radius", rq}});
     const std::string d_str = std::to_string(dim);
     const std::string r_str = TablePrinter::Num(rq, 3);
 

@@ -24,6 +24,7 @@
 #include "mcm/distribution/estimator.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
+#include "mcm/obs/bench_observer.h"
 
 int main() {
   using namespace mcm;
@@ -43,6 +44,7 @@ int main() {
                    "rng(r(1))", "err"});
   TablePrinter dist({"D", "nn real", "E[nn]", "err", "r(1)", "err"});
 
+  BenchObserver observer("fig2_nn_vs_dim");
   Stopwatch watch;
   for (size_t dim = 5; dim <= 50; dim += 5) {
     const auto data = GenerateClustered(n, dim, kSeed);
@@ -57,7 +59,10 @@ int main() {
     const auto hist = EstimateDistanceDistribution(data, LInfDistance{}, eo);
     const LevelBasedCostModel lmcm(hist, tree.CollectStats(1.0));
 
-    const auto measured = MeasureKnn(tree, queries, 1);
+    const auto measured = MeasureKnn(
+        tree, queries, 1, &observer, "D=" + std::to_string(dim),
+        {{"L-MCM", lmcm.NnNodes(1), lmcm.NnDistances(1), {}}},
+        {{"dim", static_cast<double>(dim)}});
     const double enn = lmcm.nn_model().ExpectedNnDistance(1);
     const double r1 = lmcm.nn_model().RadiusForExpectedObjects(1.0);
 

@@ -19,6 +19,7 @@
 #include "mcm/distribution/estimator.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
+#include "mcm/obs/bench_observer.h"
 
 int main() {
   using namespace mcm;
@@ -40,6 +41,7 @@ int main() {
   TablePrinter io({"dataset", "n", "I/O real", "N-MCM", "err", "L-MCM",
                    "err"});
 
+  BenchObserver observer("fig3_text_range");
   Stopwatch watch;
   for (const auto& spec : TextDatasets()) {
     const size_t n = spec.vocabulary_size * scale_pct / 100;
@@ -61,7 +63,13 @@ int main() {
     const NodeBasedCostModel nmcm(hist, stats);
     const LevelBasedCostModel lmcm(hist, stats);
 
-    const auto measured = MeasureRange(tree, queries, kRadius);
+    const auto measured = MeasureRange(
+        tree, queries, kRadius, &observer, spec.code,
+        {{"N-MCM", nmcm.RangeNodes(kRadius), nmcm.RangeDistances(kRadius),
+          nmcm.RangeNodesPerLevel(kRadius)},
+         {"L-MCM", lmcm.RangeNodes(kRadius), lmcm.RangeDistances(kRadius),
+          lmcm.RangeNodesPerLevel(kRadius)}},
+        {{"n", static_cast<double>(n)}, {"radius", kRadius}});
     const std::string n_str = std::to_string(n);
 
     cpu.AddRow({spec.code, n_str, TablePrinter::Num(measured.avg_dists, 1),

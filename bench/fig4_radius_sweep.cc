@@ -18,6 +18,7 @@
 #include "mcm/distribution/estimator.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
+#include "mcm/obs/bench_observer.h"
 
 int main() {
   using namespace mcm;
@@ -49,9 +50,16 @@ int main() {
                     "err"});
   TablePrinter io({"r_Q", "volume", "I/O real", "N-MCM", "err", "L-MCM",
                    "err"});
+  BenchObserver observer("fig4_radius_sweep");
   Stopwatch watch;
   for (double rq = 0.05; rq <= 0.501; rq += 0.05) {
-    const auto measured = MeasureRange(tree, queries, rq);
+    const auto measured = MeasureRange(
+        tree, queries, rq, &observer, "r=" + TablePrinter::Num(rq, 2),
+        {{"N-MCM", nmcm.RangeNodes(rq), nmcm.RangeDistances(rq),
+          nmcm.RangeNodesPerLevel(rq)},
+         {"L-MCM", lmcm.RangeNodes(rq), lmcm.RangeDistances(rq),
+          lmcm.RangeNodesPerLevel(rq)}},
+        {{"radius", rq}});
     char volume[32];
     std::snprintf(volume, sizeof(volume), "%.2e",
                   std::pow(2.0 * rq, static_cast<double>(kDim)));

@@ -23,6 +23,7 @@
 #include "mcm/distribution/estimator.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
+#include "mcm/obs/bench_observer.h"
 
 int main() {
   using namespace mcm;
@@ -53,6 +54,7 @@ int main() {
   std::vector<NodeSizeSample> predicted_samples;
   std::vector<NodeSizeSample> measured_samples;
 
+  BenchObserver observer("fig5_node_size");
   Stopwatch watch;
   for (size_t ns = 512; ns <= 65536; ns *= 2) {
     MTreeOptions options;
@@ -62,7 +64,11 @@ int main() {
     const NodeBasedCostModel model(hist, tree.CollectStats(1.0));
     const double pred_nodes = model.RangeNodes(rq);
     const double pred_dists = model.RangeDistances(rq);
-    const auto measured = MeasureRange(tree, queries, rq);
+    const auto measured = MeasureRange(
+        tree, queries, rq, &observer,
+        "NS=" + std::to_string(ns / 1024) + "KB",
+        {{"N-MCM", pred_nodes, pred_dists, model.RangeNodesPerLevel(rq)}},
+        {{"node_size_bytes", static_cast<double>(ns)}, {"radius", rq}});
 
     predicted_samples.push_back({ns, pred_dists, pred_nodes});
     measured_samples.push_back({ns, measured.avg_dists, measured.avg_nodes});

@@ -11,8 +11,10 @@
 #include "mcm/dataset/text_datasets.h"
 #include "mcm/dataset/vector_datasets.h"
 #include "mcm/distribution/estimator.h"
+#include "mcm/common/query_stats.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
+#include "mcm/obs/trace.h"
 #include "mcm/vptree/vptree.h"
 
 namespace {
@@ -156,6 +158,35 @@ void BM_VpTreeRangeQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VpTreeRangeQuery)->Arg(2)->Arg(5);
+
+// Observability overhead check (acceptance criterion): the same range
+// query with no stats, with plain counters, and with a full trace
+// attached. The "no trace" path must not regress when the obs layer is
+// compiled in — the trace hook is one null-pointer branch per event site.
+void BM_MTreeRangeQueryTraced(benchmark::State& state) {
+  const auto data = GenerateClustered(10000, 10, kSeed);
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 64, 10, kSeed);
+  MTreeOptions options;
+  options.seed = kSeed;
+  auto tree = MTree<VectorTraits<LInfDistance>>::BulkLoad(
+      data, LInfDistance{}, options);
+  const int mode = static_cast<int>(state.range(0));
+  QueryTrace trace;
+  QueryStats stats;
+  if (mode == 2) stats.trace = &trace;
+  size_t i = 0;
+  for (auto _ : state) {
+    if (mode == 2) trace.Clear();
+    benchmark::DoNotOptimize(tree.RangeSearch(
+        queries[i % 64], 0.15, mode == 0 ? nullptr : &stats));
+    ++i;
+  }
+  state.SetLabel(mode == 0   ? "no stats"
+                 : mode == 1 ? "counters only"
+                             : "full trace");
+}
+BENCHMARK(BM_MTreeRangeQueryTraced)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_NmcmRangePrediction(benchmark::State& state) {
   const auto data = GenerateClustered(10000, 10, kSeed);

@@ -33,7 +33,7 @@ class LinearScan {
                                   QueryStats* stats = nullptr) const {
     QueryStats local;
     QueryStats* st = stats ? stats : &local;
-    *st = QueryStats{};
+    ResetCounters(st);
     std::vector<Result> out;
     for (size_t i = 0; i < objects_.size(); ++i) {
       ++st->distance_computations;
@@ -53,7 +53,7 @@ class LinearScan {
                                 QueryStats* stats = nullptr) const {
     QueryStats local;
     QueryStats* st = stats ? stats : &local;
-    *st = QueryStats{};
+    ResetCounters(st);
     auto less = [](const Result& a, const Result& b) {
       return a.distance < b.distance;
     };

@@ -1,5 +1,11 @@
 // Shared experiment harness: run a query workload against an index,
 // average the paper's cost counters, and format model-vs-measured rows.
+//
+// The observer-aware overloads additionally attach a QueryTrace to every
+// query and forward one QueryObservation per executed query to a
+// BenchObserver, which turns them into BENCH_<name>.json / .csv artifacts
+// (see obs/bench_observer.h). With observability disabled the overloads
+// fall back to the plain measurement loop.
 
 #ifndef MCM_BENCH_UTIL_EXPERIMENT_H_
 #define MCM_BENCH_UTIL_EXPERIMENT_H_
@@ -8,6 +14,9 @@
 #include <vector>
 
 #include "mcm/common/query_stats.h"
+#include "mcm/common/stopwatch.h"
+#include "mcm/obs/bench_observer.h"
+#include "mcm/obs/trace.h"
 
 namespace mcm {
 
@@ -17,8 +26,58 @@ struct MeasuredCosts {
   double avg_dists = 0.0;    ///< Mean distance computations (CPU cost).
   double avg_results = 0.0;  ///< Mean result cardinality.
   double avg_kth_distance = 0.0;  ///< k-NN only: mean k-th NN distance.
+  double avg_pruned = 0.0;   ///< Mean subtrees eliminated without a visit.
+  uint64_t buffer_hits = 0;    ///< Total buffer-pool hits (paged trees).
+  uint64_t buffer_misses = 0;  ///< Total buffer-pool misses (paged trees).
   size_t num_queries = 0;
 };
+
+namespace internal {
+
+/// Folds one query's counters into the running workload totals.
+inline void Accumulate(const QueryStats& stats, size_t results,
+                       MeasuredCosts* costs) {
+  costs->avg_nodes += static_cast<double>(stats.nodes_accessed);
+  costs->avg_dists += static_cast<double>(stats.distance_computations);
+  costs->avg_results += static_cast<double>(results);
+  costs->avg_pruned += static_cast<double>(stats.nodes_pruned);
+  costs->buffer_hits += stats.buffer_hits;
+  costs->buffer_misses += stats.buffer_misses;
+}
+
+/// Divides the accumulated sums by the workload size.
+inline void FinishAverages(size_t num_queries, MeasuredCosts* costs) {
+  if (num_queries == 0) return;
+  const double n = static_cast<double>(num_queries);
+  costs->avg_nodes /= n;
+  costs->avg_dists /= n;
+  costs->avg_results /= n;
+  costs->avg_kth_distance /= n;
+  costs->avg_pruned /= n;
+}
+
+/// Builds the QueryObservation for one traced query.
+inline QueryObservation MakeObservation(const char* kind, double radius,
+                                        size_t k, const QueryStats& stats,
+                                        size_t results, double latency_us,
+                                        const QueryTrace& trace,
+                                        bool dump_events) {
+  QueryObservation obs;
+  obs.kind = kind;
+  obs.radius = radius;
+  obs.k = k;
+  obs.stats = stats;
+  obs.stats.trace = nullptr;  // The trace does not outlive this call.
+  obs.results = results;
+  obs.latency_us = latency_us;
+  obs.level_nodes = trace.LevelNodeVisits();
+  obs.prunes_by_reason = trace.prunes_by_reason();
+  obs.trace_dropped = trace.dropped();
+  if (dump_events) obs.events = trace.Events();
+  return obs;
+}
+
+}  // namespace internal
 
 /// Runs range(Q, radius) for every query object and averages the counters.
 template <typename Tree, typename Object>
@@ -30,16 +89,9 @@ MeasuredCosts MeasureRange(const Tree& tree,
   for (const Object& q : queries) {
     QueryStats stats;
     const auto results = tree.RangeSearch(q, radius, &stats);
-    costs.avg_nodes += static_cast<double>(stats.nodes_accessed);
-    costs.avg_dists += static_cast<double>(stats.distance_computations);
-    costs.avg_results += static_cast<double>(results.size());
+    internal::Accumulate(stats, results.size(), &costs);
   }
-  if (!queries.empty()) {
-    const double n = static_cast<double>(queries.size());
-    costs.avg_nodes /= n;
-    costs.avg_dists /= n;
-    costs.avg_results /= n;
-  }
+  internal::FinishAverages(queries.size(), &costs);
   return costs;
 }
 
@@ -53,20 +105,80 @@ MeasuredCosts MeasureKnn(const Tree& tree, const std::vector<Object>& queries,
   for (const Object& q : queries) {
     QueryStats stats;
     const auto results = tree.KnnSearch(q, k, &stats);
-    costs.avg_nodes += static_cast<double>(stats.nodes_accessed);
-    costs.avg_dists += static_cast<double>(stats.distance_computations);
-    costs.avg_results += static_cast<double>(results.size());
+    internal::Accumulate(stats, results.size(), &costs);
     if (!results.empty()) {
       costs.avg_kth_distance += results.back().distance;
     }
   }
-  if (!queries.empty()) {
-    const double n = static_cast<double>(queries.size());
-    costs.avg_nodes /= n;
-    costs.avg_dists /= n;
-    costs.avg_results /= n;
-    costs.avg_kth_distance /= n;
+  internal::FinishAverages(queries.size(), &costs);
+  return costs;
+}
+
+/// Observed variant: opens a case labelled `label` on `observer`, traces
+/// every query, and reports per-query observations plus `predictions` for
+/// residual tracking. Falls back to the plain loop when the observer is
+/// disabled. `params` are echoed into every emitted record.
+template <typename Tree, typename Object>
+MeasuredCosts MeasureRange(
+    const Tree& tree, const std::vector<Object>& queries, double radius,
+    BenchObserver* observer, const std::string& label,
+    std::vector<CostPrediction> predictions = {},
+    const std::vector<std::pair<std::string, double>>& params = {}) {
+  if (observer == nullptr || !observer->enabled()) {
+    return MeasureRange(tree, queries, radius);
   }
+  observer->BeginCase(label, params, std::move(predictions));
+  MeasuredCosts costs;
+  costs.num_queries = queries.size();
+  QueryTrace trace(observer->trace_capacity());
+  for (const Object& q : queries) {
+    trace.Clear();
+    QueryStats stats;
+    stats.trace = &trace;
+    Stopwatch watch;
+    const auto results = tree.RangeSearch(q, radius, &stats);
+    const double latency_us = watch.ElapsedSeconds() * 1e6;
+    internal::Accumulate(stats, results.size(), &costs);
+    observer->RecordQuery(internal::MakeObservation(
+        "range", radius, 0, stats, results.size(), latency_us, trace,
+        observer->dump_events()));
+  }
+  observer->EndCase();
+  internal::FinishAverages(queries.size(), &costs);
+  return costs;
+}
+
+/// Observed variant of MeasureKnn; see the range overload.
+template <typename Tree, typename Object>
+MeasuredCosts MeasureKnn(
+    const Tree& tree, const std::vector<Object>& queries, size_t k,
+    BenchObserver* observer, const std::string& label,
+    std::vector<CostPrediction> predictions = {},
+    const std::vector<std::pair<std::string, double>>& params = {}) {
+  if (observer == nullptr || !observer->enabled()) {
+    return MeasureKnn(tree, queries, k);
+  }
+  observer->BeginCase(label, params, std::move(predictions));
+  MeasuredCosts costs;
+  costs.num_queries = queries.size();
+  QueryTrace trace(observer->trace_capacity());
+  for (const Object& q : queries) {
+    trace.Clear();
+    QueryStats stats;
+    stats.trace = &trace;
+    Stopwatch watch;
+    const auto results = tree.KnnSearch(q, k, &stats);
+    const double latency_us = watch.ElapsedSeconds() * 1e6;
+    internal::Accumulate(stats, results.size(), &costs);
+    if (!results.empty()) {
+      costs.avg_kth_distance += results.back().distance;
+    }
+    observer->RecordQuery(internal::MakeObservation(
+        "knn", 0.0, k, stats, results.size(), latency_us, trace,
+        observer->dump_events()));
+  }
+  observer->EndCase();
+  internal::FinishAverages(queries.size(), &costs);
   return costs;
 }
 

@@ -1,5 +1,6 @@
 // Per-query counters. `nodes_accessed` is the paper's I/O cost and
-// `distance_computations` its CPU cost.
+// `distance_computations` its CPU cost; the remaining fields feed the
+// observability layer (src/mcm/obs/) and are filled by every index.
 
 #ifndef MCM_COMMON_QUERY_STATS_H_
 #define MCM_COMMON_QUERY_STATS_H_
@@ -8,17 +9,46 @@
 
 namespace mcm {
 
+class QueryTrace;  // obs/trace.h; queries run without it by default.
+
 /// Counters accumulated while executing one similarity query.
+///
+/// All indexes (M-tree, vp-tree, GNAT, linear scan) fill the first four
+/// fields; `buffer_hits`/`buffer_misses` are nonzero only for page-backed
+/// stores (PagedNodeStore), where they split `nodes_accessed` into pool
+/// hits and physical PageFile reads.
 struct QueryStats {
   uint64_t nodes_accessed = 0;         ///< I/O cost (node = one disk page).
   uint64_t distance_computations = 0;  ///< CPU cost.
+  uint64_t nodes_pruned = 0;   ///< Subtrees eliminated without visiting them
+                               ///< (covering-radius / parent-filter / k-NN
+                               ///< bound / range-table / shell tests).
+  uint64_t buffer_hits = 0;    ///< Node reads served from the buffer pool.
+  uint64_t buffer_misses = 0;  ///< Node reads that hit the PageFile.
+
+  /// When non-null, search paths record per-node events (visits, prune
+  /// reasons, buffer fetches) into this trace. Owned by the caller; null
+  /// (the default) keeps the query path free of observability work.
+  QueryTrace* trace = nullptr;
 
   QueryStats& operator+=(const QueryStats& other) {
     nodes_accessed += other.nodes_accessed;
     distance_computations += other.distance_computations;
+    nodes_pruned += other.nodes_pruned;
+    buffer_hits += other.buffer_hits;
+    buffer_misses += other.buffer_misses;
     return *this;
   }
 };
+
+/// Zeroes the counters of `st` while preserving an attached trace. Search
+/// entry points use this instead of `*st = QueryStats{}` so callers can
+/// attach a trace before issuing the query.
+inline void ResetCounters(QueryStats* st) {
+  QueryTrace* trace = st->trace;
+  *st = QueryStats{};
+  st->trace = trace;
+}
 
 }  // namespace mcm
 

@@ -38,6 +38,17 @@ double LevelBasedCostModel::RangeNodes(double query_radius) const {
   return total;
 }
 
+std::vector<double> LevelBasedCostModel::RangeNodesPerLevel(
+    double query_radius) const {
+  std::vector<double> per_level(levels_.size(), 0.0);
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    per_level[l] =
+        static_cast<double>(levels_[l].num_nodes) *
+        histogram_.Cdf(levels_[l].avg_covering_radius + query_radius);
+  }
+  return per_level;
+}
+
 double LevelBasedCostModel::RangeDistances(double query_radius) const {
   double total = 0.0;
   for (size_t l = 0; l < levels_.size(); ++l) {

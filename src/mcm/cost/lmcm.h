@@ -31,6 +31,10 @@ class LevelBasedCostModel {
   /// Eq. 15: nodes(range) ≈ Σ_l M_l · F(r̄_l + r_Q).
   double RangeNodes(double query_radius) const;
 
+  /// Eq. 15 split by level: element l-1 is M_l · F(r̄_l + r_Q). Sums to
+  /// RangeNodes(). Feeds per-level residual tracking (obs/residual.h).
+  std::vector<double> RangeNodesPerLevel(double query_radius) const;
+
   /// Eq. 16: dists(range) ≈ Σ_l M_{l+1} · F(r̄_l + r_Q), M_{L+1} = n.
   double RangeDistances(double query_radius) const;
 

@@ -17,6 +17,19 @@ double NodeBasedCostModel::RangeNodes(double query_radius) const {
   return total;
 }
 
+std::vector<double> NodeBasedCostModel::RangeNodesPerLevel(
+    double query_radius) const {
+  std::vector<double> per_level(stats_.height, 0.0);
+  for (const auto& node : stats_.nodes) {
+    const size_t idx = node.level == 0 ? 0 : node.level - 1;
+    if (idx >= per_level.size()) {
+      per_level.resize(idx + 1, 0.0);
+    }
+    per_level[idx] += histogram_.Cdf(node.covering_radius + query_radius);
+  }
+  return per_level;
+}
+
 double NodeBasedCostModel::RangeDistances(double query_radius) const {
   double total = 0.0;
   for (const auto& node : stats_.nodes) {

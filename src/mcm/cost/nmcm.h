@@ -8,6 +8,7 @@
 #define MCM_COST_NMCM_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "mcm/cost/nn_distance.h"
 #include "mcm/cost/tree_stats.h"
@@ -25,6 +26,11 @@ class NodeBasedCostModel {
 
   /// Eq. 6: nodes(range(Q, r_Q)) = Σ_i F(r(N_i) + r_Q).
   double RangeNodes(double query_radius) const;
+
+  /// Eq. 6 split by tree level: element l-1 is the expected node reads at
+  /// level l (root = 1). Sums to RangeNodes(). Feeds the observability
+  /// layer's per-level residual tracking (obs/residual.h).
+  std::vector<double> RangeNodesPerLevel(double query_radius) const;
 
   /// Eq. 7: dists(range(Q, r_Q)) = Σ_i e(N_i) · F(r(N_i) + r_Q).
   double RangeDistances(double query_radius) const;

@@ -20,6 +20,7 @@
 #include "mcm/common/query_stats.h"
 #include "mcm/common/random.h"
 #include "mcm/mtree/mtree.h"  // SearchResult
+#include "mcm/obs/trace.h"
 
 namespace mcm {
 
@@ -71,10 +72,10 @@ class Gnat {
                                   QueryStats* stats = nullptr) const {
     QueryStats local;
     QueryStats* st = stats ? stats : &local;
-    *st = QueryStats{};
+    ResetCounters(st);
     std::vector<Result> out;
     if (root_ != nullptr && radius >= 0.0) {
-      RangeRecurse(*root_, query, radius, st, &out);
+      RangeRecurse(*root_, query, radius, /*level=*/1, st, &out);
     }
     std::sort(out.begin(), out.end(), [](const Result& a, const Result& b) {
       return a.distance < b.distance;
@@ -201,13 +202,18 @@ class Gnat {
   }
 
   void RangeRecurse(const Node& node, const Object& query, double radius,
-                    QueryStats* st, std::vector<Result>* out) const {
+                    uint32_t level, QueryStats* st,
+                    std::vector<Result>* out) const {
     ++st->nodes_accessed;
     if (node.is_leaf) {
       for (const auto& [obj, oid] : node.bucket) {
         ++st->distance_computations;
         const double d = metric_(query, obj);
         if (d <= radius) out->push_back({oid, obj, d});
+      }
+      if (st->trace != nullptr) {
+        const auto scanned = static_cast<uint32_t>(node.bucket.size());
+        st->trace->RecordVisit(0, level, scanned, 0, scanned);
       }
       return;
     }
@@ -217,6 +223,7 @@ class Gnat {
     // points) before we ever pay for them.
     std::vector<bool> alive(m, true);
     std::vector<bool> computed(m, false);
+    uint32_t scanned = 0;
     for (size_t step = 0; step < m; ++step) {
       size_t i = m;
       for (size_t c = 0; c < m; ++c) {
@@ -228,6 +235,7 @@ class Gnat {
       if (i == m) break;
       computed[i] = true;
       ++st->distance_computations;
+      ++scanned;
       const double d = metric_(query, node.splits[i]);
       if (d <= radius) {
         out->push_back({node.split_oids[i], node.splits[i], d});
@@ -238,12 +246,23 @@ class Gnat {
         if (range.lo > range.hi) continue;  // Empty subtree: no constraint.
         if (d + radius < range.lo || d - radius > range.hi) {
           alive[j] = false;  // The query ball misses subtree j entirely.
+          if (node.children[j] != nullptr) {
+            ++st->nodes_pruned;
+            if (st->trace != nullptr) {
+              st->trace->RecordPrune(0, level + 1,
+                                     PruneReason::kRangeTable);
+            }
+          }
         }
       }
     }
+    if (st->trace != nullptr) {
+      st->trace->RecordVisit(0, level, scanned,
+                             static_cast<uint32_t>(m) - scanned, scanned);
+    }
     for (size_t j = 0; j < m; ++j) {
       if (alive[j] && node.children[j] != nullptr) {
-        RangeRecurse(*node.children[j], query, radius, st, out);
+        RangeRecurse(*node.children[j], query, radius, level + 1, st, out);
       }
     }
   }

@@ -27,6 +27,7 @@
 #include "mcm/mtree/options.h"
 #include "mcm/mtree/split.h"
 #include "mcm/common/query_stats.h"
+#include "mcm/obs/trace.h"
 
 namespace mcm {
 
@@ -108,13 +109,14 @@ class MTree {
                                   QueryStats* stats = nullptr) const {
     QueryStats local;
     QueryStats* st = stats ? stats : &local;
-    *st = QueryStats{};
+    ResetCounters(st);
     std::vector<Result> results;
     if (root_ == kInvalidNodeId || radius < 0.0) {
       return results;
     }
     RangeRecurse(root_, query, radius,
-                 std::numeric_limits<double>::quiet_NaN(), st, &results);
+                 std::numeric_limits<double>::quiet_NaN(), /*level=*/1, st,
+                 &results);
     std::sort(results.begin(), results.end(),
               [](const Result& a, const Result& b) {
                 return a.distance < b.distance;
@@ -130,7 +132,7 @@ class MTree {
                                 QueryStats* stats = nullptr) const {
     QueryStats local;
     QueryStats* st = stats ? stats : &local;
-    *st = QueryStats{};
+    ResetCounters(st);
     std::vector<Result> results;
     if (root_ == kInvalidNodeId || k == 0) {
       return results;
@@ -140,13 +142,14 @@ class MTree {
       double dmin;
       NodeId node;
       double parent_query_distance;  // NaN for the root.
+      uint32_t level;                // 1 = root.
     };
     auto pq_greater = [](const PqItem& a, const PqItem& b) {
       return a.dmin > b.dmin;
     };
     std::priority_queue<PqItem, std::vector<PqItem>, decltype(pq_greater)>
         frontier(pq_greater);
-    frontier.push({0.0, root_, std::numeric_limits<double>::quiet_NaN()});
+    frontier.push({0.0, root_, std::numeric_limits<double>::quiet_NaN(), 1});
 
     auto cand_less = [](const Result& a, const Result& b) {
       return a.distance < b.distance;
@@ -164,19 +167,35 @@ class MTree {
       const PqItem item = frontier.top();
       frontier.pop();
       if (item.dmin > rk()) {
-        break;  // No remaining region can intersect the NN ball.
+        // No remaining region can intersect the NN ball: the popped item
+        // and everything still queued are pruned by the k-NN bound.
+        st->nodes_pruned += 1 + frontier.size();
+        if (st->trace != nullptr) {
+          st->trace->RecordPrune(item.node, item.level,
+                                 PruneReason::kKnnBound);
+          while (!frontier.empty()) {
+            const PqItem rest = frontier.top();
+            frontier.pop();
+            st->trace->RecordPrune(rest.node, rest.level,
+                                   PruneReason::kKnnBound);
+          }
+        }
+        break;
       }
-      const Node node = store_->Read(item.node);
+      const Node node = store_->ReadTracked(item.node, st);
       ++st->nodes_accessed;
       const bool can_prune =
           optimized && !std::isnan(item.parent_query_distance);
+      uint32_t scanned = 0, entry_pruned = 0;
       if (node.is_leaf) {
         for (const auto& e : node.leaf_entries) {
           if (can_prune &&
               std::fabs(item.parent_query_distance - e.parent_distance) >
                   rk()) {
+            ++entry_pruned;
             continue;
           }
+          ++scanned;
           const double d = Dist(query, e.object, st);
           if (d <= rk() || candidates.size() < k) {
             candidates.push({e.oid, e.object, d});
@@ -189,14 +208,30 @@ class MTree {
               std::fabs(item.parent_query_distance - e.parent_distance) -
                       e.covering_radius >
                   rk()) {
+            ++st->nodes_pruned;
+            if (st->trace != nullptr) {
+              st->trace->RecordPrune(e.child, item.level + 1,
+                                     PruneReason::kParentFilter);
+            }
             continue;
           }
+          ++scanned;
           const double d = Dist(query, e.object, st);
           const double dmin = std::max(d - e.covering_radius, 0.0);
           if (dmin <= rk()) {
-            frontier.push({dmin, e.child, d});
+            frontier.push({dmin, e.child, d, item.level + 1});
+          } else {
+            ++st->nodes_pruned;
+            if (st->trace != nullptr) {
+              st->trace->RecordPrune(e.child, item.level + 1,
+                                     PruneReason::kKnnBound);
+            }
           }
         }
+      }
+      if (st->trace != nullptr) {
+        st->trace->RecordVisit(item.node, item.level, scanned, entry_pruned,
+                               scanned);
       }
     }
 
@@ -234,12 +269,12 @@ class MTree {
       QueryStats* stats = nullptr) const {
     QueryStats local;
     QueryStats* st = stats ? stats : &local;
-    *st = QueryStats{};
+    ResetCounters(st);
     std::vector<Result> results;
     if (root_ == kInvalidNodeId || predicates.empty()) {
       return results;
     }
-    ComplexRecurse(root_, predicates, combine, st, &results);
+    ComplexRecurse(root_, predicates, combine, /*level=*/1, st, &results);
     std::sort(results.begin(), results.end(),
               [](const Result& a, const Result& b) {
                 return a.distance < b.distance;
@@ -341,9 +376,9 @@ class MTree {
   }
 
   void ComplexRecurse(NodeId id, const std::vector<Predicate>& predicates,
-                      Combine combine, QueryStats* st,
+                      Combine combine, uint32_t level, QueryStats* st,
                       std::vector<Result>* out) const {
-    const Node node = store_->Read(id);
+    const Node node = store_->ReadTracked(id, st);
     ++st->nodes_accessed;
     const bool conjunctive = combine == Combine::kAnd;
     if (node.is_leaf) {
@@ -363,8 +398,16 @@ class MTree {
           out->push_back({e.oid, e.object, combined});
         }
       }
+      if (st->trace != nullptr) {
+        const auto scanned =
+            static_cast<uint32_t>(node.leaf_entries.size());
+        st->trace->RecordVisit(
+            id, level, scanned, 0,
+            scanned * static_cast<uint32_t>(predicates.size()));
+      }
       return;
     }
+    uint32_t scanned = 0;
     for (const auto& e : node.routing_entries) {
       bool all = true, any = false;
       for (const auto& p : predicates) {
@@ -373,9 +416,21 @@ class MTree {
         all = all && overlap;
         any = any || overlap;
       }
+      ++scanned;
       if (conjunctive ? all : any) {
-        ComplexRecurse(e.child, predicates, combine, st, out);
+        ComplexRecurse(e.child, predicates, combine, level + 1, st, out);
+      } else {
+        ++st->nodes_pruned;
+        if (st->trace != nullptr) {
+          st->trace->RecordPrune(e.child, level + 1,
+                                 PruneReason::kCoveringRadius);
+        }
       }
+    }
+    if (st->trace != nullptr) {
+      st->trace->RecordVisit(
+          id, level, scanned, 0,
+          scanned * static_cast<uint32_t>(predicates.size()));
     }
   }
 
@@ -440,34 +495,59 @@ class MTree {
   }
 
   void RangeRecurse(NodeId id, const Object& query, double radius,
-                    double parent_query_distance, QueryStats* st,
-                    std::vector<Result>* out) const {
-    const Node node = store_->Read(id);
+                    double parent_query_distance, uint32_t level,
+                    QueryStats* st, std::vector<Result>* out) const {
+    const Node node = store_->ReadTracked(id, st);
     ++st->nodes_accessed;
     const bool can_prune = options_.pruning == PruningMode::kOptimized &&
                            !std::isnan(parent_query_distance);
+    uint32_t scanned = 0, entry_pruned = 0;
     if (node.is_leaf) {
       for (const auto& e : node.leaf_entries) {
         if (can_prune &&
             std::fabs(parent_query_distance - e.parent_distance) > radius) {
+          ++entry_pruned;
           continue;
         }
+        ++scanned;
         const double d = Dist(query, e.object, st);
         if (d <= radius) {
           out->push_back({e.oid, e.object, d});
         }
+      }
+      if (st->trace != nullptr) {
+        st->trace->RecordVisit(id, level, scanned, entry_pruned, scanned);
       }
     } else {
       for (const auto& e : node.routing_entries) {
         if (can_prune &&
             std::fabs(parent_query_distance - e.parent_distance) >
                 e.covering_radius + radius) {
+          ++st->nodes_pruned;
+          if (st->trace != nullptr) {
+            st->trace->RecordPrune(e.child, level + 1,
+                                   PruneReason::kParentFilter);
+          }
           continue;
         }
+        ++scanned;
         const double d = Dist(query, e.object, st);
         if (d <= e.covering_radius + radius) {
-          RangeRecurse(e.child, query, radius, d, st, out);
+          RangeRecurse(e.child, query, radius, d, level + 1, st, out);
+        } else {
+          ++st->nodes_pruned;
+          if (st->trace != nullptr) {
+            st->trace->RecordPrune(e.child, level + 1,
+                                   PruneReason::kCoveringRadius);
+          }
         }
+      }
+      if (st->trace != nullptr) {
+        st->trace->RecordVisit(id, level, scanned,
+                               static_cast<uint32_t>(
+                                   node.routing_entries.size()) -
+                                   scanned,
+                               scanned);
       }
     }
   }

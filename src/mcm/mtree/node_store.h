@@ -15,8 +15,11 @@
 #include <stdexcept>
 #include <vector>
 
+#include "mcm/common/query_stats.h"
 #include "mcm/mtree/node.h"
+#include "mcm/obs/trace.h"
 #include "mcm/storage/buffer_pool.h"
+#include "mcm/storage/io_stats.h"
 #include "mcm/storage/page_file.h"
 
 namespace mcm {
@@ -37,6 +40,15 @@ class NodeStore {
 
   /// Reads node `id`. Counts one logical access.
   virtual Node Read(NodeId id) = 0;
+
+  /// Reads node `id` on behalf of a query, attributing storage-layer
+  /// effects (buffer-pool hit/miss, trace events) to `st`. The base
+  /// implementation just forwards to Read(): memory-resident stores have
+  /// no buffering to report.
+  virtual Node ReadTracked(NodeId id, QueryStats* st) {
+    (void)st;
+    return Read(id);
+  }
 
   /// Overwrites node `id`. Does not count as a query access (writes happen
   /// during construction/maintenance, not similarity search).
@@ -136,6 +148,18 @@ class PagedNodeStore final : public NodeStore<Traits> {
     this->CountAccess();
     PageGuard guard = pool_.Fetch(static_cast<PageId>(id));
     return Node::Deserialize(guard.data(), file_->page_size());
+  }
+
+  Node ReadTracked(NodeId id, QueryStats* st) override {
+    const BufferPoolStats before = pool_.stats();
+    Node node = Read(id);
+    const BufferPoolStats delta = pool_.stats() - before;
+    st->buffer_hits += delta.hits;
+    st->buffer_misses += delta.misses;
+    if (st->trace != nullptr) {
+      st->trace->RecordBufferFetch(id, delta.misses == 0);
+    }
+    return node;
   }
 
   void Write(NodeId id, const Node& node) override {

@@ -1,0 +1,122 @@
+// BenchObserver: the bench-side entry point of the observability layer.
+// When MCM_OBS=1 it opens BENCH_<name>.json (JSON Lines) and BENCH_<name>.csv
+// in MCM_OBS_DIR (default "."), records one JSON record per executed query
+// (actual counters, per-level node visits, prune breakdown, buffer hits,
+// latency, and each cost model's prediction), accumulates predicted-vs-
+// actual residuals, and emits one summary record per case plus a
+// human-readable residual table. When MCM_OBS is unset every method is an
+// immediate no-op, so benches can call it unconditionally.
+//
+// Env knobs: MCM_OBS (off by default), MCM_OBS_DIR (artifact directory),
+// MCM_OBS_TRACE_CAP (trace ring capacity, default 4096), MCM_OBS_EVENTS=1
+// (also dump raw trace events per query — verbose).
+
+#ifndef MCM_OBS_BENCH_OBSERVER_H_
+#define MCM_OBS_BENCH_OBSERVER_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mcm/common/query_stats.h"
+#include "mcm/obs/residual.h"
+#include "mcm/obs/trace.h"
+
+namespace mcm {
+
+class JsonlWriter;
+class CsvWriter;
+
+/// One cost model's prediction for the current case's query workload.
+struct CostPrediction {
+  std::string model;       ///< e.g. "N-MCM", "L-MCM", "vp-model".
+  double nodes = -1.0;     ///< Predicted node reads; < 0 = not predicted.
+  double dists = -1.0;     ///< Predicted distance computations; < 0 = none.
+  std::vector<double> level_nodes;  ///< Per-level node reads (index 0 =
+                                    ///< level 1); empty = not predicted.
+};
+
+/// Everything observed while executing one query.
+struct QueryObservation {
+  const char* kind = "range";  ///< "range" | "knn" | "complex".
+  double radius = 0.0;         ///< Range/complex queries.
+  size_t k = 0;                ///< k-NN queries.
+  QueryStats stats;
+  size_t results = 0;
+  double latency_us = 0.0;
+  std::vector<double> level_nodes;  ///< Actual node visits per level.
+  std::array<uint64_t, kNumPruneReasons> prunes_by_reason{};
+  std::vector<TraceEvent> events;   ///< Only when event dumping is on.
+  uint64_t trace_dropped = 0;
+};
+
+class BenchObserver {
+ public:
+  /// `bench_name` names the artifact files; nothing is opened (and no
+  /// state is kept) unless observability is enabled.
+  explicit BenchObserver(const std::string& bench_name);
+  ~BenchObserver();
+
+  BenchObserver(const BenchObserver&) = delete;
+  BenchObserver& operator=(const BenchObserver&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Ring capacity for traces attached to observed queries.
+  size_t trace_capacity() const { return trace_capacity_; }
+
+  /// Whether raw trace events should be collected into observations.
+  bool dump_events() const { return dump_events_; }
+
+  /// Starts a workload case (e.g. "D=10"). `params` are echoed into every
+  /// record of the case; `predictions` seed the residual streams.
+  void BeginCase(const std::string& label,
+                 const std::vector<std::pair<std::string, double>>& params = {},
+                 std::vector<CostPrediction> predictions = {});
+
+  /// Records one executed query of the open case.
+  void RecordQuery(const QueryObservation& obs);
+
+  /// Closes the open case: writes its summary record and CSV rows, and
+  /// prints the residual table to stdout.
+  void EndCase();
+
+  /// Flushes everything (also ends an open case). Called by the destructor.
+  void Finish();
+
+  const std::string& artifact_path() const { return artifact_path_; }
+  const std::string& csv_path() const { return csv_path_; }
+
+ private:
+  void WriteSummaryRecord();
+
+  bool enabled_ = false;
+  bool dump_events_ = false;
+  size_t trace_capacity_ = QueryTrace::kDefaultCapacity;
+  std::string bench_name_;
+  std::string artifact_path_;
+  std::string csv_path_;
+  std::unique_ptr<JsonlWriter> jsonl_;
+  std::unique_ptr<CsvWriter> csv_;
+
+  // Open-case state.
+  bool case_open_ = false;
+  std::string case_label_;
+  std::vector<std::pair<std::string, double>> case_params_;
+  std::vector<CostPrediction> predictions_;
+  ResidualTracker residuals_;
+  size_t case_queries_ = 0;
+  double sum_nodes_ = 0.0;
+  double sum_dists_ = 0.0;
+  double sum_results_ = 0.0;
+  double sum_pruned_ = 0.0;
+  uint64_t sum_buffer_hits_ = 0;
+  uint64_t sum_buffer_misses_ = 0;
+  std::vector<double> latencies_us_;
+  bool finished_ = false;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_OBS_BENCH_OBSERVER_H_

@@ -1,0 +1,192 @@
+#include "mcm/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <stdexcept>
+
+#include "mcm/common/env.h"
+#include "mcm/obs/export.h"
+
+namespace mcm {
+
+namespace {
+
+int g_obs_override = -1;  // -1 = use environment, 0/1 = forced.
+
+}  // namespace
+
+bool ObsEnabled() {
+  if (g_obs_override >= 0) {
+    return g_obs_override != 0;
+  }
+  static const bool enabled = GetEnvInt("MCM_OBS", 0) != 0;
+  return enabled;
+}
+
+void SetObsEnabledForTesting(bool enabled) {
+  g_obs_override = enabled ? 1 : 0;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "Histogram: bounds must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double p) const {
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) {
+    return 0.0;
+  }
+  p = std::min(std::max(p, 0.0), 1.0);
+  const double target = p * static_cast<double>(total);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= target) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      if (i == bounds_.size()) {
+        return lo;  // Overflow bucket: no upper bound to interpolate to.
+      }
+      const double hi = bounds_[i];
+      const double frac =
+          counts[i] == 0
+              ? 0.0
+              : (target - cum) / static_cast<double>(counts[i]);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> DefaultLatencyBoundsUs() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 1e7; b *= std::sqrt(10.0)) {
+    bounds.push_back(b);
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(bounds);
+  }
+  return *slot;
+}
+
+void MetricsRegistry::WriteJsonl(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    JsonObjectBuilder o;
+    o.Add("metric", name);
+    o.Add("type", "counter");
+    o.Add("value", counter->Value());
+    out << o.Build() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    JsonObjectBuilder o;
+    o.Add("metric", name);
+    o.Add("type", "gauge");
+    o.Add("value", gauge->Value());
+    out << o.Build() << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    JsonObjectBuilder o;
+    o.Add("metric", name);
+    o.Add("type", "histogram");
+    o.Add("count", hist->Count());
+    o.Add("mean", hist->Mean());
+    o.Add("p50", hist->Quantile(0.50));
+    o.Add("p95", hist->Quantile(0.95));
+    const auto counts = hist->BucketCounts();
+    std::vector<double> as_doubles(counts.begin(), counts.end());
+    o.AddNumberArray("buckets", as_doubles);
+    o.AddNumberArray("bounds", hist->bounds());
+    out << o.Build() << "\n";
+  }
+}
+
+void MetricsRegistry::WriteText(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    out << name << " = " << counter->Value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << name << " = " << gauge->Value() << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out << name << ": count=" << hist->Count() << " mean=" << std::fixed
+        << std::setprecision(2) << hist->Mean()
+        << " p50=" << hist->Quantile(0.50) << " p95=" << hist->Quantile(0.95)
+        << "\n";
+  }
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace mcm

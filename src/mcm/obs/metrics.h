@@ -1,0 +1,122 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms. All instruments are thread-safe (atomic updates after a
+// mutex-guarded registration) and the whole layer is opt-in: helpers gate on
+// ObsEnabled(), which reads the MCM_OBS environment flag once, so an
+// uninstrumented run pays a single cached branch per call site at most.
+
+#ifndef MCM_OBS_METRICS_H_
+#define MCM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcm {
+
+/// True when observability is switched on (MCM_OBS=1 in the environment).
+/// The environment is read once on first call and cached.
+bool ObsEnabled();
+
+/// Overrides the cached MCM_OBS value (tests only; not thread-safe with
+/// concurrent ObsEnabled() callers).
+void SetObsEnabledForTesting(bool enabled);
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written scalar value (e.g. pool occupancy, tree height).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram of double-valued observations. Bucket i counts
+/// observations v with v <= bounds[i]; one extra overflow bucket counts the
+/// rest. Bounds are strictly increasing and fixed at registration.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  /// Per-bucket counts: bounds().size() + 1 entries (last = overflow).
+  std::vector<uint64_t> BucketCounts() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+  double Mean() const;
+
+  /// Approximate p-quantile (p in [0,1]) by linear interpolation within the
+  /// owning bucket; the overflow bucket reports its lower bound.
+  double Quantile(double p) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1.
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency bucket bounds (microseconds): 1us .. ~10s, log-spaced.
+std::vector<double> DefaultLatencyBoundsUs();
+
+/// Registry of named instruments. Instrument pointers are stable for the
+/// registry's lifetime; lookups are mutex-guarded, updates are lock-free.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by the query-path helpers.
+  static MetricsRegistry& Global();
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+
+  /// Returns the histogram under `name`; `bounds` is consulted only on
+  /// first use (subsequent callers share the original buckets).
+  Histogram& GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  /// One JSON object per line: {"metric":name,"type":...,...}.
+  void WriteJsonl(std::ostream& out) const;
+
+  /// Human-readable dump (sorted by name).
+  void WriteText(std::ostream& out) const;
+
+  /// Drops every registered instrument (tests only; callers holding
+  /// instrument references must not use them afterwards).
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_OBS_METRICS_H_

@@ -1,0 +1,93 @@
+#include "mcm/obs/residual.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mcm/common/numeric.h"
+
+namespace mcm {
+
+void ResidualStream::Add(double predicted, double actual) {
+  rel_errors_.push_back(RelativeError(predicted, actual));
+  sum_signed_ += actual != 0.0 ? (predicted - actual) / actual
+                               : predicted - actual;
+  sum_predicted_ += predicted;
+  sum_actual_ += actual;
+}
+
+void ResidualStream::Clear() {
+  rel_errors_.clear();
+  sum_signed_ = 0.0;
+  sum_predicted_ = 0.0;
+  sum_actual_ = 0.0;
+}
+
+namespace {
+
+/// p-quantile of `sorted` by linear interpolation between order statistics.
+double SortedQuantile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+ResidualStats ResidualStream::Stats() const {
+  ResidualStats stats;
+  stats.count = rel_errors_.size();
+  if (stats.count == 0) {
+    return stats;
+  }
+  const double n = static_cast<double>(stats.count);
+  double sum = 0.0;
+  for (const double e : rel_errors_) sum += e;
+  stats.mean_rel_err = sum / n;
+  std::vector<double> sorted = rel_errors_;
+  std::sort(sorted.begin(), sorted.end());
+  stats.p50_rel_err = SortedQuantile(sorted, 0.50);
+  stats.p95_rel_err = SortedQuantile(sorted, 0.95);
+  stats.mean_signed = sum_signed_ / n;
+  stats.mean_predicted = sum_predicted_ / n;
+  stats.mean_actual = sum_actual_ / n;
+  return stats;
+}
+
+ResidualStream& ResidualTracker::Stream(const std::string& name) {
+  return streams_[name];
+}
+
+void ResidualTracker::AddLevelSamples(const std::string& model,
+                                      const std::vector<double>& predicted,
+                                      const std::vector<double>& actual) {
+  const size_t levels = std::max(predicted.size(), actual.size());
+  for (size_t i = 0; i < levels; ++i) {
+    const double pred = i < predicted.size() ? predicted[i] : 0.0;
+    const double act = i < actual.size() ? actual[i] : 0.0;
+    Stream(model + "/level" + std::to_string(i + 1) + "/nodes")
+        .Add(pred, act);
+  }
+}
+
+std::vector<std::string> ResidualTracker::Names() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, stream] : streams_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+ResidualStats ResidualTracker::StatsFor(const std::string& name) const {
+  const auto it = streams_.find(name);
+  return it == streams_.end() ? ResidualStats{} : it->second.Stats();
+}
+
+void ResidualTracker::Clear() { streams_.clear(); }
+
+}  // namespace mcm

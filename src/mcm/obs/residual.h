@@ -1,0 +1,73 @@
+// Residual tracking: pairs each executed query with a cost-model prediction
+// and accumulates error statistics (mean / P50 / P95 relative error, mean
+// signed bias) per named stream — one stream per model and cost dimension
+// (e.g. "N-MCM/nodes") plus one per tree level for level-resolved models.
+
+#ifndef MCM_OBS_RESIDUAL_H_
+#define MCM_OBS_RESIDUAL_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcm {
+
+/// Summary of one residual stream.
+struct ResidualStats {
+  size_t count = 0;
+  double mean_rel_err = 0.0;  ///< Mean |pred - actual| / actual.
+  double p50_rel_err = 0.0;
+  double p95_rel_err = 0.0;
+  double mean_signed = 0.0;   ///< Mean (pred - actual) / actual: + = model
+                              ///< overestimates, - = underestimates.
+  double mean_predicted = 0.0;
+  double mean_actual = 0.0;
+};
+
+/// One stream of (predicted, actual) pairs.
+class ResidualStream {
+ public:
+  void Add(double predicted, double actual);
+  void Clear();
+
+  size_t count() const { return rel_errors_.size(); }
+  ResidualStats Stats() const;
+
+ private:
+  std::vector<double> rel_errors_;
+  double sum_signed_ = 0.0;
+  double sum_predicted_ = 0.0;
+  double sum_actual_ = 0.0;
+};
+
+/// Named residual streams. Keys are free-form; the bench observer uses
+/// "<model>/nodes", "<model>/dists", and "<model>/level<l>/nodes".
+class ResidualTracker {
+ public:
+  /// Returns the stream under `name`, creating it on first use.
+  ResidualStream& Stream(const std::string& name);
+
+  /// Adds per-level samples: predicted[i] vs actual[i] feed stream
+  /// "<model>/level<i+1>/nodes". Shorter of the two vectors wins; a level
+  /// missing on one side is treated as 0 on that side.
+  void AddLevelSamples(const std::string& model,
+                       const std::vector<double>& predicted,
+                       const std::vector<double>& actual);
+
+  /// All stream names in sorted order.
+  std::vector<std::string> Names() const;
+
+  /// Stats of the stream under `name` (zeroes when absent).
+  ResidualStats StatsFor(const std::string& name) const;
+
+  bool empty() const { return streams_.empty(); }
+  void Clear();
+
+ private:
+  std::map<std::string, ResidualStream> streams_;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_OBS_RESIDUAL_H_

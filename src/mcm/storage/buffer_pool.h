@@ -80,6 +80,10 @@ class BufferPool {
   size_t capacity() const { return capacity_; }
   size_t num_buffered() const { return frames_.size(); }
   const BufferPoolStats& stats() const { return stats_; }
+
+  /// Zeroes the counters. Prefer diffing CaptureIoStats (storage/io_stats.h)
+  /// snapshots instead: a reset clobbers every concurrent observer's view of
+  /// the same pool.
   void ResetStats() { stats_ = BufferPoolStats(); }
   PageFile* file() const { return file_; }
 

@@ -1,0 +1,58 @@
+// Snapshot/diff helper for the storage-layer counters. BufferPool and
+// PageFile counters only ever grow; callers that used to ResetStats()
+// between measurements (clobbering every other observer of the same pool)
+// should instead capture a snapshot before the measured section and
+// subtract it afterwards:
+//
+//   const IoStatsSnapshot before = CaptureIoStats(pool);
+//   ... run queries ...
+//   const IoStatsSnapshot delta = CaptureIoStats(pool) - before;
+//   // delta.pool.hits / delta.pool.misses / delta.file.reads ...
+
+#ifndef MCM_STORAGE_IO_STATS_H_
+#define MCM_STORAGE_IO_STATS_H_
+
+#include "mcm/storage/buffer_pool.h"
+#include "mcm/storage/page_file.h"
+
+namespace mcm {
+
+/// Combined buffer-pool and page-file counters at one point in time.
+struct IoStatsSnapshot {
+  BufferPoolStats pool;
+  PageFileStats file;
+};
+
+inline BufferPoolStats operator-(const BufferPoolStats& a,
+                                 const BufferPoolStats& b) {
+  BufferPoolStats d;
+  d.fetches = a.fetches - b.fetches;
+  d.hits = a.hits - b.hits;
+  d.misses = a.misses - b.misses;
+  d.evictions = a.evictions - b.evictions;
+  d.flushes = a.flushes - b.flushes;
+  return d;
+}
+
+inline PageFileStats operator-(const PageFileStats& a,
+                               const PageFileStats& b) {
+  PageFileStats d;
+  d.reads = a.reads - b.reads;
+  d.writes = a.writes - b.writes;
+  d.allocations = a.allocations - b.allocations;
+  return d;
+}
+
+inline IoStatsSnapshot operator-(const IoStatsSnapshot& a,
+                                 const IoStatsSnapshot& b) {
+  return {a.pool - b.pool, a.file - b.file};
+}
+
+/// Captures the pool's counters together with its backing file's.
+inline IoStatsSnapshot CaptureIoStats(const BufferPool& pool) {
+  return {pool.stats(), pool.file()->stats()};
+}
+
+}  // namespace mcm
+
+#endif  // MCM_STORAGE_IO_STATS_H_

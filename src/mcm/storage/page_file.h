@@ -56,6 +56,9 @@ class PageFile {
   size_t num_pages() const { return num_pages_; }
 
   const PageFileStats& stats() const { return stats_; }
+
+  /// Zeroes the counters. Prefer diffing CaptureIoStats (storage/io_stats.h)
+  /// snapshots instead: a reset clobbers every concurrent observer's view.
   void ResetStats() { stats_ = PageFileStats(); }
 
  protected:

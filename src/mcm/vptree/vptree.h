@@ -24,6 +24,7 @@
 #include "mcm/common/query_stats.h"
 #include "mcm/common/random.h"
 #include "mcm/mtree/mtree.h"  // SearchResult
+#include "mcm/obs/trace.h"
 
 namespace mcm {
 
@@ -91,10 +92,10 @@ class VpTree {
                                   QueryStats* stats = nullptr) const {
     QueryStats local;
     QueryStats* st = stats ? stats : &local;
-    *st = QueryStats{};
+    ResetCounters(st);
     std::vector<Result> out;
     if (root_ != nullptr && radius >= 0.0) {
-      RangeRecurse(*root_, query, radius, st, &out);
+      RangeRecurse(*root_, query, radius, /*level=*/1, st, &out);
     }
     std::sort(out.begin(), out.end(), [](const Result& a, const Result& b) {
       return a.distance < b.distance;
@@ -107,7 +108,7 @@ class VpTree {
                                 QueryStats* stats = nullptr) const {
     QueryStats local;
     QueryStats* st = stats ? stats : &local;
-    *st = QueryStats{};
+    ResetCounters(st);
     std::vector<Result> results;
     if (root_ == nullptr || k == 0) {
       return results;
@@ -115,13 +116,14 @@ class VpTree {
     struct PqItem {
       double dmin;
       const Node* node;
+      uint32_t level;  // 1 = root.
     };
     auto pq_greater = [](const PqItem& a, const PqItem& b) {
       return a.dmin > b.dmin;
     };
     std::priority_queue<PqItem, std::vector<PqItem>, decltype(pq_greater)>
         frontier(pq_greater);
-    frontier.push({0.0, root_.get()});
+    frontier.push({0.0, root_.get(), 1});
     auto cand_less = [](const Result& a, const Result& b) {
       return a.distance < b.distance;
     };
@@ -140,7 +142,19 @@ class VpTree {
     while (!frontier.empty()) {
       const PqItem item = frontier.top();
       frontier.pop();
-      if (item.dmin > rk()) break;
+      if (item.dmin > rk()) {
+        // The popped region and every queued one are cut off by r_k.
+        st->nodes_pruned += 1 + frontier.size();
+        if (st->trace != nullptr) {
+          st->trace->RecordPrune(0, item.level, PruneReason::kKnnBound);
+          while (!frontier.empty()) {
+            const PqItem rest = frontier.top();
+            frontier.pop();
+            st->trace->RecordPrune(0, rest.level, PruneReason::kKnnBound);
+          }
+        }
+        break;
+      }
       const Node& node = *item.node;
       ++st->nodes_accessed;
       if (node.is_leaf) {
@@ -148,10 +162,17 @@ class VpTree {
           ++st->distance_computations;
           offer(oid, obj, metric_(query, obj));
         }
+        if (st->trace != nullptr) {
+          const auto scanned = static_cast<uint32_t>(node.bucket.size());
+          st->trace->RecordVisit(0, item.level, scanned, 0, scanned);
+        }
         continue;
       }
       ++st->distance_computations;
       const double d = metric_(query, node.vantage);
+      if (st->trace != nullptr) {
+        st->trace->RecordVisit(0, item.level, 1, 0, 1);
+      }
       offer(node.vantage_oid, node.vantage, d);
       for (size_t i = 0; i < node.children.size(); ++i) {
         if (node.children[i] == nullptr) continue;
@@ -161,7 +182,13 @@ class VpTree {
                               : node.cutoffs[i];
         const double dmin = std::max({lo - d, d - hi, 0.0});
         if (dmin <= rk()) {
-          frontier.push({dmin, node.children[i].get()});
+          frontier.push({dmin, node.children[i].get(), item.level + 1});
+        } else {
+          ++st->nodes_pruned;
+          if (st->trace != nullptr) {
+            st->trace->RecordPrune(0, item.level + 1,
+                                   PruneReason::kShellBound);
+          }
         }
       }
     }
@@ -278,7 +305,8 @@ class VpTree {
   }
 
   void RangeRecurse(const Node& node, const Object& query, double radius,
-                    QueryStats* st, std::vector<Result>* out) const {
+                    uint32_t level, QueryStats* st,
+                    std::vector<Result>* out) const {
     ++st->nodes_accessed;
     if (node.is_leaf) {
       for (const auto& [obj, oid] : node.bucket) {
@@ -286,10 +314,17 @@ class VpTree {
         const double d = metric_(query, obj);
         if (d <= radius) out->push_back({oid, obj, d});
       }
+      if (st->trace != nullptr) {
+        const auto scanned = static_cast<uint32_t>(node.bucket.size());
+        st->trace->RecordVisit(0, level, scanned, 0, scanned);
+      }
       return;
     }
     ++st->distance_computations;
     const double d = metric_(query, node.vantage);
+    if (st->trace != nullptr) {
+      st->trace->RecordVisit(0, level, 1, 0, 1);
+    }
     if (d <= radius) {
       out->push_back({node.vantage_oid, node.vantage, d});
     }
@@ -301,7 +336,12 @@ class VpTree {
                             : node.cutoffs[i];
       // Visit iff the shell (lo, hi] intersects the query ball — Eq. 19.
       if (d + radius >= lo && d - radius <= hi) {
-        RangeRecurse(*node.children[i], query, radius, st, out);
+        RangeRecurse(*node.children[i], query, radius, level + 1, st, out);
+      } else {
+        ++st->nodes_pruned;
+        if (st->trace != nullptr) {
+          st->trace->RecordPrune(0, level + 1, PruneReason::kShellBound);
+        }
       }
     }
   }

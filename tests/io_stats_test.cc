@@ -1,0 +1,88 @@
+#include "mcm/storage/io_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(IoStatsSnapshot, DiffIsolatesMeasuredSection) {
+  InMemoryPageFile file(32);
+  BufferPool pool(&file, 4);
+  const PageId a = file.Allocate();
+  const PageId b = file.Allocate();
+
+  // Warm-up activity that a reset-based approach would have to clobber.
+  { PageGuard g = pool.Fetch(a); }
+  { PageGuard g = pool.Fetch(a); }
+  ASSERT_EQ(pool.stats().fetches, 2u);
+
+  const IoStatsSnapshot before = CaptureIoStats(pool);
+
+  // Measured section: one hit on the cached page, one miss on a fresh one.
+  { PageGuard g = pool.Fetch(a); }
+  { PageGuard g = pool.Fetch(b); }
+
+  const IoStatsSnapshot delta = CaptureIoStats(pool) - before;
+  EXPECT_EQ(delta.pool.fetches, 2u);
+  EXPECT_EQ(delta.pool.hits, 1u);
+  EXPECT_EQ(delta.pool.misses, 1u);
+  EXPECT_EQ(delta.pool.evictions, 0u);
+  EXPECT_EQ(delta.pool.flushes, 0u);
+  EXPECT_EQ(delta.file.reads, 1u);  // Only the miss touched the file.
+  EXPECT_EQ(delta.file.writes, 0u);
+  EXPECT_EQ(delta.file.allocations, 0u);
+
+  // Cumulative counters are untouched by snapshotting.
+  EXPECT_EQ(pool.stats().fetches, 4u);
+  EXPECT_EQ(file.stats().reads, 2u);
+}
+
+TEST(IoStatsSnapshot, DiffCapturesEvictionsFlushesAndAllocations) {
+  InMemoryPageFile file(32);
+  BufferPool pool(&file, 1);
+  const PageId a = file.Allocate();
+  { PageGuard g = pool.Fetch(a); }
+
+  const IoStatsSnapshot before = CaptureIoStats(pool);
+
+  const PageId b = file.Allocate();
+  {
+    PageGuard g = pool.Fetch(a);  // Hit (still resident).
+    g.data()[0] = 7;
+    g.MarkDirty();
+  }
+  { PageGuard g = pool.Fetch(b); }  // Evicts dirty a -> flush + write.
+
+  const IoStatsSnapshot delta = CaptureIoStats(pool) - before;
+  EXPECT_EQ(delta.pool.fetches, 2u);
+  EXPECT_EQ(delta.pool.hits, 1u);
+  EXPECT_EQ(delta.pool.misses, 1u);
+  EXPECT_EQ(delta.pool.evictions, 1u);
+  EXPECT_EQ(delta.pool.flushes, 1u);
+  EXPECT_EQ(delta.file.reads, 1u);
+  EXPECT_EQ(delta.file.writes, 1u);
+  EXPECT_EQ(delta.file.allocations, 1u);
+}
+
+TEST(IoStatsSnapshot, TwoDisjointSectionsComposeAdditively) {
+  InMemoryPageFile file(32);
+  BufferPool pool(&file, 4);
+  const PageId a = file.Allocate();
+
+  const IoStatsSnapshot s0 = CaptureIoStats(pool);
+  { PageGuard g = pool.Fetch(a); }  // Miss.
+  const IoStatsSnapshot s1 = CaptureIoStats(pool);
+  { PageGuard g = pool.Fetch(a); }  // Hit.
+  const IoStatsSnapshot s2 = CaptureIoStats(pool);
+
+  const IoStatsSnapshot first = s1 - s0;
+  const IoStatsSnapshot second = s2 - s1;
+  const IoStatsSnapshot whole = s2 - s0;
+  EXPECT_EQ(first.pool.misses + second.pool.misses, whole.pool.misses);
+  EXPECT_EQ(first.pool.hits + second.pool.hits, whole.pool.hits);
+  EXPECT_EQ(first.pool.fetches + second.pool.fetches, whole.pool.fetches);
+  EXPECT_EQ(first.file.reads + second.file.reads, whole.file.reads);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,169 @@
+#include "mcm/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace mcm {
+namespace {
+
+TEST(CounterTest, IncrementsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 1.5);
+  g.Add(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 4.0);
+}
+
+TEST(GaugeTest, ConcurrentAddsAreLossless) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.Value(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket semantics: bucket i counts v <= bounds[i]; last is overflow.
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket 0
+  h.Observe(1.0);    // bucket 0 (inclusive upper bound)
+  h.Observe(1.0001); // bucket 1
+  h.Observe(10.0);   // bucket 1
+  h.Observe(99.0);   // bucket 2
+  h.Observe(100.0);  // bucket 2
+  h.Observe(101.0);  // overflow
+  const auto counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.Count(), 7u);
+  EXPECT_NEAR(h.Sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 99.0 + 100.0 + 101.0,
+              1e-9);
+  EXPECT_NEAR(h.Mean(), h.Sum() / 7.0, 1e-9);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 100; ++i) h.Observe(5.0);  // All in bucket 0.
+  // Every observation falls in (0, 10]; the median interpolates inside it.
+  const double q50 = h.Quantile(0.5);
+  EXPECT_GT(q50, 0.0);
+  EXPECT_LE(q50, 10.0);
+  // Quantiles are monotone in p.
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.9));
+}
+
+TEST(HistogramTest, ConcurrentObserve) {
+  Histogram h(DefaultLatencyBoundsUs());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<double>(t * 100 + i % 100));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t total = 0;
+  for (uint64_t c : h.BucketCounts()) total += c;
+  EXPECT_EQ(total, h.Count());
+}
+
+TEST(MetricsRegistryTest, InstrumentIdentityIsStable) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("requests");
+  Counter& b = registry.GetCounter("requests");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  EXPECT_EQ(b.Value(), 3u);
+  Gauge& g1 = registry.GetGauge("height");
+  Gauge& g2 = registry.GetGauge("height");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = registry.GetHistogram("lat", {1.0, 2.0});
+  Histogram& h2 = registry.GetHistogram("lat", {999.0});  // Bounds ignored.
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndUpdates) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // All threads race to register and bump the same counter.
+        registry.GetCounter("shared").Increment();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared").Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, WriteJsonlAndTextMentionInstruments) {
+  MetricsRegistry registry;
+  registry.GetCounter("mcm.test.counter").Increment(7);
+  registry.GetGauge("mcm.test.gauge").Set(2.5);
+  registry.GetHistogram("mcm.test.hist", {1.0}).Observe(0.5);
+  std::ostringstream jsonl;
+  registry.WriteJsonl(jsonl);
+  EXPECT_NE(jsonl.str().find("mcm.test.counter"), std::string::npos);
+  EXPECT_NE(jsonl.str().find("mcm.test.gauge"), std::string::npos);
+  EXPECT_NE(jsonl.str().find("mcm.test.hist"), std::string::npos);
+  std::ostringstream text;
+  registry.WriteText(text);
+  EXPECT_NE(text.str().find("mcm.test.counter"), std::string::npos);
+  registry.Clear();
+  std::ostringstream empty;
+  registry.WriteJsonl(empty);
+  EXPECT_EQ(empty.str().find("mcm.test.counter"), std::string::npos);
+}
+
+TEST(ObsEnabledTest, TestingOverrideWins) {
+  SetObsEnabledForTesting(true);
+  EXPECT_TRUE(ObsEnabled());
+  SetObsEnabledForTesting(false);
+  EXPECT_FALSE(ObsEnabled());
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,94 @@
+#include "mcm/obs/residual.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcm {
+namespace {
+
+TEST(ResidualStreamTest, ExactStatsOnKnownSamples) {
+  ResidualStream stream;
+  stream.Add(/*predicted=*/110.0, /*actual=*/100.0);  // +10% error.
+  stream.Add(/*predicted=*/80.0, /*actual=*/100.0);   // -20% error.
+  const auto stats = stream.Stats();
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_NEAR(stats.mean_rel_err, (0.1 + 0.2) / 2.0, 1e-12);
+  // Signed bias: (+0.1 - 0.2) / 2 = -0.05 (net underestimate).
+  EXPECT_NEAR(stats.mean_signed, -0.05, 1e-12);
+  EXPECT_NEAR(stats.mean_predicted, 95.0, 1e-12);
+  EXPECT_NEAR(stats.mean_actual, 100.0, 1e-12);
+}
+
+TEST(ResidualStreamTest, QuantilesOnSpreadSamples) {
+  ResidualStream stream;
+  // Relative errors 1%, 2%, ..., 100%.
+  for (int i = 1; i <= 100; ++i) {
+    stream.Add(100.0 + static_cast<double>(i), 100.0);
+  }
+  const auto stats = stream.Stats();
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_NEAR(stats.p50_rel_err, 0.50, 0.02);
+  EXPECT_NEAR(stats.p95_rel_err, 0.95, 0.02);
+  EXPECT_GE(stats.p95_rel_err, stats.p50_rel_err);
+}
+
+TEST(ResidualStreamTest, ZeroActualFallsBackToAbsoluteError) {
+  ResidualStream stream;
+  stream.Add(3.0, 0.0);
+  const auto stats = stream.Stats();
+  EXPECT_EQ(stats.count, 1u);
+  // RelativeError falls back to |pred - actual| when actual == 0.
+  EXPECT_NEAR(stats.mean_rel_err, 3.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(stats.mean_signed));
+}
+
+TEST(ResidualStreamTest, PerfectPredictionsHaveZeroError) {
+  ResidualStream stream;
+  for (int i = 1; i <= 10; ++i) {
+    stream.Add(static_cast<double>(i), static_cast<double>(i));
+  }
+  const auto stats = stream.Stats();
+  EXPECT_DOUBLE_EQ(stats.mean_rel_err, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p50_rel_err, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p95_rel_err, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_signed, 0.0);
+}
+
+TEST(ResidualTrackerTest, StreamsAreKeyedAndSorted) {
+  ResidualTracker tracker;
+  tracker.Stream("N-MCM/nodes").Add(10.0, 11.0);
+  tracker.Stream("L-MCM/nodes").Add(10.0, 12.0);
+  tracker.Stream("N-MCM/dists").Add(100.0, 90.0);
+  const auto names = tracker.Names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "L-MCM/nodes");  // Sorted.
+  EXPECT_EQ(names[1], "N-MCM/dists");
+  EXPECT_EQ(names[2], "N-MCM/nodes");
+  EXPECT_EQ(tracker.StatsFor("N-MCM/nodes").count, 1u);
+  EXPECT_EQ(tracker.StatsFor("missing").count, 0u);
+  tracker.Clear();
+  EXPECT_TRUE(tracker.empty());
+}
+
+TEST(ResidualTrackerTest, LevelSamplesFeedPerLevelStreams) {
+  ResidualTracker tracker;
+  // Level 1: perfect. Level 2: 50% under. Level 3 exists only in actual.
+  tracker.AddLevelSamples("N-MCM", /*predicted=*/{1.0, 2.0},
+                          /*actual=*/{1.0, 4.0, 8.0});
+  const auto names = tracker.Names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "N-MCM/level1/nodes");
+  EXPECT_EQ(names[1], "N-MCM/level2/nodes");
+  EXPECT_EQ(names[2], "N-MCM/level3/nodes");
+  EXPECT_NEAR(tracker.StatsFor("N-MCM/level1/nodes").mean_rel_err, 0.0,
+              1e-12);
+  EXPECT_NEAR(tracker.StatsFor("N-MCM/level2/nodes").mean_rel_err, 0.5,
+              1e-12);
+  // Missing predicted side = 0 predicted vs 8 actual: 100% relative error.
+  EXPECT_NEAR(tracker.StatsFor("N-MCM/level3/nodes").mean_rel_err, 1.0,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace mcm

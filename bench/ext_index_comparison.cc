@@ -8,6 +8,12 @@
 // parentheses for information only).
 //
 // Scale knobs: MCM_N (default 10000), MCM_QUERIES (default 300).
+//
+// Throughput (QPS) mode: the same range workload is also pushed through the
+// engine's concurrent batch executor at 1/2/4/8 worker threads; each thread
+// count is one BenchObserver case (params: radius, threads, qps) in the
+// BENCH_ext_index_comparison artifacts. Results and merged counters are
+// identical to the sequential loop by construction — only wall time moves.
 
 #include <iostream>
 
@@ -82,6 +88,30 @@ void RunCase(const std::string& label,
   std::cout << "\n";
 }
 
+/// Batch-executor throughput over one index: the same workload at growing
+/// worker counts, one observer case per thread count.
+template <typename Index, typename Object>
+void RunThroughput(const std::string& label, const Index& index,
+                   const std::vector<Object>& queries, double radius,
+                   mcm::BenchObserver* observer) {
+  using namespace mcm;
+  TablePrinter table({"threads", "QPS", "speedup", "avg dists"});
+  double base_qps = 0.0;
+  for (const size_t threads : {1, 2, 4, 8}) {
+    const auto r = MeasureRangeThroughput(
+        index, queries, radius, threads, observer,
+        label + " threads=" + std::to_string(threads), {{"radius", radius}});
+    if (threads == 1) base_qps = r.qps;
+    table.AddRow({std::to_string(threads), TablePrinter::Num(r.qps, 0),
+                  TablePrinter::Num(base_qps > 0.0 ? r.qps / base_qps : 0.0, 2),
+                  TablePrinter::Num(r.costs.avg_dists, 0)});
+  }
+  std::cout << "-- " << label << " (batch executor, range r="
+            << TablePrinter::Num(radius, 2) << ") --\n";
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
 }  // namespace
 
 int main() {
@@ -100,6 +130,23 @@ int main() {
     RunCase<VectorTraits<LInfDistance>>("clustered D=10, L_inf", data,
                                         queries, LInfDistance{},
                                         {0.05, 0.1, 0.2}, &observer);
+
+    // Throughput mode: the concurrent batch executor over the M-tree and
+    // the vp-tree on the same workload, 1/2/4/8 worker threads.
+    MTreeOptions qps_options;
+    qps_options.seed = kSeed;
+    qps_options.pruning = PruningMode::kOptimized;
+    const auto mtree =
+        MTree<VectorTraits<LInfDistance>>::BulkLoad(data, LInfDistance{},
+                                                    qps_options);
+    RunThroughput("clustered D=10 mtree-opt qps", mtree, queries, 0.1,
+                  &observer);
+    VpTreeOptions vp_qps_options;
+    vp_qps_options.seed = kSeed;
+    const VpTree<VectorTraits<LInfDistance>> vptree(data, LInfDistance{},
+                                                    vp_qps_options);
+    RunThroughput("clustered D=10 vptree qps", vptree, queries, 0.1,
+                  &observer);
   }
   {
     const auto words = GenerateKeywords(n, kSeed);

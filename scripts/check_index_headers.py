@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Index-header isolation check.
+
+Every index (mtree, vptree, gnat, baseline) must implement the engine's
+common interface without reaching into another index's headers: shared
+types live in src/mcm/engine/, and an index header including another
+index's header is a layering regression (historically vptree.h and gnat.h
+included mtree.h just for SearchResult). This check fails the build when
+any file under one index directory includes a header from another.
+
+Usage: check_index_headers.py [--root SRC_DIR]
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+INDEX_DIRS = ["mtree", "vptree", "gnat", "baseline"]
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"mcm/([^/"]+)/')
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=pathlib.Path(__file__).resolve().parent.parent / "src" / "mcm",
+        type=pathlib.Path,
+        help="Path to src/mcm (default: relative to this script)",
+    )
+    args = parser.parse_args()
+
+    violations = []
+    checked = 0
+    for index_dir in INDEX_DIRS:
+        directory = args.root / index_dir
+        if not directory.is_dir():
+            print(f"error: missing index directory {directory}",
+                  file=sys.stderr)
+            return 2
+        for path in sorted(directory.rglob("*")):
+            if path.suffix not in {".h", ".cc"}:
+                continue
+            checked += 1
+            for lineno, line in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), start=1):
+                match = INCLUDE_RE.match(line)
+                if not match:
+                    continue
+                target = match.group(1)
+                if target in INDEX_DIRS and target != index_dir:
+                    violations.append(
+                        f"{path}:{lineno}: {index_dir}/ includes "
+                        f"mcm/{target}/ ({line.strip()})")
+
+    if violations:
+        print("Index header isolation violated:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        print("Shared query types belong in src/mcm/engine/.",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {checked} files across {len(INDEX_DIRS)} index dirs; "
+          "no cross-index includes.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,16 +3,19 @@
 // comparator every index must beat, the oracle the correctness tests check
 // against, and the "sequential" arm of access-path selection
 // (cost/access_path.h): it always costs exactly n distance computations.
+//
+// Answers flow through the engine's collectors, so result ordering
+// (distance, then oid on ties) is identical to every tree index — the
+// oracle comparisons in the tests can assert oid equality, not just
+// distance equality.
 
 #ifndef MCM_BASELINE_LINEAR_SCAN_H_
 #define MCM_BASELINE_LINEAR_SCAN_H_
 
-#include <algorithm>
-#include <queue>
 #include <vector>
 
 #include "mcm/common/query_stats.h"
-#include "mcm/mtree/mtree.h"  // SearchResult
+#include "mcm/engine/search_core.h"
 
 namespace mcm {
 
@@ -34,18 +37,12 @@ class LinearScan {
     QueryStats local;
     QueryStats* st = stats ? stats : &local;
     ResetCounters(st);
-    std::vector<Result> out;
-    for (size_t i = 0; i < objects_.size(); ++i) {
-      ++st->distance_computations;
-      const double d = metric_(query, objects_[i]);
-      if (d <= radius) {
-        out.push_back({static_cast<uint64_t>(i), objects_[i], d});
-      }
+    if (radius < 0.0) {
+      return {};
     }
-    std::sort(out.begin(), out.end(), [](const Result& a, const Result& b) {
-      return a.distance < b.distance;
-    });
-    return out;
+    engine::RangeCollector<Object> collector(radius);
+    Scan(query, collector, st);
+    return collector.Take();
   }
 
   /// The k nearest objects, sorted by distance.
@@ -54,32 +51,26 @@ class LinearScan {
     QueryStats local;
     QueryStats* st = stats ? stats : &local;
     ResetCounters(st);
-    auto less = [](const Result& a, const Result& b) {
-      return a.distance < b.distance;
-    };
-    std::priority_queue<Result, std::vector<Result>, decltype(less)> best(
-        less);
-    for (size_t i = 0; i < objects_.size(); ++i) {
-      ++st->distance_computations;
-      const double d = metric_(query, objects_[i]);
-      if (best.size() < k || d < best.top().distance) {
-        best.push({static_cast<uint64_t>(i), objects_[i], d});
-        if (best.size() > k) best.pop();
-      }
+    if (k == 0) {
+      return {};
     }
-    std::vector<Result> out;
-    out.reserve(best.size());
-    while (!best.empty()) {
-      out.push_back(best.top());
-      best.pop();
-    }
-    std::reverse(out.begin(), out.end());
-    return out;
+    engine::KnnCollector<Object> collector(k);
+    Scan(query, collector, st);
+    return collector.Take();
   }
 
   size_t size() const { return objects_.size(); }
 
  private:
+  template <typename Collector>
+  void Scan(const Object& query, Collector& collector, QueryStats* st) const {
+    for (size_t i = 0; i < objects_.size(); ++i) {
+      ++st->distance_computations;
+      collector.Offer(static_cast<uint64_t>(i), objects_[i],
+                      metric_(query, objects_[i]));
+    }
+  }
+
   const std::vector<Object>& objects_;
   Metric metric_;
 };

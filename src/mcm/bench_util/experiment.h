@@ -11,10 +11,12 @@
 #define MCM_BENCH_UTIL_EXPERIMENT_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mcm/common/query_stats.h"
 #include "mcm/common/stopwatch.h"
+#include "mcm/engine/executor.h"
 #include "mcm/obs/bench_observer.h"
 #include "mcm/obs/trace.h"
 
@@ -180,6 +182,68 @@ MeasuredCosts MeasureKnn(
   observer->EndCase();
   internal::FinishAverages(queries.size(), &costs);
   return costs;
+}
+
+/// One throughput measurement: the batch executor's wall clock and QPS over
+/// the whole workload, plus the usual workload-averaged cost counters
+/// (merged deterministically in query order by the executor).
+struct ThroughputResult {
+  MeasuredCosts costs;
+  double wall_seconds = 0.0;  ///< Wall time of the parallel section.
+  double qps = 0.0;           ///< Queries per second.
+  size_t num_threads = 0;     ///< Resolved worker count.
+};
+
+/// Answers the whole range workload through a BatchExecutor at
+/// `num_threads` workers and reports throughput. With an enabled observer,
+/// opens a case labelled `label` (params get "threads" and "qps" appended)
+/// and emits one observation per query; per-query latency is reported as
+/// the amortized wall time per query, since individual queries overlap.
+template <typename Index, typename Object>
+ThroughputResult MeasureRangeThroughput(
+    const Index& index, const std::vector<Object>& queries, double radius,
+    size_t num_threads, BenchObserver* observer = nullptr,
+    const std::string& label = std::string(),
+    std::vector<std::pair<std::string, double>> params = {}) {
+  engine::ExecutorOptions options;
+  options.num_threads = num_threads;
+  const bool observed = observer != nullptr && observer->enabled();
+  if (observed) {
+    options.trace_capacity = observer->trace_capacity();
+  }
+  const engine::BatchExecutor<Index> executor(index, options);
+  const auto batch = executor.RangeSearchBatch(queries, radius);
+
+  ThroughputResult out;
+  out.num_threads = executor.num_threads();
+  out.wall_seconds = batch.wall_seconds;
+  out.qps = batch.Qps();
+  out.costs.num_queries = queries.size();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    internal::Accumulate(batch.per_query[i], batch.results[i].size(),
+                         &out.costs);
+  }
+  internal::FinishAverages(queries.size(), &out.costs);
+
+  if (observed) {
+    params.emplace_back("threads", static_cast<double>(out.num_threads));
+    params.emplace_back("qps", out.qps);
+    observer->BeginCase(label, params, {});
+    const double amortized_us =
+        queries.empty() ? 0.0
+                        : batch.wall_seconds * 1e6 /
+                              static_cast<double>(queries.size());
+    const QueryTrace no_trace(1);  // When the observer traces 0 events.
+    for (size_t i = 0; i < queries.size(); ++i) {
+      observer->RecordQuery(internal::MakeObservation(
+          "range", radius, 0, batch.per_query[i], batch.results[i].size(),
+          amortized_us,
+          batch.traces.empty() ? no_trace : batch.traces[i],
+          observer->dump_events()));
+    }
+    observer->EndCase();
+  }
+  return out;
 }
 
 /// Formats the relative error of `estimate` vs `measured` as "p.p%".

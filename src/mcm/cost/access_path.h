@@ -13,8 +13,12 @@
 #define MCM_COST_ACCESS_PATH_H_
 
 #include <cstddef>
+#include <vector>
 
+#include "mcm/common/query_stats.h"
 #include "mcm/cost/tuner.h"
+#include "mcm/engine/metric_index.h"
+#include "mcm/engine/search_core.h"
 
 namespace mcm {
 
@@ -49,6 +53,64 @@ AccessPathDecision ChooseAccessPath(const DiskCostParameters& params,
                                     double index_dists, double index_nodes,
                                     size_t node_size_bytes,
                                     const SequentialScanProfile& profile);
+
+/// An executable access-path decision: the optimizer's choice bound to the
+/// two physical operators it chose between. Instead of handing the caller
+/// an enum to dispatch on, PlanQuery returns a plan whose RangeSearch /
+/// KnnSearch route to the winning arm through the engine's common index
+/// interface — both arms satisfy MetricIndex, so the plan is itself a
+/// drop-in query interface (and can be handed to a BatchExecutor).
+template <typename Index, typename Baseline>
+  requires MetricIndex<Index> && MetricIndex<Baseline> &&
+           std::same_as<typename Index::Object, typename Baseline::Object>
+class ExecutablePlan {
+ public:
+  using Object = typename Index::Object;
+
+  ExecutablePlan(AccessPathDecision decision, const Index* index,
+                 const Baseline* baseline)
+      : decision_(decision), index_(index), baseline_(baseline) {}
+
+  std::vector<SearchResult<Object>> RangeSearch(
+      const Object& query, double radius, QueryStats* stats = nullptr) const {
+    return decision_.choice == AccessPath::kIndexScan
+               ? index_->RangeSearch(query, radius, stats)
+               : baseline_->RangeSearch(query, radius, stats);
+  }
+
+  std::vector<SearchResult<Object>> KnnSearch(const Object& query, size_t k,
+                                              QueryStats* stats =
+                                                  nullptr) const {
+    return decision_.choice == AccessPath::kIndexScan
+               ? index_->KnnSearch(query, k, stats)
+               : baseline_->KnnSearch(query, k, stats);
+  }
+
+  size_t size() const {
+    return decision_.choice == AccessPath::kIndexScan ? index_->size()
+                                                      : baseline_->size();
+  }
+
+  const AccessPathDecision& decision() const { return decision_; }
+
+ private:
+  AccessPathDecision decision_;
+  const Index* index_;
+  const Baseline* baseline_;
+};
+
+/// Chooses the cheaper arm (ChooseAccessPath) and binds it to the physical
+/// operators: the plan is ready to execute.
+template <typename Index, typename Baseline>
+ExecutablePlan<Index, Baseline> PlanQuery(
+    const DiskCostParameters& params, double index_dists, double index_nodes,
+    size_t node_size_bytes, const SequentialScanProfile& profile,
+    const Index& index, const Baseline& baseline) {
+  return ExecutablePlan<Index, Baseline>(
+      ChooseAccessPath(params, index_dists, index_nodes, node_size_bytes,
+                       profile),
+      &index, &baseline);
+}
 
 }  // namespace mcm
 

@@ -1,0 +1,108 @@
+#include "mcm/engine/executor.h"
+
+#include <algorithm>
+
+#include "mcm/common/env.h"
+
+namespace mcm {
+namespace engine {
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  const int64_t env = GetEnvInt("MCM_THREADS", 0);
+  if (env > 0) {
+    return static_cast<size_t>(env);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& task) {
+  if (count == 0) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  task_ = &task;
+  task_count_ = count;
+  next_.store(0, std::memory_order_relaxed);
+  first_error_ = nullptr;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] {
+    return next_.load(std::memory_order_acquire) >= task_count_ &&
+           active_workers_ == 0;
+  });
+  task_ = nullptr;
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(size_t)>* task = nullptr;
+    size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (task_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+      task = task_;
+      count = task_count_;
+      ++active_workers_;
+    }
+    for (;;) {
+      const size_t i = next_.fetch_add(1, std::memory_order_acq_rel);
+      if (i >= count) {
+        break;
+      }
+      try {
+        (*task)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (first_error_ == nullptr) {
+          first_error_ = std::current_exception();
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_workers_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace engine
+}  // namespace mcm

@@ -1,0 +1,70 @@
+// The MetricIndex concept: the uniform query interface every access path
+// implements. The paper's cost models exist so an optimizer can choose
+// among interchangeable access paths; this concept is what makes them
+// interchangeable in code — cost/access_path.h builds executable plans over
+// any MetricIndex pair, and engine/executor.h batches queries over any
+// MetricIndex without knowing which structure answers them.
+//
+// Core interface (all four indexes — MTree, VpTree, Gnat, LinearScan):
+//   using Object = ...;                                  // indexed type
+//   std::vector<SearchResult<Object>> RangeSearch(q, r, QueryStats* = 0);
+//   std::vector<SearchResult<Object>> KnnSearch(q, k, QueryStats* = 0);
+//   size_t size();                                       // object count
+//
+// Optional capabilities, modeled as separate concepts because not every
+// structure supports them:
+//   DynamicMetricIndex  — Insert(object, oid) (M-tree only; the static
+//                         trees are build-once).
+//   StatsViewIndex      — CollectStats() returning a structure-statistics
+//                         view (vp-tree, GNAT; the M-tree variant takes the
+//                         conventional root radius d+ as a parameter, the
+//                         cost-model hook described in tree_stats.h).
+//
+// Query methods must be const and safe to call concurrently from many
+// threads on an immutable index — the batch executor relies on it. Mutating
+// operations (Insert, Delete, Build) are single-writer.
+
+#ifndef MCM_ENGINE_METRIC_INDEX_H_
+#define MCM_ENGINE_METRIC_INDEX_H_
+
+#include <concepts>
+#include <cstddef>
+#include <vector>
+
+#include "mcm/common/query_stats.h"
+#include "mcm/engine/search_core.h"
+
+namespace mcm {
+
+template <typename Index>
+concept MetricIndex =
+    requires(const Index& index, const typename Index::Object& query,
+             double radius, size_t k, QueryStats* stats) {
+      typename Index::Object;
+      {
+        index.RangeSearch(query, radius, stats)
+      } -> std::same_as<std::vector<SearchResult<typename Index::Object>>>;
+      {
+        index.KnnSearch(query, k, stats)
+      } -> std::same_as<std::vector<SearchResult<typename Index::Object>>>;
+      { index.size() } -> std::convertible_to<size_t>;
+    };
+
+/// An index that additionally supports incremental insertion.
+template <typename Index>
+concept DynamicMetricIndex =
+    MetricIndex<Index> &&
+    requires(Index& index, const typename Index::Object& object,
+             uint64_t oid) {
+      { index.Insert(object, oid) };
+    };
+
+/// An index that exports a structure-statistics view without parameters.
+template <typename Index>
+concept StatsViewIndex = MetricIndex<Index> && requires(const Index& index) {
+  { index.CollectStats() };
+};
+
+}  // namespace mcm
+
+#endif  // MCM_ENGINE_METRIC_INDEX_H_

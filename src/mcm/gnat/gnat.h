@@ -19,7 +19,7 @@
 
 #include "mcm/common/query_stats.h"
 #include "mcm/common/random.h"
-#include "mcm/mtree/mtree.h"  // SearchResult
+#include "mcm/engine/search_core.h"
 #include "mcm/obs/trace.h"
 
 namespace mcm {
@@ -73,14 +73,31 @@ class Gnat {
     QueryStats local;
     QueryStats* st = stats ? stats : &local;
     ResetCounters(st);
-    std::vector<Result> out;
-    if (root_ != nullptr && radius >= 0.0) {
-      RangeRecurse(*root_, query, radius, /*level=*/1, st, &out);
+    if (root_ == nullptr || radius < 0.0) {
+      return {};
     }
-    std::sort(out.begin(), out.end(), [](const Result& a, const Result& b) {
-      return a.distance < b.distance;
-    });
-    return out;
+    engine::RangeCollector<Object> collector(radius);
+    Traverse(query, collector, st);
+    return collector.Take();
+  }
+
+  /// NN(Q, k): best-first k-NN through the shared engine driver. Brin's
+  /// VLDB'95 paper only gives the range algorithm; the k-NN generalization
+  /// falls out of the engine's generic traversal — the same iterative
+  /// range-table pruning runs against the shrinking bound r_k, and each
+  /// surviving subtree enters the frontier with the range-table lower
+  /// bound max_i max(lo_ij - d_i, d_i - hi_ij, 0).
+  std::vector<Result> KnnSearch(const Object& query, size_t k,
+                                QueryStats* stats = nullptr) const {
+    QueryStats local;
+    QueryStats* st = stats ? stats : &local;
+    ResetCounters(st);
+    if (root_ == nullptr || k == 0) {
+      return {};
+    }
+    engine::KnnCollector<Object> collector(k);
+    Traverse(query, collector, st);
+    return collector.Take();
   }
 
   size_t size() const { return num_objects_; }
@@ -201,70 +218,94 @@ class Gnat {
     return node;
   }
 
-  void RangeRecurse(const Node& node, const Object& query, double radius,
-                    uint32_t level, QueryStats* st,
-                    std::vector<Result>* out) const {
-    ++st->nodes_accessed;
-    if (node.is_leaf) {
-      for (const auto& [obj, oid] : node.bucket) {
-        ++st->distance_computations;
-        const double d = metric_(query, obj);
-        if (d <= radius) out->push_back({oid, obj, d});
-      }
-      if (st->trace != nullptr) {
-        const auto scanned = static_cast<uint32_t>(node.bucket.size());
-        st->trace->RecordVisit(0, level, scanned, 0, scanned);
-      }
-      return;
-    }
-    const size_t m = node.splits.size();
-    // Brin's pruning loop: compute split-point distances one at a time;
-    // each computed distance may eliminate other subtrees (and their split
-    // points) before we ever pay for them.
-    std::vector<bool> alive(m, true);
-    std::vector<bool> computed(m, false);
-    uint32_t scanned = 0;
-    for (size_t step = 0; step < m; ++step) {
-      size_t i = m;
-      for (size_t c = 0; c < m; ++c) {
-        if (alive[c] && !computed[c]) {
-          i = c;
-          break;
-        }
-      }
-      if (i == m) break;
-      computed[i] = true;
-      ++st->distance_computations;
-      ++scanned;
-      const double d = metric_(query, node.splits[i]);
-      if (d <= radius) {
-        out->push_back({node.split_oids[i], node.splits[i], d});
-      }
-      for (size_t j = 0; j < m; ++j) {
-        if (!alive[j] || j == i) continue;
-        const Range& range = node.ranges[i * m + j];
-        if (range.lo > range.hi) continue;  // Empty subtree: no constraint.
-        if (d + radius < range.lo || d - radius > range.hi) {
-          alive[j] = false;  // The query ball misses subtree j entirely.
-          if (node.children[j] != nullptr) {
-            ++st->nodes_pruned;
+  /// Shared range/k-NN traversal: one Expand callback over the engine's
+  /// best-first driver. Brin's iterative pruning loop runs unchanged — the
+  /// collector's bound (fixed r_Q or shrinking r_k) replaces the literal
+  /// radius — and every surviving subtree joins the frontier with the
+  /// tightest lower bound its computed split distances certify.
+  template <typename Collector>
+  void Traverse(const Object& query, Collector& collector,
+                QueryStats* st) const {
+    engine::BestFirstSearch<const Node*>(
+        root_.get(), /*root_trace_id=*/0, collector, st,
+        [&](const engine::FrontierEntry<const Node*>& item, auto& frontier) {
+          const Node& node = *item.handle;
+          ++st->nodes_accessed;
+          if (node.is_leaf) {
+            for (const auto& [obj, oid] : node.bucket) {
+              ++st->distance_computations;
+              collector.Offer(oid, obj, metric_(query, obj));
+            }
             if (st->trace != nullptr) {
-              st->trace->RecordPrune(0, level + 1,
-                                     PruneReason::kRangeTable);
+              const auto scanned = static_cast<uint32_t>(node.bucket.size());
+              st->trace->RecordVisit(0, item.level, scanned, 0, scanned);
+            }
+            return;
+          }
+          const size_t m = node.splits.size();
+          // Brin's pruning loop: compute split-point distances one at a
+          // time; each computed distance may eliminate other subtrees (and
+          // their split points) before we ever pay for them.
+          std::vector<bool> alive(m, true);
+          std::vector<bool> computed(m, false);
+          std::vector<double> split_distance(m, 0.0);
+          uint32_t scanned = 0;
+          for (size_t step = 0; step < m; ++step) {
+            size_t i = m;
+            for (size_t c = 0; c < m; ++c) {
+              if (alive[c] && !computed[c]) {
+                i = c;
+                break;
+              }
+            }
+            if (i == m) break;
+            computed[i] = true;
+            ++st->distance_computations;
+            ++scanned;
+            const double d = metric_(query, node.splits[i]);
+            split_distance[i] = d;
+            collector.Offer(node.split_oids[i], node.splits[i], d);
+            const double bound = collector.Bound();
+            for (size_t j = 0; j < m; ++j) {
+              if (!alive[j] || j == i) continue;
+              const Range& range = node.ranges[i * m + j];
+              if (range.lo > range.hi) continue;  // Empty: no constraint.
+              if (d + bound < range.lo || d - bound > range.hi) {
+                alive[j] = false;  // The query ball misses subtree j.
+                if (node.children[j] != nullptr) {
+                  ++st->nodes_pruned;
+                  if (st->trace != nullptr) {
+                    st->trace->RecordPrune(0, item.level + 1,
+                                           PruneReason::kRangeTable);
+                  }
+                }
+              }
             }
           }
-        }
-      }
-    }
-    if (st->trace != nullptr) {
-      st->trace->RecordVisit(0, level, scanned,
-                             static_cast<uint32_t>(m) - scanned, scanned);
-    }
-    for (size_t j = 0; j < m; ++j) {
-      if (alive[j] && node.children[j] != nullptr) {
-        RangeRecurse(*node.children[j], query, radius, level + 1, st, out);
-      }
-    }
+          if (st->trace != nullptr) {
+            st->trace->RecordVisit(0, item.level, scanned,
+                                   static_cast<uint32_t>(m) - scanned,
+                                   scanned);
+          }
+          for (size_t j = 0; j < m; ++j) {
+            if (!alive[j] || node.children[j] == nullptr) continue;
+            // Tightest certified lower bound on d(Q, x) for x in subtree j:
+            // every computed split distance constrains it through the range
+            // table (|d(Q,p_i) - d(p_i,x)| <= d(Q,x)).
+            double dmin = 0.0;
+            for (size_t i = 0; i < m; ++i) {
+              if (!computed[i]) continue;
+              const Range& range = node.ranges[i * m + j];
+              if (range.lo > range.hi) continue;
+              dmin = std::max(
+                  {dmin, range.lo - split_distance[i],
+                   split_distance[i] - range.hi});
+            }
+            frontier.PushOrPrune(dmin, item.level + 1, /*trace_id=*/0,
+                                 node.children[j].get(),
+                                 PruneReason::kRangeTable);
+          }
+        });
   }
 
   void Walk(const Node* node, size_t depth, GnatStatsView* view) const {

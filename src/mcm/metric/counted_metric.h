@@ -5,20 +5,23 @@
 #ifndef MCM_METRIC_COUNTED_METRIC_H_
 #define MCM_METRIC_COUNTED_METRIC_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
 namespace mcm {
 
-/// Shared mutable counter of distance computations.
+/// Shared mutable counter of distance computations. Relaxed-atomic so
+/// copies of one CountedMetric can be evaluated from concurrent query
+/// threads (the batch executor); the total stays exact under any schedule.
 class DistanceCounter {
  public:
-  void Increment() { ++count_; }
-  void Reset() { count_ = 0; }
-  uint64_t count() const { return count_; }
+  void Increment() { count_.fetch_add(1, std::memory_order_relaxed); }
+  void Reset() { count_.store(0, std::memory_order_relaxed); }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t count_ = 0;
+  std::atomic<uint64_t> count_{0};
 };
 
 /// Wraps a metric functor and increments a shared DistanceCounter on every

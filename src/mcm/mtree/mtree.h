@@ -22,6 +22,7 @@
 
 #include "mcm/common/random.h"
 #include "mcm/cost/tree_stats.h"
+#include "mcm/engine/search_core.h"
 #include "mcm/mtree/node.h"
 #include "mcm/mtree/node_store.h"
 #include "mcm/mtree/options.h"
@@ -33,15 +34,6 @@ namespace mcm {
 
 template <typename Traits>
 class BulkLoader;
-
-/// One query answer: the object, its external id, and its distance to the
-/// query object.
-template <typename Object>
-struct SearchResult {
-  uint64_t oid = 0;
-  Object object;
-  double distance = 0.0;
-};
 
 template <typename Traits>
 class MTree {
@@ -110,18 +102,12 @@ class MTree {
     QueryStats local;
     QueryStats* st = stats ? stats : &local;
     ResetCounters(st);
-    std::vector<Result> results;
     if (root_ == kInvalidNodeId || radius < 0.0) {
-      return results;
+      return {};
     }
-    RangeRecurse(root_, query, radius,
-                 std::numeric_limits<double>::quiet_NaN(), /*level=*/1, st,
-                 &results);
-    std::sort(results.begin(), results.end(),
-              [](const Result& a, const Result& b) {
-                return a.distance < b.distance;
-              });
-    return results;
+    engine::RangeCollector<Object> collector(radius);
+    Traverse(query, collector, st, PruneReason::kCoveringRadius);
+    return collector.Take();
   }
 
   /// NN(Q, k): the k nearest neighbors of `query`, sorted by increasing
@@ -133,115 +119,12 @@ class MTree {
     QueryStats local;
     QueryStats* st = stats ? stats : &local;
     ResetCounters(st);
-    std::vector<Result> results;
     if (root_ == kInvalidNodeId || k == 0) {
-      return results;
+      return {};
     }
-
-    struct PqItem {
-      double dmin;
-      NodeId node;
-      double parent_query_distance;  // NaN for the root.
-      uint32_t level;                // 1 = root.
-    };
-    auto pq_greater = [](const PqItem& a, const PqItem& b) {
-      return a.dmin > b.dmin;
-    };
-    std::priority_queue<PqItem, std::vector<PqItem>, decltype(pq_greater)>
-        frontier(pq_greater);
-    frontier.push({0.0, root_, std::numeric_limits<double>::quiet_NaN(), 1});
-
-    auto cand_less = [](const Result& a, const Result& b) {
-      return a.distance < b.distance;
-    };
-    // Max-heap of the k best candidates seen so far.
-    std::priority_queue<Result, std::vector<Result>, decltype(cand_less)>
-        candidates(cand_less);
-    auto rk = [&]() {
-      return candidates.size() < k ? std::numeric_limits<double>::infinity()
-                                   : candidates.top().distance;
-    };
-
-    const bool optimized = options_.pruning == PruningMode::kOptimized;
-    while (!frontier.empty()) {
-      const PqItem item = frontier.top();
-      frontier.pop();
-      if (item.dmin > rk()) {
-        // No remaining region can intersect the NN ball: the popped item
-        // and everything still queued are pruned by the k-NN bound.
-        st->nodes_pruned += 1 + frontier.size();
-        if (st->trace != nullptr) {
-          st->trace->RecordPrune(item.node, item.level,
-                                 PruneReason::kKnnBound);
-          while (!frontier.empty()) {
-            const PqItem rest = frontier.top();
-            frontier.pop();
-            st->trace->RecordPrune(rest.node, rest.level,
-                                   PruneReason::kKnnBound);
-          }
-        }
-        break;
-      }
-      const Node node = store_->ReadTracked(item.node, st);
-      ++st->nodes_accessed;
-      const bool can_prune =
-          optimized && !std::isnan(item.parent_query_distance);
-      uint32_t scanned = 0, entry_pruned = 0;
-      if (node.is_leaf) {
-        for (const auto& e : node.leaf_entries) {
-          if (can_prune &&
-              std::fabs(item.parent_query_distance - e.parent_distance) >
-                  rk()) {
-            ++entry_pruned;
-            continue;
-          }
-          ++scanned;
-          const double d = Dist(query, e.object, st);
-          if (d <= rk() || candidates.size() < k) {
-            candidates.push({e.oid, e.object, d});
-            if (candidates.size() > k) candidates.pop();
-          }
-        }
-      } else {
-        for (const auto& e : node.routing_entries) {
-          if (can_prune &&
-              std::fabs(item.parent_query_distance - e.parent_distance) -
-                      e.covering_radius >
-                  rk()) {
-            ++st->nodes_pruned;
-            if (st->trace != nullptr) {
-              st->trace->RecordPrune(e.child, item.level + 1,
-                                     PruneReason::kParentFilter);
-            }
-            continue;
-          }
-          ++scanned;
-          const double d = Dist(query, e.object, st);
-          const double dmin = std::max(d - e.covering_radius, 0.0);
-          if (dmin <= rk()) {
-            frontier.push({dmin, e.child, d, item.level + 1});
-          } else {
-            ++st->nodes_pruned;
-            if (st->trace != nullptr) {
-              st->trace->RecordPrune(e.child, item.level + 1,
-                                     PruneReason::kKnnBound);
-            }
-          }
-        }
-      }
-      if (st->trace != nullptr) {
-        st->trace->RecordVisit(item.node, item.level, scanned, entry_pruned,
-                               scanned);
-      }
-    }
-
-    results.reserve(candidates.size());
-    while (!candidates.empty()) {
-      results.push_back(candidates.top());
-      candidates.pop();
-    }
-    std::reverse(results.begin(), results.end());
-    return results;
+    engine::KnnCollector<Object> collector(k);
+    Traverse(query, collector, st, PruneReason::kKnnBound);
+    return collector.Take();
   }
 
   /// A single similarity predicate of a complex query: "within `radius`
@@ -494,62 +377,75 @@ class MTree {
     }
   }
 
-  void RangeRecurse(NodeId id, const Object& query, double radius,
-                    double parent_query_distance, uint32_t level,
-                    QueryStats* st, std::vector<Result>* out) const {
-    const Node node = store_->ReadTracked(id, st);
-    ++st->nodes_accessed;
-    const bool can_prune = options_.pruning == PruningMode::kOptimized &&
-                           !std::isnan(parent_query_distance);
-    uint32_t scanned = 0, entry_pruned = 0;
-    if (node.is_leaf) {
-      for (const auto& e : node.leaf_entries) {
-        if (can_prune &&
-            std::fabs(parent_query_distance - e.parent_distance) > radius) {
-          ++entry_pruned;
-          continue;
-        }
-        ++scanned;
-        const double d = Dist(query, e.object, st);
-        if (d <= radius) {
-          out->push_back({e.oid, e.object, d});
-        }
-      }
-      if (st->trace != nullptr) {
-        st->trace->RecordVisit(id, level, scanned, entry_pruned, scanned);
-      }
-    } else {
-      for (const auto& e : node.routing_entries) {
-        if (can_prune &&
-            std::fabs(parent_query_distance - e.parent_distance) >
-                e.covering_radius + radius) {
-          ++st->nodes_pruned;
-          if (st->trace != nullptr) {
-            st->trace->RecordPrune(e.child, level + 1,
-                                   PruneReason::kParentFilter);
+  /// The M-tree's node reference on the shared best-first frontier: the
+  /// node id plus d(Q, parent routing object) — NaN at the root — which
+  /// feeds the stored-parent-distance filter in optimized pruning mode.
+  struct TraversalHandle {
+    NodeId node = kInvalidNodeId;
+    double parent_query_distance = std::numeric_limits<double>::quiet_NaN();
+  };
+
+  /// Shared range/k-NN traversal over the engine driver. The collector
+  /// supplies the pruning bound (fixed radius or shrinking r_k);
+  /// `cut_reason` labels subtrees eliminated by the ball test
+  /// d_min(Q, N) > bound (kCoveringRadius for range, kKnnBound for k-NN,
+  /// matching the paper's two pruning lemmas).
+  template <typename Collector>
+  void Traverse(const Object& query, Collector& collector, QueryStats* st,
+                PruneReason cut_reason) const {
+    const bool optimized = options_.pruning == PruningMode::kOptimized;
+    engine::BestFirstSearch<TraversalHandle>(
+        TraversalHandle{root_, std::numeric_limits<double>::quiet_NaN()},
+        /*root_trace_id=*/root_, collector, st,
+        [&](const engine::FrontierEntry<TraversalHandle>& item,
+            auto& frontier) {
+          const Node node = store_->ReadTracked(item.handle.node, st);
+          ++st->nodes_accessed;
+          const double pqd = item.handle.parent_query_distance;
+          const bool can_prune = optimized && !std::isnan(pqd);
+          uint32_t scanned = 0;
+          if (node.is_leaf) {
+            for (const auto& e : node.leaf_entries) {
+              if (can_prune && std::fabs(pqd - e.parent_distance) >
+                                   collector.Bound()) {
+                continue;
+              }
+              ++scanned;
+              const double d = Dist(query, e.object, st);
+              collector.Offer(e.oid, e.object, d);
+            }
+            if (st->trace != nullptr) {
+              st->trace->RecordVisit(
+                  item.handle.node, item.level, scanned,
+                  static_cast<uint32_t>(node.leaf_entries.size()) - scanned,
+                  scanned);
+            }
+            return;
           }
-          continue;
-        }
-        ++scanned;
-        const double d = Dist(query, e.object, st);
-        if (d <= e.covering_radius + radius) {
-          RangeRecurse(e.child, query, radius, d, level + 1, st, out);
-        } else {
-          ++st->nodes_pruned;
-          if (st->trace != nullptr) {
-            st->trace->RecordPrune(e.child, level + 1,
-                                   PruneReason::kCoveringRadius);
+          for (const auto& e : node.routing_entries) {
+            if (can_prune && std::fabs(pqd - e.parent_distance) -
+                                     e.covering_radius >
+                                 collector.Bound()) {
+              ++st->nodes_pruned;
+              if (st->trace != nullptr) {
+                st->trace->RecordPrune(e.child, item.level + 1,
+                                       PruneReason::kParentFilter);
+              }
+              continue;
+            }
+            ++scanned;
+            const double d = Dist(query, e.object, st);
+            const double dmin = std::max(d - e.covering_radius, 0.0);
+            frontier.PushOrPrune(dmin, item.level + 1, e.child,
+                                 TraversalHandle{e.child, d}, cut_reason);
           }
-        }
-      }
-      if (st->trace != nullptr) {
-        st->trace->RecordVisit(id, level, scanned,
-                               static_cast<uint32_t>(
-                                   node.routing_entries.size()) -
-                                   scanned,
-                               scanned);
-      }
-    }
+          if (st->trace != nullptr) {
+            st->trace->RecordVisit(
+                item.handle.node, item.level, scanned,
+                static_cast<uint32_t>(node.routing_entries.size()) - scanned,
+                scanned);
+          }
+        });
   }
 
   /// Inserts below `node_id` (whose routing object is `parent_object`, null

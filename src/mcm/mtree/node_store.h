@@ -10,7 +10,9 @@
 #ifndef MCM_MTREE_NODE_STORE_H_
 #define MCM_MTREE_NODE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -57,15 +59,21 @@ class NodeStore {
   /// Number of live (allocated and not freed) nodes.
   virtual size_t NumNodes() const = 0;
 
-  /// Logical accesses since the last ResetAccessCount().
-  uint64_t access_count() const { return access_count_; }
-  void ResetAccessCount() { access_count_ = 0; }
+  /// Logical accesses since the last ResetAccessCount(). The counter is a
+  /// relaxed atomic so concurrent readers (the batch executor) can share
+  /// one store; the total is exact regardless of schedule.
+  uint64_t access_count() const {
+    return access_count_.load(std::memory_order_relaxed);
+  }
+  void ResetAccessCount() {
+    access_count_.store(0, std::memory_order_relaxed);
+  }
 
  protected:
-  void CountAccess() { ++access_count_; }
+  void CountAccess() { access_count_.fetch_add(1, std::memory_order_relaxed); }
 
  private:
-  uint64_t access_count_ = 0;
+  std::atomic<uint64_t> access_count_{0};
 };
 
 /// Heap-resident node store.
@@ -151,15 +159,18 @@ class PagedNodeStore final : public NodeStore<Traits> {
   }
 
   Node ReadTracked(NodeId id, QueryStats* st) override {
-    const BufferPoolStats before = pool_.stats();
-    Node node = Read(id);
-    const BufferPoolStats delta = pool_.stats() - before;
-    st->buffer_hits += delta.hits;
-    st->buffer_misses += delta.misses;
-    if (st->trace != nullptr) {
-      st->trace->RecordBufferFetch(id, delta.misses == 0);
+    this->CountAccess();
+    bool hit = false;
+    PageGuard guard = pool_.Fetch(static_cast<PageId>(id), &hit);
+    if (hit) {
+      ++st->buffer_hits;
+    } else {
+      ++st->buffer_misses;
     }
-    return node;
+    if (st->trace != nullptr) {
+      st->trace->RecordBufferFetch(id, hit);
+    }
+    return Node::Deserialize(guard.data(), file_->page_size());
   }
 
   void Write(NodeId id, const Node& node) override {
@@ -180,6 +191,9 @@ class PagedNodeStore final : public NodeStore<Traits> {
   PageFile& file() { return *file_; }
 
  private:
+  // Write path only (construction and maintenance are single-writer; the
+  // concurrent batch executor goes through ReadTracked/Read exclusively),
+  // so the shared scratch buffer needs no lock.
   void StoreInto(PageGuard& guard, const Node& node) {
     scratch_.clear();
     node.Serialize(&scratch_);

@@ -169,9 +169,9 @@ void BenchObserver::RecordQuery(const QueryObservation& obs) {
   rec.Add("buffer_misses", obs.stats.buffer_misses);
   rec.Add("results", obs.results);
   rec.Add("latency_us", obs.latency_us);
-  if (!obs.level_nodes.empty()) {
-    rec.AddNumberArray("level_nodes", obs.level_nodes);
-  }
+  // Always present (empty for flat structures) so every artifact matches
+  // the query-record schema regardless of which bench produced it.
+  rec.AddNumberArray("level_nodes", obs.level_nodes);
   JsonObjectBuilder prunes;
   for (size_t i = 0; i < kNumPruneReasons; ++i) {
     if (obs.prunes_by_reason[i] > 0) {
@@ -180,9 +180,7 @@ void BenchObserver::RecordQuery(const QueryObservation& obs) {
     }
   }
   rec.AddRaw("prunes", prunes.Build());  // "{}" when nothing was pruned.
-  if (!predictions_.empty()) {
-    rec.AddRaw("pred", PredictionsJson(predictions_));
-  }
+  rec.AddRaw("pred", PredictionsJson(predictions_));  // "{}" when no models.
   if (obs.trace_dropped > 0) {
     rec.Add("trace_dropped", obs.trace_dropped);
     MetricsRegistry::Global()
@@ -257,7 +255,8 @@ void BenchObserver::WriteSummaryRecord() {
     lat.Add("p95", SortedQuantile(latencies_us_, 0.95));
     rec.AddRaw("latency_us", lat.Build());
   }
-  if (!residuals_.empty()) {
+  {
+    // Always present ("{}" without predictions) to match the schema.
     JsonObjectBuilder res;
     for (const std::string& name : residuals_.Names()) {
       res.AddRaw(name, ResidualStatsJson(residuals_.StatsFor(name)));

@@ -1,5 +1,6 @@
 #include "mcm/storage/buffer_pool.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mcm {
@@ -44,13 +45,25 @@ void PageGuard::Release() {
   }
 }
 
-BufferPool::BufferPool(PageFile* file, size_t capacity)
+BufferPool::BufferPool(PageFile* file, size_t capacity, size_t num_shards)
     : file_(file), capacity_(capacity) {
   if (file == nullptr) {
     throw std::invalid_argument("BufferPool: null page file");
   }
   if (capacity == 0) {
     throw std::invalid_argument("BufferPool: capacity must be > 0");
+  }
+  if (num_shards == 0) {
+    num_shards = std::clamp<size_t>(capacity / 64, 1, 8);
+  }
+  num_shards = std::min(num_shards, capacity);  // Every shard gets a frame.
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Distribute capacity as evenly as possible; earlier shards take the
+    // remainder.
+    shard->capacity = capacity / num_shards + (s < capacity % num_shards);
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -62,35 +75,45 @@ BufferPool::~BufferPool() {
   }
 }
 
-PageGuard BufferPool::Fetch(PageId id) {
-  ++stats_.fetches;
-  Frame& frame = LoadFrame(id, /*read_from_file=*/true);
+PageGuard BufferPool::Fetch(PageId id) { return Fetch(id, nullptr); }
+
+PageGuard BufferPool::Fetch(PageId id, bool* hit) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.fetches;
+  Frame& frame = LoadFrame(shard, id, /*read_from_file=*/true, hit);
   return PageGuard(this, id, frame.data.data());
 }
 
 PageGuard BufferPool::NewPage() {
   const PageId id = file_->Allocate();
-  ++stats_.fetches;
-  Frame& frame = LoadFrame(id, /*read_from_file=*/false);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.fetches;
+  Frame& frame =
+      LoadFrame(shard, id, /*read_from_file=*/false, /*hit=*/nullptr);
   frame.dirty = true;
   return PageGuard(this, id, frame.data.data());
 }
 
-BufferPool::Frame& BufferPool::LoadFrame(PageId id, bool read_from_file) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    ++stats_.hits;
+BufferPool::Frame& BufferPool::LoadFrame(Shard& shard, PageId id,
+                                         bool read_from_file, bool* hit) {
+  auto it = shard.frames.find(id);
+  if (it != shard.frames.end()) {
+    ++shard.stats.hits;
+    if (hit != nullptr) *hit = true;
     Frame& frame = it->second;
     if (frame.in_lru) {
-      lru_.erase(frame.lru_pos);
+      shard.lru.erase(frame.lru_pos);
       frame.in_lru = false;
     }
     ++frame.pin_count;
     return frame;
   }
-  ++stats_.misses;
-  EvictOneIfFull();
-  Frame& frame = frames_[id];
+  ++shard.stats.misses;
+  if (hit != nullptr) *hit = false;
+  EvictOneIfFull(shard);
+  Frame& frame = shard.frames[id];
   frame.data.assign(file_->page_size(), 0);
   if (read_from_file) {
     file_->Read(id, frame.data.data());
@@ -99,67 +122,106 @@ BufferPool::Frame& BufferPool::LoadFrame(PageId id, bool read_from_file) {
   return frame;
 }
 
-void BufferPool::EvictOneIfFull() {
-  if (frames_.size() < capacity_) {
+void BufferPool::EvictOneIfFull(Shard& shard) {
+  if (shard.frames.size() < shard.capacity) {
     return;
   }
-  if (lru_.empty()) {
+  if (shard.lru.empty()) {
     throw std::runtime_error("BufferPool: all frames pinned, cannot evict");
   }
-  const PageId victim = lru_.back();
-  lru_.pop_back();
-  auto it = frames_.find(victim);
-  FlushFrame(victim, it->second);
-  frames_.erase(it);
-  ++stats_.evictions;
+  const PageId victim = shard.lru.back();
+  shard.lru.pop_back();
+  auto it = shard.frames.find(victim);
+  FlushFrame(shard, victim, it->second);
+  shard.frames.erase(it);
+  ++shard.stats.evictions;
 }
 
 void BufferPool::Unpin(PageId id) {
-  auto it = frames_.find(id);
-  if (it == frames_.end() || it->second.pin_count == 0) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end() || it->second.pin_count == 0) {
     throw std::logic_error("BufferPool: unpin of unpinned page");
   }
   Frame& frame = it->second;
   if (--frame.pin_count == 0) {
-    lru_.push_front(id);
-    frame.lru_pos = lru_.begin();
+    shard.lru.push_front(id);
+    frame.lru_pos = shard.lru.begin();
     frame.in_lru = true;
   }
 }
 
 void BufferPool::MarkDirty(PageId id) {
-  auto it = frames_.find(id);
-  if (it == frames_.end()) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end()) {
     throw std::logic_error("BufferPool: MarkDirty of absent page");
   }
   it->second.dirty = true;
 }
 
-void BufferPool::FlushFrame(PageId id, Frame& frame) {
+void BufferPool::FlushFrame(Shard& shard, PageId id, Frame& frame) {
   if (frame.dirty) {
     file_->Write(id, frame.data.data());
     frame.dirty = false;
-    ++stats_.flushes;
+    ++shard.stats.flushes;
   }
 }
 
 void BufferPool::FlushAll() {
-  for (auto& [id, frame] : frames_) {
-    FlushFrame(id, frame);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [id, frame] : shard->frames) {
+      FlushFrame(*shard, id, frame);
+    }
   }
 }
 
 void BufferPool::EvictAll() {
-  for (auto it = frames_.begin(); it != frames_.end();) {
-    if (it->second.pin_count == 0) {
-      FlushFrame(it->first, it->second);
-      if (it->second.in_lru) {
-        lru_.erase(it->second.lru_pos);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->frames.begin(); it != shard->frames.end();) {
+      if (it->second.pin_count == 0) {
+        FlushFrame(*shard, it->first, it->second);
+        if (it->second.in_lru) {
+          shard->lru.erase(it->second.lru_pos);
+        }
+        it = shard->frames.erase(it);
+      } else {
+        ++it;
       }
-      it = frames_.erase(it);
-    } else {
-      ++it;
     }
+  }
+}
+
+size_t BufferPool::num_buffered() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->frames.size();
+  }
+  return total;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.fetches += shard->stats.fetches;
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.evictions += shard->stats.evictions;
+    total.flushes += shard->stats.flushes;
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stats = BufferPoolStats();
   }
 }
 

@@ -1,12 +1,23 @@
 // LRU buffer pool over a PageFile. Index node stores fetch their pages
 // through the pool; logical fetches are what the paper counts as I/O cost,
 // while pool misses correspond to physical reads.
+//
+// The pool is safe for concurrent readers (the batch executor's threads):
+// frames are partitioned into shards keyed by page id, each shard holding
+// its own mutex, LRU list, and counters. Small pools (the default for unit
+// tests and tight cost experiments) get exactly one shard, which preserves
+// the classic single-LRU eviction order; larger pools auto-shard (about one
+// shard per 64 frames, at most 8) so readers on different shards never
+// contend. stats() aggregates the per-shard counters into a snapshot
+// returned by value.
 
 #ifndef MCM_STORAGE_BUFFER_POOL_H_
 #define MCM_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -54,11 +65,14 @@ class PageGuard {
   uint8_t* data_ = nullptr;
 };
 
-/// Fixed-capacity LRU page cache with pin counts and dirty write-back.
+/// Fixed-capacity LRU page cache with pin counts, dirty write-back, and
+/// sharded locking for concurrent readers.
 class BufferPool {
  public:
   /// Creates a pool of `capacity` frames over `file` (not owned).
-  BufferPool(PageFile* file, size_t capacity);
+  /// `num_shards` = 0 picks automatically: one shard per 64 frames,
+  /// clamped to [1, 8] — so small pools behave as a single exact LRU.
+  BufferPool(PageFile* file, size_t capacity, size_t num_shards = 0);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -66,6 +80,12 @@ class BufferPool {
 
   /// Fetches page `id`, pinning it in the pool.
   PageGuard Fetch(PageId id);
+
+  /// Fetches page `id` and reports through `*hit` whether this particular
+  /// request was served from the pool — the race-free way for a caller to
+  /// attribute hit/miss to its own fetch (diffing stats() snapshots is not,
+  /// once other threads share the pool).
+  PageGuard Fetch(PageId id, bool* hit);
 
   /// Allocates a fresh page and returns it pinned and zeroed.
   PageGuard NewPage();
@@ -78,13 +98,16 @@ class BufferPool {
   void EvictAll();
 
   size_t capacity() const { return capacity_; }
-  size_t num_buffered() const { return frames_.size(); }
-  const BufferPoolStats& stats() const { return stats_; }
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_buffered() const;
+
+  /// Aggregated counter snapshot (sums over shards), returned by value.
+  BufferPoolStats stats() const;
 
   /// Zeroes the counters. Prefer diffing CaptureIoStats (storage/io_stats.h)
   /// snapshots instead: a reset clobbers every concurrent observer's view of
   /// the same pool.
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  void ResetStats();
   PageFile* file() const { return file_; }
 
  private:
@@ -98,17 +121,27 @@ class BufferPool {
     bool in_lru = false;
   };
 
+  /// One lock domain: a slice of the frame capacity with its own LRU.
+  struct Shard {
+    mutable std::mutex mu;
+    size_t capacity = 0;
+    std::unordered_map<PageId, Frame> frames;
+    std::list<PageId> lru;  // Front = most recent; only unpinned pages.
+    BufferPoolStats stats;
+  };
+
+  Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }
+
   void Unpin(PageId id);
   void MarkDirty(PageId id);
-  Frame& LoadFrame(PageId id, bool read_from_file);
-  void EvictOneIfFull();
-  void FlushFrame(PageId id, Frame& frame);
+  // All four require the shard's mutex to be held by the caller.
+  Frame& LoadFrame(Shard& shard, PageId id, bool read_from_file, bool* hit);
+  void EvictOneIfFull(Shard& shard);
+  void FlushFrame(Shard& shard, PageId id, Frame& frame);
 
   PageFile* file_;
   size_t capacity_;
-  std::unordered_map<PageId, Frame> frames_;
-  std::list<PageId> lru_;  // Front = most recently used; only unpinned pages.
-  BufferPoolStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace mcm

@@ -12,6 +12,7 @@ PageFile::PageFile(size_t page_size) : page_size_(page_size) {
 }
 
 PageId PageFile::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.allocations;
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
@@ -25,17 +26,20 @@ PageId PageFile::Allocate() {
 }
 
 void PageFile::Free(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   CheckId(id);
   free_list_.push_back(id);
 }
 
 void PageFile::Read(PageId id, uint8_t* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   CheckId(id);
   ++stats_.reads;
   DoRead(id, out);
 }
 
 void PageFile::Write(PageId id, const uint8_t* data) {
+  std::lock_guard<std::mutex> lock(mu_);
   CheckId(id);
   ++stats_.writes;
   DoWrite(id, data);

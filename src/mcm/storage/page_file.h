@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,7 +30,10 @@ struct PageFileStats {
 /// Abstract store of fixed-size pages.
 ///
 /// Implementations must support random reads and writes of whole pages.
-/// Freed pages are recycled by subsequent allocations.
+/// Freed pages are recycled by subsequent allocations. All public
+/// operations are serialized on an internal mutex, so a PageFile can back
+/// a sharded BufferPool whose shards read through it concurrently (stdio
+/// files share one seek position; the lock is required, not optional).
 class PageFile {
  public:
   explicit PageFile(size_t page_size);
@@ -53,21 +57,32 @@ class PageFile {
   size_t page_size() const { return page_size_; }
 
   /// Number of pages ever allocated (including freed ones).
-  size_t num_pages() const { return num_pages_; }
+  size_t num_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_pages_;
+  }
 
-  const PageFileStats& stats() const { return stats_; }
+  /// Counter snapshot, returned by value (safe under concurrent readers).
+  PageFileStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
   /// Zeroes the counters. Prefer diffing CaptureIoStats (storage/io_stats.h)
   /// snapshots instead: a reset clobbers every concurrent observer's view.
-  void ResetStats() { stats_ = PageFileStats(); }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = PageFileStats();
+  }
 
  protected:
   virtual void DoRead(PageId id, uint8_t* out) = 0;
   virtual void DoWrite(PageId id, const uint8_t* data) = 0;
   virtual void DoExtend(size_t new_num_pages) = 0;
 
-  void CheckId(PageId id) const;
+  void CheckId(PageId id) const;  // Requires mu_ held.
 
+  mutable std::mutex mu_;  ///< Serializes every public operation.
   size_t page_size_;
   size_t num_pages_ = 0;
   std::vector<PageId> free_list_;

@@ -23,7 +23,7 @@
 
 #include "mcm/common/query_stats.h"
 #include "mcm/common/random.h"
-#include "mcm/mtree/mtree.h"  // SearchResult
+#include "mcm/engine/search_core.h"
 #include "mcm/obs/trace.h"
 
 namespace mcm {
@@ -93,14 +93,12 @@ class VpTree {
     QueryStats local;
     QueryStats* st = stats ? stats : &local;
     ResetCounters(st);
-    std::vector<Result> out;
-    if (root_ != nullptr && radius >= 0.0) {
-      RangeRecurse(*root_, query, radius, /*level=*/1, st, &out);
+    if (root_ == nullptr || radius < 0.0) {
+      return {};
     }
-    std::sort(out.begin(), out.end(), [](const Result& a, const Result& b) {
-      return a.distance < b.distance;
-    });
-    return out;
+    engine::RangeCollector<Object> collector(radius);
+    Traverse(query, collector, st);
+    return collector.Take();
   }
 
   /// NN(Q, k): best-first k-nearest-neighbor search.
@@ -109,96 +107,12 @@ class VpTree {
     QueryStats local;
     QueryStats* st = stats ? stats : &local;
     ResetCounters(st);
-    std::vector<Result> results;
     if (root_ == nullptr || k == 0) {
-      return results;
+      return {};
     }
-    struct PqItem {
-      double dmin;
-      const Node* node;
-      uint32_t level;  // 1 = root.
-    };
-    auto pq_greater = [](const PqItem& a, const PqItem& b) {
-      return a.dmin > b.dmin;
-    };
-    std::priority_queue<PqItem, std::vector<PqItem>, decltype(pq_greater)>
-        frontier(pq_greater);
-    frontier.push({0.0, root_.get(), 1});
-    auto cand_less = [](const Result& a, const Result& b) {
-      return a.distance < b.distance;
-    };
-    std::priority_queue<Result, std::vector<Result>, decltype(cand_less)>
-        candidates(cand_less);
-    auto rk = [&]() {
-      return candidates.size() < k ? std::numeric_limits<double>::infinity()
-                                   : candidates.top().distance;
-    };
-    auto offer = [&](uint64_t oid, const Object& obj, double d) {
-      if (d <= rk() || candidates.size() < k) {
-        candidates.push({oid, obj, d});
-        if (candidates.size() > k) candidates.pop();
-      }
-    };
-    while (!frontier.empty()) {
-      const PqItem item = frontier.top();
-      frontier.pop();
-      if (item.dmin > rk()) {
-        // The popped region and every queued one are cut off by r_k.
-        st->nodes_pruned += 1 + frontier.size();
-        if (st->trace != nullptr) {
-          st->trace->RecordPrune(0, item.level, PruneReason::kKnnBound);
-          while (!frontier.empty()) {
-            const PqItem rest = frontier.top();
-            frontier.pop();
-            st->trace->RecordPrune(0, rest.level, PruneReason::kKnnBound);
-          }
-        }
-        break;
-      }
-      const Node& node = *item.node;
-      ++st->nodes_accessed;
-      if (node.is_leaf) {
-        for (const auto& [obj, oid] : node.bucket) {
-          ++st->distance_computations;
-          offer(oid, obj, metric_(query, obj));
-        }
-        if (st->trace != nullptr) {
-          const auto scanned = static_cast<uint32_t>(node.bucket.size());
-          st->trace->RecordVisit(0, item.level, scanned, 0, scanned);
-        }
-        continue;
-      }
-      ++st->distance_computations;
-      const double d = metric_(query, node.vantage);
-      if (st->trace != nullptr) {
-        st->trace->RecordVisit(0, item.level, 1, 0, 1);
-      }
-      offer(node.vantage_oid, node.vantage, d);
-      for (size_t i = 0; i < node.children.size(); ++i) {
-        if (node.children[i] == nullptr) continue;
-        const double lo = i == 0 ? 0.0 : node.cutoffs[i - 1];
-        const double hi = i == node.children.size() - 1
-                              ? std::numeric_limits<double>::infinity()
-                              : node.cutoffs[i];
-        const double dmin = std::max({lo - d, d - hi, 0.0});
-        if (dmin <= rk()) {
-          frontier.push({dmin, node.children[i].get(), item.level + 1});
-        } else {
-          ++st->nodes_pruned;
-          if (st->trace != nullptr) {
-            st->trace->RecordPrune(0, item.level + 1,
-                                   PruneReason::kShellBound);
-          }
-        }
-      }
-    }
-    results.reserve(candidates.size());
-    while (!candidates.empty()) {
-      results.push_back(candidates.top());
-      candidates.pop();
-    }
-    std::reverse(results.begin(), results.end());
-    return results;
+    engine::KnnCollector<Object> collector(k);
+    Traverse(query, collector, st);
+    return collector.Take();
   }
 
   size_t size() const { return num_objects_; }
@@ -304,46 +218,47 @@ class VpTree {
     return best;
   }
 
-  void RangeRecurse(const Node& node, const Object& query, double radius,
-                    uint32_t level, QueryStats* st,
-                    std::vector<Result>* out) const {
-    ++st->nodes_accessed;
-    if (node.is_leaf) {
-      for (const auto& [obj, oid] : node.bucket) {
-        ++st->distance_computations;
-        const double d = metric_(query, obj);
-        if (d <= radius) out->push_back({oid, obj, d});
-      }
-      if (st->trace != nullptr) {
-        const auto scanned = static_cast<uint32_t>(node.bucket.size());
-        st->trace->RecordVisit(0, level, scanned, 0, scanned);
-      }
-      return;
-    }
-    ++st->distance_computations;
-    const double d = metric_(query, node.vantage);
-    if (st->trace != nullptr) {
-      st->trace->RecordVisit(0, level, 1, 0, 1);
-    }
-    if (d <= radius) {
-      out->push_back({node.vantage_oid, node.vantage, d});
-    }
-    for (size_t i = 0; i < node.children.size(); ++i) {
-      if (node.children[i] == nullptr) continue;
-      const double lo = i == 0 ? 0.0 : node.cutoffs[i - 1];
-      const double hi = i == node.children.size() - 1
-                            ? std::numeric_limits<double>::infinity()
-                            : node.cutoffs[i];
-      // Visit iff the shell (lo, hi] intersects the query ball — Eq. 19.
-      if (d + radius >= lo && d - radius <= hi) {
-        RangeRecurse(*node.children[i], query, radius, level + 1, st, out);
-      } else {
-        ++st->nodes_pruned;
-        if (st->trace != nullptr) {
-          st->trace->RecordPrune(0, level + 1, PruneReason::kShellBound);
-        }
-      }
-    }
+  /// Shared range/k-NN traversal: one Expand callback over the engine's
+  /// best-first driver. A child shell [lo, hi] enters the frontier with
+  /// dmin = max(lo - d, d - hi, 0), the shell/ball intersection test of
+  /// Eq. 19 (with the collector's bound standing in for r_Q or r_k).
+  template <typename Collector>
+  void Traverse(const Object& query, Collector& collector,
+                QueryStats* st) const {
+    engine::BestFirstSearch<const Node*>(
+        root_.get(), /*root_trace_id=*/0, collector, st,
+        [&](const engine::FrontierEntry<const Node*>& item, auto& frontier) {
+          const Node& node = *item.handle;
+          ++st->nodes_accessed;
+          if (node.is_leaf) {
+            for (const auto& [obj, oid] : node.bucket) {
+              ++st->distance_computations;
+              collector.Offer(oid, obj, metric_(query, obj));
+            }
+            if (st->trace != nullptr) {
+              const auto scanned = static_cast<uint32_t>(node.bucket.size());
+              st->trace->RecordVisit(0, item.level, scanned, 0, scanned);
+            }
+            return;
+          }
+          ++st->distance_computations;
+          const double d = metric_(query, node.vantage);
+          if (st->trace != nullptr) {
+            st->trace->RecordVisit(0, item.level, 1, 0, 1);
+          }
+          collector.Offer(node.vantage_oid, node.vantage, d);
+          for (size_t i = 0; i < node.children.size(); ++i) {
+            if (node.children[i] == nullptr) continue;
+            const double lo = i == 0 ? 0.0 : node.cutoffs[i - 1];
+            const double hi = i == node.children.size() - 1
+                                  ? std::numeric_limits<double>::infinity()
+                                  : node.cutoffs[i];
+            const double dmin = std::max({lo - d, d - hi, 0.0});
+            frontier.PushOrPrune(dmin, item.level + 1, /*trace_id=*/0,
+                                 node.children[i].get(),
+                                 PruneReason::kShellBound);
+          }
+        });
   }
 
   void Walk(const Node* node, size_t depth, VpTreeStatsView* view) const {

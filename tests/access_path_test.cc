@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "mcm/baseline/linear_scan.h"
 #include "mcm/cost/nmcm.h"
 #include "mcm/dataset/vector_datasets.h"
 #include "mcm/distribution/estimator.h"
@@ -83,6 +84,89 @@ TEST(ChooseAccessPath, CrossoverMovesWithRadius) {
                                      model.RangeNodes(1.0),
                                      options.node_size_bytes, profile);
   EXPECT_EQ(full.choice, AccessPath::kSequentialScan);
+}
+
+TEST(ExecutablePlan, DispatchesToChosenArm) {
+  const auto data = GenerateClustered(2000, 6, 521);
+  MTreeOptions options;
+  options.seed = 42;
+  const auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
+  const LinearScan<VecTraits> scan(data, LInfDistance{});
+  const FloatVector q = {0.4f, 0.3f, 0.6f, 0.2f, 0.8f, 0.5f};
+
+  // The plan itself satisfies the common query interface.
+  static_assert(MetricIndex<ExecutablePlan<MTree<VecTraits>,
+                                           LinearScan<VecTraits>>>);
+
+  // Force each arm through a decision and check the executed counters
+  // carry that arm's signature (the scan always pays exactly n distances).
+  AccessPathDecision index_decision;
+  index_decision.choice = AccessPath::kIndexScan;
+  const ExecutablePlan<MTree<VecTraits>, LinearScan<VecTraits>> index_plan(
+      index_decision, &tree, &scan);
+  QueryStats index_stats;
+  const auto via_index = index_plan.RangeSearch(q, 0.1, &index_stats);
+  EXPECT_LT(index_stats.distance_computations, data.size());
+  EXPECT_GT(index_stats.nodes_accessed, 0u);
+
+  AccessPathDecision seq_decision;
+  seq_decision.choice = AccessPath::kSequentialScan;
+  const ExecutablePlan<MTree<VecTraits>, LinearScan<VecTraits>> seq_plan(
+      seq_decision, &tree, &scan);
+  QueryStats seq_stats;
+  const auto via_scan = seq_plan.RangeSearch(q, 0.1, &seq_stats);
+  EXPECT_EQ(seq_stats.distance_computations, data.size());
+  EXPECT_EQ(seq_stats.nodes_accessed, 0u);
+
+  // Both arms agree on the answer (shared collectors, shared tie-break).
+  ASSERT_EQ(via_index.size(), via_scan.size());
+  for (size_t i = 0; i < via_index.size(); ++i) {
+    EXPECT_EQ(via_index[i].oid, via_scan[i].oid);
+    EXPECT_NEAR(via_index[i].distance, via_scan[i].distance, 1e-9);
+  }
+  EXPECT_EQ(index_plan.size(), data.size());
+
+  // k-NN routes the same way.
+  const auto knn_index = index_plan.KnnSearch(q, 5);
+  const auto knn_scan = seq_plan.KnnSearch(q, 5);
+  ASSERT_EQ(knn_index.size(), 5u);
+  ASSERT_EQ(knn_scan.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(knn_index[i].oid, knn_scan[i].oid);
+  }
+}
+
+TEST(PlanQuery, BindsCheaperArm) {
+  const auto data = GenerateClustered(500, 4, 547);
+  MTreeOptions options;
+  options.seed = 42;
+  const auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
+  const LinearScan<VecTraits> scan(data, LInfDistance{});
+
+  DiskCostParameters params;
+  SequentialScanProfile profile;
+  profile.num_objects = data.size();
+  profile.data_bytes = data.size() * 64;
+
+  // A sliver-sized index prediction must pick the index arm...
+  const auto cheap = PlanQuery(params, 20.0, 2.0, options.node_size_bytes,
+                               profile, tree, scan);
+  EXPECT_EQ(cheap.decision().choice, AccessPath::kIndexScan);
+  // ...and a prediction as costly as the whole file picks the scan.
+  const auto costly =
+      PlanQuery(params, static_cast<double>(data.size()),
+                static_cast<double>(data.size()), options.node_size_bytes,
+                profile, tree, scan);
+  EXPECT_EQ(costly.decision().choice, AccessPath::kSequentialScan);
+
+  // Either way the plan executes and answers correctly.
+  const FloatVector q = {0.5f, 0.5f, 0.5f, 0.5f};
+  const auto a = cheap.RangeSearch(q, 0.2);
+  const auto b = costly.RangeSearch(q, 0.2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].oid, b[i].oid);
+  }
 }
 
 }  // namespace

@@ -1,6 +1,10 @@
 #include "mcm/storage/buffer_pool.h"
 
+#include <atomic>
+#include <cstring>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -142,6 +146,89 @@ TEST(BufferPool, DoubleUnpinDetected) {
   g.Release();
   EXPECT_FALSE(g.valid());
   g.Release();  // Second release on an invalid guard is a no-op.
+}
+
+TEST(BufferPool, ShardCountDefaults) {
+  InMemoryPageFile file(16);
+  // Small pools keep one shard (exact single-LRU semantics)...
+  EXPECT_EQ(BufferPool(&file, 4).num_shards(), 1u);
+  EXPECT_EQ(BufferPool(&file, 63).num_shards(), 1u);
+  // ...larger pools auto-shard, capped at 8.
+  EXPECT_EQ(BufferPool(&file, 128).num_shards(), 2u);
+  EXPECT_EQ(BufferPool(&file, 4096).num_shards(), 8u);
+  // Explicit shard counts are honored (but never exceed the capacity).
+  EXPECT_EQ(BufferPool(&file, 16, 4).num_shards(), 4u);
+  EXPECT_EQ(BufferPool(&file, 2, 8).num_shards(), 2u);
+}
+
+TEST(BufferPool, FetchReportsPerRequestHit) {
+  InMemoryPageFile file(32);
+  BufferPool pool(&file, 4);
+  const PageId id = file.Allocate();
+  bool hit = true;
+  { PageGuard g = pool.Fetch(id, &hit); }
+  EXPECT_FALSE(hit);
+  { PageGuard g = pool.Fetch(id, &hit); }
+  EXPECT_TRUE(hit);
+}
+
+TEST(BufferPool, ConcurrentReadStress) {
+  constexpr size_t kPageSize = 64;
+  constexpr size_t kNumPages = 200;
+  constexpr size_t kNumThreads = 4;
+  constexpr size_t kFetchesPerThread = 2000;
+
+  InMemoryPageFile file(kPageSize);
+  // Seed every page with a recognizable pattern derived from its id.
+  std::vector<PageId> ids;
+  for (size_t p = 0; p < kNumPages; ++p) {
+    const PageId id = file.Allocate();
+    std::vector<uint8_t> payload(kPageSize);
+    for (size_t b = 0; b < kPageSize; ++b) {
+      payload[b] = static_cast<uint8_t>((id * 131 + b) & 0xFF);
+    }
+    file.Write(id, payload.data());
+    ids.push_back(id);
+  }
+
+  // Multi-shard pool far smaller than the page set, so the stress mixes
+  // hits, misses, and evictions across shards.
+  BufferPool pool(&file, /*capacity=*/64, /*num_shards=*/4);
+  std::atomic<uint64_t> corrupt{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kNumThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t rng = 0x9E3779B97F4A7C15ull * (t + 1);
+      for (size_t i = 0; i < kFetchesPerThread; ++i) {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        const PageId id = ids[rng % kNumPages];
+        bool hit = false;
+        PageGuard guard = pool.Fetch(id, &hit);
+        for (size_t b = 0; b < kPageSize; ++b) {
+          if (guard.data()[b] !=
+              static_cast<uint8_t>((id * 131 + b) & 0xFF)) {
+            ++corrupt;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(corrupt.load(), 0u);
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.fetches, kNumThreads * kFetchesPerThread);
+  // Every fetch is exactly one hit or one miss, even under contention.
+  EXPECT_EQ(stats.hits + stats.misses, stats.fetches);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_LE(pool.num_buffered(), pool.capacity());
+  // Nothing was dirtied: evictions must not have written anything back.
+  EXPECT_EQ(stats.flushes, 0u);
+  EXPECT_EQ(file.stats().writes, kNumPages);
 }
 
 }  // namespace

@@ -56,6 +56,77 @@ TEST(Gnat, KeywordsUnderEditDistance) {
   }
 }
 
+TEST_P(GnatArityTest, KnnMatchesLinearScanOnClustered) {
+  GnatOptions options;
+  options.arity = GetParam();
+  const auto data = GenerateClustered(800, 6, 443);
+  const Gnat<VecTraits> index(data, LInfDistance{}, options);
+  const LinearScan<VecTraits> scan(data, LInfDistance{});
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 20, 6, 443);
+  for (const auto& q : queries) {
+    for (size_t k : {1u, 5u, 20u}) {
+      const auto expected = scan.KnnSearch(q, k);
+      const auto got = index.KnnSearch(q, k);
+      ASSERT_EQ(got.size(), expected.size()) << "k=" << k;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-9);
+        EXPECT_EQ(got[i].oid, expected[i].oid) << "k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Gnat, KnnMatchesLinearScanOnUniform) {
+  const auto data = GenerateUniform(1200, 8, 977);
+  GnatOptions options;
+  options.arity = 12;
+  const Gnat<VecTraits> index(data, LInfDistance{}, options);
+  const LinearScan<VecTraits> scan(data, LInfDistance{});
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kUniform, 25, 8, 977);
+  for (const auto& q : queries) {
+    for (size_t k : {1u, 3u, 10u, 50u}) {
+      const auto expected = scan.KnnSearch(q, k);
+      const auto got = index.KnnSearch(q, k);
+      ASSERT_EQ(got.size(), expected.size()) << "k=" << k;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-9);
+        EXPECT_EQ(got[i].oid, expected[i].oid) << "k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Gnat, KnnDegenerateCases) {
+  const auto data = GenerateUniform(100, 3, 991);
+  const Gnat<VecTraits> index(data, LInfDistance{}, GnatOptions{});
+  EXPECT_TRUE(index.KnnSearch({0.5f, 0.5f, 0.5f}, 0).empty());
+  // k larger than n returns everything, sorted.
+  const auto all = index.KnnSearch({0.5f, 0.5f, 0.5f}, 500);
+  EXPECT_EQ(all.size(), 100u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].distance, all[i].distance);
+  }
+  const Gnat<VecTraits> empty({}, LInfDistance{}, GnatOptions{});
+  EXPECT_TRUE(empty.KnnSearch({0.5f, 0.5f, 0.5f}, 3).empty());
+}
+
+TEST(Gnat, KnnPrunesWithShrinkingBound) {
+  const auto data = GenerateClustered(3000, 8, 457);
+  const Gnat<VecTraits> index(data, LInfDistance{}, GnatOptions{});
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 20, 8, 457);
+  uint64_t total = 0;
+  for (const auto& q : queries) {
+    QueryStats stats;
+    index.KnnSearch(q, 5, &stats);
+    total += stats.distance_computations;
+  }
+  // Best-first search with the range-table bound must beat brute force.
+  EXPECT_LT(total / queries.size(), data.size() / 2);
+}
+
 TEST(Gnat, PruningSavesDistanceComputations) {
   const auto data = GenerateClustered(3000, 8, 457);
   GnatOptions options;

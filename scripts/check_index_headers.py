@@ -8,6 +8,14 @@ index's header is a layering regression (historically vptree.h and gnat.h
 included mtree.h just for SearchResult). This check fails the build when
 any file under one index directory includes a header from another.
 
+Two neighboring layers are scanned too:
+
+  * src/mcm/engine/ sits *below* the indexes (they include it), so it may
+    not include any index header — that would be a dependency cycle;
+  * src/mcm/check/ sits *above* the indexes (it validates their
+    structures), so it may include any of them, but nothing may include
+    check/ from inside an index or the engine.
+
 Usage: check_index_headers.py [--root SRC_DIR]
 """
 
@@ -18,6 +26,21 @@ import sys
 
 INDEX_DIRS = ["mtree", "vptree", "gnat", "baseline"]
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"mcm/([^/"]+)/')
+
+
+def scan_includes(path):
+    """Yields (lineno, line, included_top_dir) for mcm/ includes."""
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        match = INCLUDE_RE.match(line)
+        if match:
+            yield lineno, line, match.group(1)
+
+
+def iter_sources(directory):
+    for path in sorted(directory.rglob("*")):
+        if path.suffix in {".h", ".cc"}:
+            yield path
 
 
 def main() -> int:
@@ -32,26 +55,47 @@ def main() -> int:
 
     violations = []
     checked = 0
+
+    # Rule 1: no index reaches into another index.
     for index_dir in INDEX_DIRS:
         directory = args.root / index_dir
         if not directory.is_dir():
             print(f"error: missing index directory {directory}",
                   file=sys.stderr)
             return 2
-        for path in sorted(directory.rglob("*")):
-            if path.suffix not in {".h", ".cc"}:
-                continue
+        for path in iter_sources(directory):
             checked += 1
-            for lineno, line in enumerate(
-                    path.read_text(encoding="utf-8").splitlines(), start=1):
-                match = INCLUDE_RE.match(line)
-                if not match:
-                    continue
-                target = match.group(1)
+            for lineno, line, target in scan_includes(path):
                 if target in INDEX_DIRS and target != index_dir:
                     violations.append(
                         f"{path}:{lineno}: {index_dir}/ includes "
                         f"mcm/{target}/ ({line.strip()})")
+                if target == "check":
+                    violations.append(
+                        f"{path}:{lineno}: {index_dir}/ includes mcm/check/ "
+                        f"— checkers sit above the indexes ({line.strip()})")
+
+    # Rule 2: the engine sits below every index — including one would be a
+    # dependency cycle (the indexes include engine/ headers).
+    engine_dir = args.root / "engine"
+    if not engine_dir.is_dir():
+        print(f"error: missing directory {engine_dir}", file=sys.stderr)
+        return 2
+    for path in iter_sources(engine_dir):
+        checked += 1
+        for lineno, line, target in scan_includes(path):
+            if target in INDEX_DIRS or target == "check":
+                violations.append(
+                    f"{path}:{lineno}: engine/ includes mcm/{target}/ "
+                    f"— the engine sits below the indexes ({line.strip()})")
+
+    # Rule 3: check/ may include any index (it validates their internals),
+    # so only confirm the directory exists and scan it for completeness.
+    check_dir = args.root / "check"
+    if not check_dir.is_dir():
+        print(f"error: missing directory {check_dir}", file=sys.stderr)
+        return 2
+    checked += sum(1 for _ in iter_sources(check_dir))
 
     if violations:
         print("Index header isolation violated:", file=sys.stderr)
@@ -60,8 +104,8 @@ def main() -> int:
         print("Shared query types belong in src/mcm/engine/.",
               file=sys.stderr)
         return 1
-    print(f"OK: {checked} files across {len(INDEX_DIRS)} index dirs; "
-          "no cross-index includes.")
+    print(f"OK: {checked} files across {len(INDEX_DIRS)} index dirs, "
+          "engine/ and check/; no layering violations.")
     return 0
 
 

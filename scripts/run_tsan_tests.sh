@@ -1,34 +1,4 @@
 #!/bin/sh
-# Builds the concurrency-sensitive tests under ThreadSanitizer (the `tsan`
-# preset / MCM_SANITIZE=thread) in a nested build tree and runs them.
-# Registered as the ctest `tsan_concurrency` job; exits 77 (ctest SKIP)
-# when the toolchain cannot produce TSan binaries.
-set -eu
-
-SOURCE_DIR=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-BUILD_DIR=${MCM_TSAN_BUILD_DIR:-"${SOURCE_DIR}/build-tsan"}
-
-# Probe: can this toolchain link a TSan binary at all?
-probe_dir=$(mktemp -d)
-trap 'rm -rf "${probe_dir}"' EXIT
-printf 'int main(){return 0;}\n' > "${probe_dir}/probe.cc"
-if ! c++ -fsanitize=thread "${probe_dir}/probe.cc" -o "${probe_dir}/probe" \
-    2>/dev/null; then
-  echo "ThreadSanitizer unsupported by this toolchain; skipping." >&2
-  exit 77
-fi
-
-cmake -S "${SOURCE_DIR}" -B "${BUILD_DIR}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DMCM_SANITIZE=thread \
-  -DMCM_BUILD_BENCHMARKS=OFF \
-  -DMCM_BUILD_EXAMPLES=OFF
-cmake --build "${BUILD_DIR}" --target engine_executor_test buffer_pool_test \
-  -j "${MCM_TSAN_JOBS:-2}"
-
-# Fail on any race report, even ones TSan would tolerate by default.
-TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
-  "${BUILD_DIR}/tests/engine_executor_test"
-TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
-  "${BUILD_DIR}/tests/buffer_pool_test"
-echo "TSan suite clean."
+# Back-compat wrapper: the TSan job is now one leg of the generalized
+# sanitizer matrix. See scripts/run_sanitizer_tests.sh.
+exec "$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)/run_sanitizer_tests.sh" thread

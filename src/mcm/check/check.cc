@@ -1,0 +1,58 @@
+#include "mcm/check/check.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "mcm/common/env.h"
+
+namespace mcm {
+namespace check {
+
+void CheckResult::Add(std::string rule, std::string where,
+                      std::string detail) {
+  violations_.push_back(
+      {std::move(rule), std::move(where), std::move(detail)});
+}
+
+void CheckResult::Merge(const CheckResult& other) {
+  violations_.insert(violations_.end(), other.violations_.begin(),
+                     other.violations_.end());
+}
+
+bool CheckResult::Has(const std::string& rule) const {
+  for (const auto& v : violations_) {
+    if (v.rule == rule) return true;
+  }
+  return false;
+}
+
+std::string CheckResult::Summary(size_t max_items) const {
+  if (ok()) {
+    return "ok";
+  }
+  std::ostringstream os;
+  os << violations_.size() << " violation(s)";
+  const size_t shown = violations_.size() < max_items ? violations_.size()
+                                                      : max_items;
+  for (size_t i = 0; i < shown; ++i) {
+    const Violation& v = violations_[i];
+    os << "; [" << v.rule << "] " << v.where << ": " << v.detail;
+  }
+  if (shown < violations_.size()) {
+    os << "; ... (" << violations_.size() - shown << " more)";
+  }
+  return os.str();
+}
+
+bool InvariantChecksEnabled() {
+  return GetEnvInt("MCM_CHECK_INVARIANTS", 0) != 0;
+}
+
+void ThrowIfViolated(const CheckResult& result, const std::string& context) {
+  if (!result.ok()) {
+    throw std::runtime_error(context + ": " + result.Summary());
+  }
+}
+
+}  // namespace check
+}  // namespace mcm

@@ -1,0 +1,61 @@
+// Structural invariant checking (src/mcm/check/): machine-checked
+// enforcement of the geometric and accounting invariants the cost model
+// rests on — M-tree covering-radius containment, vp-tree shell bounds,
+// GNAT range tables, histogram CDF monotonicity.
+//
+// Checkers (check_mtree.h, check_vptree.h, check_gnat.h, check_histogram.h)
+// return a CheckResult listing every violated invariant with a precise
+// location. They are callable from tests, installable as post-mutation
+// hooks gated by MCM_CHECK_INVARIANTS=1 (Install*InvariantHook), and drive
+// the `tools/mcm_check` CLI that validates persisted indexes.
+
+#ifndef MCM_CHECK_CHECK_H_
+#define MCM_CHECK_CHECK_H_
+
+#include <string>
+#include <vector>
+
+namespace mcm {
+namespace check {
+
+/// One violated invariant: the rule that failed, where in the structure,
+/// and the measured numbers that prove the failure.
+struct Violation {
+  std::string rule;    ///< e.g. "covering-radius", "cdf-monotone".
+  std::string where;   ///< e.g. "node 7, oid 123", "bin 4".
+  std::string detail;  ///< Human-readable specifics with the numbers.
+};
+
+/// Outcome of a structural check: ok(), or a list of precise violations.
+class CheckResult {
+ public:
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  void Add(std::string rule, std::string where, std::string detail);
+  void Merge(const CheckResult& other);
+
+  /// True when at least one violation carries this rule tag.
+  bool Has(const std::string& rule) const;
+
+  /// "ok" or "<n> violation(s): [rule] where: detail; ..." (first
+  /// `max_items` shown).
+  std::string Summary(size_t max_items = 8) const;
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+/// True when MCM_CHECK_INVARIANTS=1 (or any nonzero value) is set in the
+/// environment. Install*InvariantHook helpers consult this before wiring
+/// post-mutation re-validation into an index.
+bool InvariantChecksEnabled();
+
+/// Throws std::runtime_error("<context>: " + result.Summary()) when the
+/// result is not ok(); returns silently otherwise.
+void ThrowIfViolated(const CheckResult& result, const std::string& context);
+
+}  // namespace check
+}  // namespace mcm
+
+#endif  // MCM_CHECK_CHECK_H_

@@ -1,0 +1,120 @@
+// Structural invariant checker for GNAT. Brin's range-table pruning
+// eliminates subtree j using d(Q, p_i) against range[i][j] = [lo, hi]; the
+// elimination is sound only if that interval really bounds d(p_i, x) for
+// every member x of subtree j (split point p_j included). Verified rules:
+//
+//   range-bound    every member of subtree j lies inside [lo, hi] of
+//                  range[i][j] for every split point p_i;
+//   range-empty    a non-empty subtree never sits under an empty
+//                  (lo > hi) range interval;
+//   range-shape    the range table is an m-by-m matrix aligned with the
+//                  node's m split points and children;
+//   size-mismatch  the tree accounts for exactly size() objects.
+//
+// Access to the private node structure goes through check::IndexInspector.
+
+#ifndef MCM_CHECK_CHECK_GNAT_H_
+#define MCM_CHECK_CHECK_GNAT_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mcm/check/check.h"
+#include "mcm/check/inspect.h"
+#include "mcm/gnat/gnat.h"
+
+namespace mcm {
+namespace check {
+
+/// Validates all GNAT invariants; `epsilon` absorbs floating-point slack
+/// in the range-boundary comparisons.
+template <typename Traits>
+CheckResult CheckGnat(const Gnat<Traits>& tree, double epsilon = 1e-9) {
+  using Object = typename Traits::Object;
+
+  CheckResult result;
+  const auto* root = IndexInspector::GnatRoot(tree);
+  if (root == nullptr) {
+    if (tree.size() != 0) {
+      std::ostringstream os;
+      os << "empty tree reports size() = " << tree.size();
+      result.Add("size-mismatch", "root", os.str());
+    }
+    return result;
+  }
+  const auto& metric = IndexInspector::GnatMetric(tree);
+  size_t objects = 0;
+
+  // Walks the subtree under `node`, appending every member object (splits
+  // and bucket entries) to `members`, and checks each internal node's
+  // range table against the actual member distances.
+  auto walk = [&](auto&& self, const auto* node, int depth,
+                  std::vector<const Object*>* members) -> void {
+    if (node->is_leaf) {
+      for (const auto& [object, oid] : node->bucket) {
+        ++objects;
+        members->push_back(&object);
+      }
+      return;
+    }
+
+    std::ostringstream label;
+    label << "internal node at depth " << depth;
+    const size_t m = node->splits.size();
+    if (node->children.size() != m || node->ranges.size() != m * m) {
+      std::ostringstream os;
+      os << m << " splits but " << node->children.size()
+         << " children and " << node->ranges.size()
+         << " range cells (want " << m * m << ")";
+      result.Add("range-shape", label.str(), os.str());
+      return;  // The table layout is unreliable; stop here.
+    }
+    objects += m;
+
+    for (size_t j = 0; j < m; ++j) {
+      // Subtree j's members: its split point plus its child's subtree.
+      std::vector<const Object*> subtree{&node->splits[j]};
+      if (node->children[j] != nullptr) {
+        self(self, node->children[j].get(), depth + 1, &subtree);
+      }
+      for (size_t i = 0; i < m; ++i) {
+        const auto& range = node->ranges[i * m + j];
+        std::ostringstream where;
+        where << label.str() << ", range[" << i << "][" << j << "]";
+        if (range.lo > range.hi) {
+          std::ostringstream os;
+          os << "empty interval [" << range.lo << ", " << range.hi
+             << "] over a subtree of " << subtree.size() << " member(s)";
+          result.Add("range-empty", where.str(), os.str());
+          continue;
+        }
+        for (const Object* member : subtree) {
+          const double d = metric(node->splits[i], *member);
+          if (d < range.lo - epsilon || d > range.hi + epsilon) {
+            std::ostringstream os;
+            os << "member at distance " << d << " from split " << i
+               << " outside [" << range.lo << ", " << range.hi << "]";
+            result.Add("range-bound", where.str(), os.str());
+          }
+        }
+      }
+      members->insert(members->end(), subtree.begin(), subtree.end());
+    }
+  };
+  std::vector<const Object*> all;
+  walk(walk, root, 1, &all);
+
+  if (objects != tree.size()) {
+    std::ostringstream os;
+    os << "tree.size() = " << tree.size() << " but traversal found "
+       << objects << " objects";
+    result.Add("size-mismatch", "root", os.str());
+  }
+  return result;
+}
+
+}  // namespace check
+}  // namespace mcm
+
+#endif  // MCM_CHECK_CHECK_GNAT_H_

@@ -1,0 +1,73 @@
+#include "mcm/check/check_histogram.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace mcm {
+namespace check {
+
+CheckResult CheckHistogramData(const std::vector<double>& masses,
+                               const std::vector<double>& cum,
+                               double d_plus, double epsilon) {
+  CheckResult result;
+  if (masses.empty()) {
+    result.Add("domain", "histogram", "no bins");
+    return result;
+  }
+  if (!(d_plus > 0.0)) {
+    std::ostringstream os;
+    os << "d_plus = " << d_plus << " (want > 0)";
+    result.Add("domain", "histogram", os.str());
+  }
+  if (cum.size() != masses.size()) {
+    std::ostringstream os;
+    os << masses.size() << " masses but " << cum.size()
+       << " cumulative values";
+    result.Add("cdf-consistency", "histogram", os.str());
+    return result;  // Index-aligned checks below would be meaningless.
+  }
+
+  double sum = 0.0;
+  for (size_t i = 0; i < masses.size(); ++i) {
+    std::ostringstream where;
+    where << "bin " << i;
+    if (masses[i] < 0.0 || std::isnan(masses[i])) {
+      std::ostringstream os;
+      os << "mass " << masses[i];
+      result.Add("negative-mass", where.str(), os.str());
+    }
+    sum += masses[i];
+    if (i > 0 && cum[i] + epsilon < cum[i - 1]) {
+      std::ostringstream os;
+      os << "cum " << cum[i] << " below previous " << cum[i - 1];
+      result.Add("cdf-monotone", where.str(), os.str());
+    }
+    if (std::fabs(cum[i] - sum) > epsilon &&
+        // The final value may be snapped to exactly 1 (drift guard).
+        !(i + 1 == masses.size() && std::fabs(sum - 1.0) <= epsilon)) {
+      std::ostringstream os;
+      os << "cum " << cum[i] << " != prefix mass sum " << sum;
+      result.Add("cdf-consistency", where.str(), os.str());
+    }
+  }
+  if (std::fabs(sum - 1.0) > epsilon) {
+    std::ostringstream os;
+    os << "masses sum to " << sum << " (want 1)";
+    result.Add("mass-normalization", "histogram", os.str());
+  }
+  if (std::fabs(cum.back() - 1.0) > epsilon) {
+    std::ostringstream os;
+    os << "F(d_plus) = " << cum.back() << " (want 1)";
+    result.Add("cdf-terminal", "histogram", os.str());
+  }
+  return result;
+}
+
+CheckResult CheckHistogram(const DistanceHistogram& histogram,
+                           double epsilon) {
+  return CheckHistogramData(histogram.masses(), histogram.cum(),
+                            histogram.d_plus(), epsilon);
+}
+
+}  // namespace check
+}  // namespace mcm

@@ -1,0 +1,38 @@
+// Structural invariant checker for distance-distribution histograms. The
+// cost models integrate over F (Eq. 1); every formula assumes F is a CDF:
+//
+//   negative-mass       no bin carries negative probability mass;
+//   mass-normalization  the masses sum to 1;
+//   cdf-monotone        the cumulative values never decrease;
+//   cdf-consistency     cum()[i] equals the prefix sum of masses();
+//   cdf-terminal        F(d_plus) = 1;
+//   domain              d_plus > 0 and at least one bin.
+//
+// CheckHistogramData validates raw (masses, cum) arrays so tests can feed
+// deliberately corrupted data; CheckHistogram wraps a DistanceHistogram.
+
+#ifndef MCM_CHECK_CHECK_HISTOGRAM_H_
+#define MCM_CHECK_CHECK_HISTOGRAM_H_
+
+#include <vector>
+
+#include "mcm/check/check.h"
+#include "mcm/distribution/histogram.h"
+
+namespace mcm {
+namespace check {
+
+/// Validates raw histogram arrays; `epsilon` absorbs floating-point drift
+/// in the sums (1e-6 default: masses are sample frequencies).
+CheckResult CheckHistogramData(const std::vector<double>& masses,
+                               const std::vector<double>& cum,
+                               double d_plus, double epsilon = 1e-6);
+
+/// Validates a built DistanceHistogram.
+CheckResult CheckHistogram(const DistanceHistogram& histogram,
+                           double epsilon = 1e-6);
+
+}  // namespace check
+}  // namespace mcm
+
+#endif  // MCM_CHECK_CHECK_HISTOGRAM_H_

@@ -1,0 +1,130 @@
+// Structural invariant checker for vp-trees. The vp-tree partitions each
+// subtree into spherical shells around a vantage point; range/k-NN pruning
+// (Eq. 19 of the paper's Section 5) is sound only if
+//
+//   shell-order   the cutoff values mu_1..mu_{m-1} are non-decreasing;
+//   shell-arity   an internal node has exactly cutoffs+1 children;
+//   shell-bound   every object in child g's subtree lies inside its shell
+//                 [mu_{g-1}, mu_g] around *every* ancestor vantage point on
+//                 its path (mu_0 = 0, mu_m = infinity);
+//   size-mismatch the tree accounts for exactly size() objects.
+//
+// Access to the private node structure goes through check::IndexInspector.
+
+#ifndef MCM_CHECK_CHECK_VPTREE_H_
+#define MCM_CHECK_CHECK_VPTREE_H_
+
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mcm/check/check.h"
+#include "mcm/check/inspect.h"
+#include "mcm/vptree/vptree.h"
+
+namespace mcm {
+namespace check {
+
+/// Validates all vp-tree invariants; `epsilon` absorbs floating-point
+/// slack in the shell-boundary comparisons.
+template <typename Traits>
+CheckResult CheckVpTree(const VpTree<Traits>& tree, double epsilon = 1e-9) {
+  using Object = typename Traits::Object;
+
+  CheckResult result;
+  const auto* root = IndexInspector::VpRoot(tree);
+  if (root == nullptr) {
+    if (tree.size() != 0) {
+      std::ostringstream os;
+      os << "empty tree reports size() = " << tree.size();
+      result.Add("size-mismatch", "root", os.str());
+    }
+    return result;
+  }
+  const auto& metric = IndexInspector::VpMetric(tree);
+
+  struct Shell {
+    const Object* vantage;
+    double lo;
+    double hi;
+  };
+  size_t objects = 0;
+
+  auto check_object = [&](const Object& object, uint64_t oid,
+                          const std::vector<Shell>& shells) {
+    for (const Shell& shell : shells) {
+      const double d = metric(*shell.vantage, object);
+      if (d < shell.lo - epsilon || d > shell.hi + epsilon) {
+        std::ostringstream where;
+        where << "oid " << oid;
+        std::ostringstream os;
+        os << "distance " << d << " to ancestor vantage outside shell ["
+           << shell.lo << ", " << shell.hi << "]";
+        result.Add("shell-bound", where.str(), os.str());
+      }
+    }
+  };
+
+  auto walk = [&](auto&& self, const auto* node, int depth,
+                  const std::vector<Shell>& shells) -> void {
+    if (node->is_leaf) {
+      for (const auto& [object, oid] : node->bucket) {
+        ++objects;
+        check_object(object, oid, shells);
+      }
+      return;
+    }
+
+    std::ostringstream label;
+    label << "internal node at depth " << depth << " (vantage oid "
+          << node->vantage_oid << ")";
+
+    ++objects;
+    check_object(node->vantage, node->vantage_oid, shells);
+
+    for (size_t i = 1; i < node->cutoffs.size(); ++i) {
+      if (node->cutoffs[i] + epsilon < node->cutoffs[i - 1]) {
+        std::ostringstream os;
+        os << "cutoff mu_" << i + 1 << " = " << node->cutoffs[i]
+           << " below mu_" << i << " = " << node->cutoffs[i - 1];
+        result.Add("shell-order", label.str(), os.str());
+      }
+    }
+    if (node->children.size() != node->cutoffs.size() + 1) {
+      std::ostringstream os;
+      os << node->children.size() << " children but "
+         << node->cutoffs.size() << " cutoffs";
+      result.Add("shell-arity", label.str(), os.str());
+    }
+
+    for (size_t g = 0; g < node->children.size(); ++g) {
+      if (node->children[g] == nullptr) {
+        continue;
+      }
+      Shell shell;
+      shell.vantage = &node->vantage;
+      shell.lo = g == 0 ? 0.0 : node->cutoffs[g - 1];
+      shell.hi = g + 1 == node->children.size()
+                     ? std::numeric_limits<double>::infinity()
+                     : node->cutoffs[g];
+      auto next = shells;
+      next.push_back(shell);
+      self(self, node->children[g].get(), depth + 1, next);
+    }
+  };
+  walk(walk, root, 1, {});
+
+  if (objects != tree.size()) {
+    std::ostringstream os;
+    os << "tree.size() = " << tree.size() << " but traversal found "
+       << objects << " objects";
+    result.Add("size-mismatch", "root", os.str());
+  }
+  return result;
+}
+
+}  // namespace check
+}  // namespace mcm
+
+#endif  // MCM_CHECK_CHECK_VPTREE_H_

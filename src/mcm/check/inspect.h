@@ -1,0 +1,63 @@
+// Friend-based introspection for the invariant checkers. The vp-tree and
+// GNAT keep their node structures private (nothing in the query path needs
+// them); rather than widening those APIs, both classes befriend
+// check::IndexInspector, and the checkers (plus the checker *tests*, which
+// deliberately corrupt nodes) reach the internals through it.
+//
+// Callers never name the private node types: every accessor returns `auto`,
+// and the node members themselves are public within their class, so
+// `auto* n = IndexInspector::MutableVpRoot(tree); n->cutoffs[0] = x;`
+// compiles without exposing the type.
+
+#ifndef MCM_CHECK_INSPECT_H_
+#define MCM_CHECK_INSPECT_H_
+
+namespace mcm {
+
+template <typename Traits>
+class VpTree;
+
+template <typename Traits>
+class Gnat;
+
+namespace check {
+
+/// Read (and, for corruption tests, write) access to index internals.
+struct IndexInspector {
+  template <typename Traits>
+  static const auto* VpRoot(const VpTree<Traits>& tree) {
+    return tree.root_.get();
+  }
+
+  template <typename Traits>
+  static auto* MutableVpRoot(VpTree<Traits>& tree) {
+    return tree.root_.get();
+  }
+
+  template <typename Traits>
+  static const typename Traits::Metric& VpMetric(
+      const VpTree<Traits>& tree) {
+    return tree.metric_;
+  }
+
+  template <typename Traits>
+  static const auto* GnatRoot(const Gnat<Traits>& tree) {
+    return tree.root_.get();
+  }
+
+  template <typename Traits>
+  static auto* MutableGnatRoot(Gnat<Traits>& tree) {
+    return tree.root_.get();
+  }
+
+  template <typename Traits>
+  static const typename Traits::Metric& GnatMetric(
+      const Gnat<Traits>& tree) {
+    return tree.metric_;
+  }
+};
+
+}  // namespace check
+}  // namespace mcm
+
+#endif  // MCM_CHECK_INSPECT_H_

@@ -24,6 +24,10 @@
 
 namespace mcm {
 
+namespace check {
+struct IndexInspector;
+}  // namespace check
+
 /// GNAT construction options.
 struct GnatOptions {
   size_t arity = 16;          ///< Split points per internal node.
@@ -110,6 +114,10 @@ class Gnat {
   }
 
  private:
+  // Structural invariant checkers (src/mcm/check/) read the private node
+  // graph without widening the public API.
+  friend struct check::IndexInspector;
+
   struct Range {
     double lo = std::numeric_limits<double>::infinity();
     double hi = -std::numeric_limits<double>::infinity();

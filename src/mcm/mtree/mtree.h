@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -20,6 +21,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "mcm/common/query_stats.h"
 #include "mcm/common/random.h"
 #include "mcm/cost/tree_stats.h"
 #include "mcm/engine/search_core.h"
@@ -27,7 +29,6 @@
 #include "mcm/mtree/node_store.h"
 #include "mcm/mtree/options.h"
 #include "mcm/mtree/split.h"
-#include "mcm/common/query_stats.h"
 #include "mcm/obs/trace.h"
 
 namespace mcm {
@@ -76,6 +77,7 @@ class MTree {
       store_->Write(root_, node);
       height_ = 1;
       num_objects_ = 1;
+      NotifyModified();
       return;
     }
     auto split = InsertRecursive(root_, nullptr, object, oid);
@@ -92,6 +94,7 @@ class MTree {
       ++height_;
     }
     ++num_objects_;
+    NotifyModified();
   }
 
   /// range(Q, r_Q): all objects within distance `radius` of `query`,
@@ -182,7 +185,16 @@ class MTree {
     }
     --num_objects_;
     CollapseRoot();
+    NotifyModified();
     return true;
+  }
+
+  /// Installs `hook`, invoked after every successful Insert/Delete with the
+  /// tree in its post-mutation state. The invariant checker
+  /// (mcm/check/check_mtree.h) uses this to re-validate the structure after
+  /// each mutation when MCM_CHECK_INVARIANTS=1. Pass nullptr to clear.
+  void set_post_modify_hook(std::function<void(const MTree&)> hook) {
+    post_modify_hook_ = std::move(hook);
   }
 
   /// Reattaches a tree whose nodes already live in `store` — the
@@ -256,6 +268,12 @@ class MTree {
   double Dist(const Object& a, const Object& b, QueryStats* st) const {
     ++st->distance_computations;
     return metric_(a, b);
+  }
+
+  void NotifyModified() const {
+    if (post_modify_hook_) {
+      post_modify_hook_(*this);
+    }
   }
 
   void ComplexRecurse(NodeId id, const std::vector<Predicate>& predicates,
@@ -591,6 +609,7 @@ class MTree {
   NodeId root_ = kInvalidNodeId;
   size_t num_objects_ = 0;
   uint32_t height_ = 0;
+  std::function<void(const MTree&)> post_modify_hook_;
   RandomEngine rng_;
 };
 

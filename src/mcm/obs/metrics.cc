@@ -102,7 +102,7 @@ std::vector<double> DefaultLatencyBoundsUs() {
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
-  static MetricsRegistry* registry = new MetricsRegistry();
+  static MetricsRegistry* const registry = new MetricsRegistry();
   return *registry;
 }
 

@@ -116,7 +116,7 @@ BufferPool::Frame& BufferPool::LoadFrame(Shard& shard, PageId id,
   Frame& frame = shard.frames[id];
   frame.data.assign(file_->page_size(), 0);
   if (read_from_file) {
-    file_->Read(id, frame.data.data());
+    file_->ReadPage(id, frame.data.data());
   }
   frame.pin_count = 1;
   return frame;
@@ -164,7 +164,7 @@ void BufferPool::MarkDirty(PageId id) {
 
 void BufferPool::FlushFrame(Shard& shard, PageId id, Frame& frame) {
   if (frame.dirty) {
-    file_->Write(id, frame.data.data());
+    file_->WritePage(id, frame.data.data());
     frame.dirty = false;
     ++shard.stats.flushes;
   }

@@ -31,14 +31,14 @@ void PageFile::Free(PageId id) {
   free_list_.push_back(id);
 }
 
-void PageFile::Read(PageId id, uint8_t* out) {
+void PageFile::ReadPage(PageId id, uint8_t* out) {
   std::lock_guard<std::mutex> lock(mu_);
   CheckId(id);
   ++stats_.reads;
   DoRead(id, out);
 }
 
-void PageFile::Write(PageId id, const uint8_t* data) {
+void PageFile::WritePage(PageId id, const uint8_t* data) {
   std::lock_guard<std::mutex> lock(mu_);
   CheckId(id);
   ++stats_.writes;

@@ -49,10 +49,15 @@ class PageFile {
   void Free(PageId id);
 
   /// Reads page `id` into `out` (must hold page_size() bytes).
-  void Read(PageId id, uint8_t* out);
+  ///
+  /// Only the BufferPool (and storage tests) may call this directly: every
+  /// index page access must flow through a pool so logical I/O counts stay
+  /// exact (enforced by the `no-pagefile-bypass` lint rule).
+  void ReadPage(PageId id, uint8_t* out);
 
-  /// Writes page_size() bytes from `data` to page `id`.
-  void Write(PageId id, const uint8_t* data);
+  /// Writes page_size() bytes from `data` to page `id`. Same access policy
+  /// as ReadPage().
+  void WritePage(PageId id, const uint8_t* data);
 
   size_t page_size() const { return page_size_; }
 

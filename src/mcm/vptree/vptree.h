@@ -28,6 +28,10 @@
 
 namespace mcm {
 
+namespace check {
+struct IndexInspector;
+}  // namespace check
+
 /// How vantage points are chosen during construction.
 enum class VantageSelection {
   kRandom,      ///< Uniformly random object.
@@ -127,6 +131,10 @@ class VpTree {
   }
 
  private:
+  // Structural invariant checkers (src/mcm/check/) read the private node
+  // graph without widening the public API.
+  friend struct check::IndexInspector;
+
   struct Node {
     bool is_leaf = true;
     // Leaf payload.

@@ -37,7 +37,7 @@ TEST(BufferPool, DirtyPageWrittenBackOnEviction) {
   EXPECT_EQ(pool.stats().evictions, 1u);
   EXPECT_EQ(pool.stats().flushes, 1u);
   std::vector<uint8_t> buf(32, 0);
-  file.Read(a, buf.data());
+  file.ReadPage(a, buf.data());
   EXPECT_EQ(buf[0], 42u);
 }
 
@@ -93,7 +93,7 @@ TEST(BufferPool, NewPageIsPinnedZeroedAndDirty) {
   g.Release();
   pool.FlushAll();
   std::vector<uint8_t> buf(16, 0);
-  file.Read(id, buf.data());
+  file.ReadPage(id, buf.data());
   EXPECT_EQ(buf[3], 9u);
 }
 
@@ -125,7 +125,7 @@ TEST(BufferPool, EvictAllFlushesAndDrops) {
   pool.EvictAll();
   EXPECT_EQ(pool.num_buffered(), 0u);
   std::vector<uint8_t> buf(16, 0);
-  file.Read(a, buf.data());
+  file.ReadPage(a, buf.data());
   EXPECT_EQ(buf[0], 5u);
   pool.ResetStats();
   { PageGuard g = pool.Fetch(a); }
@@ -187,7 +187,7 @@ TEST(BufferPool, ConcurrentReadStress) {
     for (size_t b = 0; b < kPageSize; ++b) {
       payload[b] = static_cast<uint8_t>((id * 131 + b) & 0xFF);
     }
-    file.Write(id, payload.data());
+    file.WritePage(id, payload.data());
     ids.push_back(id);
   }
 

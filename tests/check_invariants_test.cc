@@ -1,0 +1,251 @@
+// Tests for the structural invariant checkers (src/mcm/check/): each index
+// is built healthy, validated clean, then corrupted in memory (through the
+// tree's node store or check::IndexInspector) and re-validated — the
+// checker must name the precise broken invariant. Also covers the
+// MCM_CHECK_INVARIANTS post-mutation hook.
+
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mcm/check/check_gnat.h"
+#include "mcm/check/check_histogram.h"
+#include "mcm/check/check_mtree.h"
+#include "mcm/check/check_vptree.h"
+#include "mcm/check/inspect.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/distribution/histogram.h"
+#include "mcm/gnat/gnat.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/mtree.h"
+#include "mcm/vptree/vptree.h"
+
+namespace mcm {
+namespace {
+
+using Traits = VectorTraits<L2Distance>;
+
+std::vector<FloatVector> TestVectors(size_t n = 200, uint64_t seed = 11) {
+  return GenerateVectorDataset(VectorDatasetKind::kClustered, n, /*dim=*/4,
+                               seed);
+}
+
+MTree<Traits> BuildMTree(size_t n = 200) {
+  MTreeOptions options;
+  options.node_size_bytes = 512;  // Small pages force an internal root.
+  MTree<Traits> tree{L2Distance{}, options};
+  const auto data = TestVectors(n);
+  for (size_t i = 0; i < data.size(); ++i) {
+    tree.Insert(data[i], i);
+  }
+  return tree;
+}
+
+TEST(CheckMTree, HealthyTreeIsClean) {
+  const auto tree = BuildMTree();
+  const auto result = check::CheckMTree(tree);
+  EXPECT_TRUE(result.ok()) << result.Summary();
+}
+
+TEST(CheckMTree, EmptyTreeIsClean) {
+  MTree<Traits> tree{L2Distance{}, MTreeOptions{}};
+  EXPECT_TRUE(check::CheckMTree(tree).ok());
+}
+
+TEST(CheckMTree, DetectsShrunkCoveringRadius) {
+  auto tree = BuildMTree();
+  auto root = tree.store().Read(tree.root());
+  ASSERT_FALSE(root.is_leaf);
+  ASSERT_FALSE(root.routing_entries.empty());
+  root.routing_entries[0].covering_radius *= 0.25;
+  tree.store().Write(tree.root(), root);
+
+  const auto result = check::CheckMTree(tree);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.Has("covering-radius")) << result.Summary();
+}
+
+TEST(CheckMTree, DetectsBrokenParentDistance) {
+  auto tree = BuildMTree();
+  const auto root = tree.store().Read(tree.root());
+  ASSERT_FALSE(root.is_leaf);
+  const NodeId child_id = root.routing_entries[0].child;
+  auto child = tree.store().Read(child_id);
+  if (child.is_leaf) {
+    ASSERT_FALSE(child.leaf_entries.empty());
+    child.leaf_entries[0].parent_distance += 1.0;
+  } else {
+    ASSERT_FALSE(child.routing_entries.empty());
+    child.routing_entries[0].parent_distance += 1.0;
+  }
+  tree.store().Write(child_id, child);
+
+  const auto result = check::CheckMTree(tree);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.Has("parent-distance")) << result.Summary();
+}
+
+TEST(CheckVpTree, HealthyTreeIsClean) {
+  VpTreeOptions options;
+  options.arity = 3;
+  options.leaf_capacity = 4;
+  VpTree<Traits> tree(TestVectors(), L2Distance{}, options);
+  const auto result = check::CheckVpTree(tree);
+  EXPECT_TRUE(result.ok()) << result.Summary();
+}
+
+TEST(CheckVpTree, DetectsDisorderedCutoffs) {
+  VpTreeOptions options;
+  options.arity = 3;
+  options.leaf_capacity = 4;
+  VpTree<Traits> tree(TestVectors(), L2Distance{}, options);
+  auto* root = check::IndexInspector::MutableVpRoot(tree);
+  ASSERT_NE(root, nullptr);
+  ASSERT_FALSE(root->is_leaf);
+  ASSERT_GE(root->cutoffs.size(), 2u);
+  std::swap(root->cutoffs.front(), root->cutoffs.back());
+
+  const auto result = check::CheckVpTree(tree);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.Has("shell-order")) << result.Summary();
+}
+
+TEST(CheckVpTree, DetectsShellBoundViolation) {
+  VpTreeOptions options;
+  options.arity = 2;
+  options.leaf_capacity = 4;
+  VpTree<Traits> tree(TestVectors(), L2Distance{}, options);
+  auto* root = check::IndexInspector::MutableVpRoot(tree);
+  ASSERT_NE(root, nullptr);
+  ASSERT_FALSE(root->is_leaf);
+  ASSERT_FALSE(root->cutoffs.empty());
+  // Shrinking mu_1 leaves the inner child holding objects beyond its
+  // (now tighter) shell.
+  root->cutoffs[0] *= 0.1;
+
+  const auto result = check::CheckVpTree(tree);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.Has("shell-bound")) << result.Summary();
+}
+
+TEST(CheckGnat, HealthyTreeIsClean) {
+  GnatOptions options;
+  options.arity = 4;
+  options.leaf_capacity = 8;
+  Gnat<Traits> tree(TestVectors(), L2Distance{}, options);
+  const auto result = check::CheckGnat(tree);
+  EXPECT_TRUE(result.ok()) << result.Summary();
+}
+
+TEST(CheckGnat, DetectsCorruptedRangeTable) {
+  GnatOptions options;
+  options.arity = 4;
+  options.leaf_capacity = 8;
+  Gnat<Traits> tree(TestVectors(), L2Distance{}, options);
+  auto* root = check::IndexInspector::MutableGnatRoot(tree);
+  ASSERT_NE(root, nullptr);
+  ASSERT_FALSE(root->is_leaf);
+  ASSERT_FALSE(root->ranges.empty());
+  // Collapsing a range interval strands that subtree's members outside it.
+  for (auto& range : root->ranges) {
+    range.hi = range.lo;
+  }
+
+  const auto result = check::CheckGnat(tree);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.Has("range-bound")) << result.Summary();
+}
+
+TEST(CheckHistogram, HealthyHistogramIsClean) {
+  const auto histogram =
+      DistanceHistogram::FromMasses({0.25, 0.25, 0.25, 0.25}, /*d_plus=*/2.0);
+  const auto result = check::CheckHistogram(histogram);
+  EXPECT_TRUE(result.ok()) << result.Summary();
+}
+
+TEST(CheckHistogram, DetectsNonMonotoneCdf) {
+  const auto result = check::CheckHistogramData(
+      {0.25, 0.25, 0.25, 0.25}, {0.25, 0.5, 0.4, 1.0}, /*d_plus=*/2.0);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.Has("cdf-monotone")) << result.Summary();
+  EXPECT_TRUE(result.Has("cdf-consistency")) << result.Summary();
+}
+
+TEST(CheckHistogram, DetectsNegativeMassAndBadNormalization) {
+  const auto result = check::CheckHistogramData(
+      {0.5, -0.1, 0.3}, {0.5, 0.4, 0.7}, /*d_plus=*/1.0);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.Has("negative-mass")) << result.Summary();
+  EXPECT_TRUE(result.Has("mass-normalization")) << result.Summary();
+  EXPECT_TRUE(result.Has("cdf-terminal")) << result.Summary();
+}
+
+TEST(CheckHistogram, DetectsUnterminatedCdf) {
+  const auto result = check::CheckHistogramData(
+      {0.5, 0.5}, {0.5, 0.9}, /*d_plus=*/1.0);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.Has("cdf-terminal")) << result.Summary();
+}
+
+class InvariantHookTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("MCM_CHECK_INVARIANTS"); }
+};
+
+TEST_F(InvariantHookTest, HookThrowsOnMutationOfCorruptedTree) {
+  setenv("MCM_CHECK_INVARIANTS", "1", /*overwrite=*/1);
+  auto tree = BuildMTree();
+  check::InstallMTreeInvariantHook(tree);
+
+  auto root = tree.store().Read(tree.root());
+  ASSERT_FALSE(root.is_leaf);
+  root.routing_entries[0].covering_radius *= 0.25;
+  tree.store().Write(tree.root(), root);
+
+  const auto extra = TestVectors(1, /*seed=*/99);
+  EXPECT_THROW(tree.Insert(extra[0], 10'000), std::runtime_error);
+}
+
+TEST_F(InvariantHookTest, HookRejectsCorruptTreeAtInstallTime) {
+  setenv("MCM_CHECK_INVARIANTS", "1", /*overwrite=*/1);
+  auto tree = BuildMTree();
+  auto root = tree.store().Read(tree.root());
+  ASSERT_FALSE(root.is_leaf);
+  root.routing_entries[0].covering_radius *= 0.25;
+  tree.store().Write(tree.root(), root);
+
+  EXPECT_THROW(check::InstallMTreeInvariantHook(tree), std::runtime_error);
+}
+
+TEST_F(InvariantHookTest, HookIsNoopWhenGateUnset) {
+  unsetenv("MCM_CHECK_INVARIANTS");
+  auto tree = BuildMTree();
+  check::InstallMTreeInvariantHook(tree);
+
+  auto root = tree.store().Read(tree.root());
+  ASSERT_FALSE(root.is_leaf);
+  root.routing_entries[0].covering_radius *= 0.25;
+  tree.store().Write(tree.root(), root);
+
+  const auto extra = TestVectors(1, /*seed=*/99);
+  EXPECT_NO_THROW(tree.Insert(extra[0], 10'000));
+}
+
+TEST_F(InvariantHookTest, HookPassesCleanMutations) {
+  setenv("MCM_CHECK_INVARIANTS", "1", /*overwrite=*/1);
+  MTreeOptions options;
+  options.node_size_bytes = 512;
+  MTree<Traits> tree{L2Distance{}, options};
+  check::InstallMTreeInvariantHook(tree);
+
+  const auto data = TestVectors(60);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NO_THROW(tree.Insert(data[i], i));
+  }
+  EXPECT_TRUE(tree.Delete(data[0], 0));
+}
+
+}  // namespace
+}  // namespace mcm

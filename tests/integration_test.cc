@@ -18,7 +18,7 @@
 #include "mcm/metric/counted_metric.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
-#include "mcm/mtree/validate.h"
+#include "mcm/check/check_mtree.h"
 
 namespace mcm {
 namespace {
@@ -32,7 +32,7 @@ TEST(Integration, TextPipelineMatchesFig3Setup) {
   const auto words = GenerateKeywords(4000, 42);
   MTreeOptions options;  // 4 KB nodes, paper defaults.
   auto tree = MTree<StrTraits>::BulkLoad(words, EditDistanceMetric{}, options);
-  ASSERT_TRUE(ValidateMTree(tree).empty());
+  ASSERT_TRUE(check::CheckMTree(tree).ok());
 
   EstimatorOptions eo;
   eo.num_bins = 25;

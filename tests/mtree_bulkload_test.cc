@@ -9,7 +9,7 @@
 #include "mcm/dataset/vector_datasets.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
-#include "mcm/mtree/validate.h"
+#include "mcm/check/check_mtree.h"
 
 namespace mcm {
 namespace {
@@ -22,8 +22,8 @@ TEST(BulkLoad, InvariantsOnClusteredVectors) {
   const auto data = GenerateClustered(5000, 10, 61);
   auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
   EXPECT_EQ(tree.size(), 5000u);
-  const auto errors = ValidateMTree(tree);
-  EXPECT_TRUE(errors.empty()) << errors.front();
+  const auto result = check::CheckMTree(tree);
+  EXPECT_TRUE(result.ok()) << result.Summary();
 }
 
 TEST(BulkLoad, InvariantsOnKeywords) {
@@ -31,8 +31,8 @@ TEST(BulkLoad, InvariantsOnKeywords) {
   const auto words = GenerateKeywords(4000, 67);
   auto tree = MTree<StrTraits>::BulkLoad(words, EditDistanceMetric{}, options);
   EXPECT_EQ(tree.size(), 4000u);
-  const auto errors = ValidateMTree(tree);
-  EXPECT_TRUE(errors.empty()) << errors.front();
+  const auto result = check::CheckMTree(tree);
+  EXPECT_TRUE(result.ok()) << result.Summary();
 }
 
 TEST(BulkLoad, EmptyAndTinyInputs) {
@@ -96,7 +96,7 @@ TEST(BulkLoad, PagedStoreProducesIdenticalAnswers) {
   auto paged_tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options,
                                                std::move(paged_store));
 
-  EXPECT_TRUE(ValidateMTree(paged_tree).empty());
+  EXPECT_TRUE(check::CheckMTree(paged_tree).ok());
   const auto queries =
       GenerateVectorQueries(VectorDatasetKind::kClustered, 20, 8, 79);
   for (const auto& q : queries) {
@@ -138,7 +138,7 @@ TEST(BulkLoad, AllDuplicateObjectsHandled) {
   auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options);
   EXPECT_EQ(tree.size(), 500u);
   EXPECT_EQ(tree.RangeSearch({0.5f, 0.5f}, 0.0).size(), 500u);
-  EXPECT_TRUE(ValidateMTree(tree).empty());
+  EXPECT_TRUE(check::CheckMTree(tree).ok());
 }
 
 TEST(BulkLoad, ExplicitOidsPreserved) {

@@ -11,7 +11,7 @@
 #include "mcm/dataset/vector_datasets.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
-#include "mcm/mtree/validate.h"
+#include "mcm/check/check_mtree.h"
 
 namespace mcm {
 namespace {
@@ -56,8 +56,8 @@ TEST(MTreeDelete, InvariantsHoldAfterHeavyDeletion) {
     ASSERT_TRUE(tree.Delete(data[i], i)) << i;
   }
   EXPECT_EQ(tree.size(), 400u);
-  const auto errors = ValidateMTree(tree);
-  EXPECT_TRUE(errors.empty()) << errors.front();
+  const auto result = check::CheckMTree(tree);
+  EXPECT_TRUE(result.ok()) << result.Summary();
 
   // Queries over the survivors stay exact.
   const LInfDistance metric;
@@ -103,7 +103,7 @@ TEST(MTreeDelete, RootCollapsesWhenSingleChildRemains) {
   EXPECT_EQ(tree.size(), 1u);
   EXPECT_EQ(tree.height(), 1u);
   EXPECT_LT(tree.height(), initial_height);
-  EXPECT_TRUE(ValidateMTree(tree).empty());
+  EXPECT_TRUE(check::CheckMTree(tree).ok());
   const auto r = tree.KnnSearch(data.back(), 1);
   ASSERT_EQ(r.size(), 1u);
   EXPECT_EQ(r[0].oid, data.size() - 1);
@@ -140,8 +140,8 @@ TEST(MTreeDelete, InterleavedInsertAndDelete) {
     }
   }
   EXPECT_EQ(tree.size(), live.size());
-  const auto errors = ValidateMTree(tree);
-  EXPECT_TRUE(errors.empty()) << errors.front();
+  const auto result = check::CheckMTree(tree);
+  EXPECT_TRUE(result.ok()) << result.Summary();
   // Spot-check membership.
   for (size_t i : {*live.begin(), *live.rbegin()}) {
     const auto r = tree.RangeSearch(data[i], 0.0);
@@ -159,7 +159,7 @@ TEST(MTreeDelete, StringsUnderEditDistance) {
     ASSERT_TRUE(tree.Delete(words[i], i));
   }
   EXPECT_EQ(tree.size(), 200u);
-  EXPECT_TRUE(ValidateMTree(tree).empty());
+  EXPECT_TRUE(check::CheckMTree(tree).ok());
   EXPECT_TRUE(tree.RangeSearch(words[0], 0.0).empty());
   EXPECT_FALSE(tree.RangeSearch(words[300], 0.0).empty());
 }

@@ -10,7 +10,7 @@
 #include "mcm/dataset/vector_datasets.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/mtree.h"
-#include "mcm/mtree/validate.h"
+#include "mcm/check/check_mtree.h"
 
 namespace mcm {
 namespace {
@@ -35,8 +35,8 @@ TEST_P(InsertPolicyTest, InvariantsHoldAfterManyInserts) {
   }
   EXPECT_EQ(tree.size(), 400u);
   EXPECT_GE(tree.height(), 2u);
-  const auto errors = ValidateMTree(tree);
-  EXPECT_TRUE(errors.empty()) << errors.front();
+  const auto result = check::CheckMTree(tree);
+  EXPECT_TRUE(result.ok()) << result.Summary();
 }
 
 std::string PolicyCaseName(
@@ -66,7 +66,7 @@ TEST(MTreeInsert, SingleObjectTree) {
   const auto r = tree.RangeSearch({0.5f, 0.5f}, 0.0);
   ASSERT_EQ(r.size(), 1u);
   EXPECT_EQ(r[0].oid, 99u);
-  EXPECT_TRUE(ValidateMTree(tree).empty());
+  EXPECT_TRUE(check::CheckMTree(tree).ok());
 }
 
 TEST(MTreeInsert, DuplicateObjectsAreAllKept) {
@@ -78,7 +78,7 @@ TEST(MTreeInsert, DuplicateObjectsAreAllKept) {
   }
   EXPECT_EQ(tree.size(), 100u);
   EXPECT_EQ(tree.RangeSearch({0.25f, 0.75f}, 0.0).size(), 100u);
-  EXPECT_TRUE(ValidateMTree(tree).empty());
+  EXPECT_TRUE(check::CheckMTree(tree).ok());
 }
 
 TEST(MTreeInsert, StringsUnderEditDistance) {
@@ -90,8 +90,8 @@ TEST(MTreeInsert, StringsUnderEditDistance) {
     tree.Insert(words[i], i);
   }
   EXPECT_EQ(tree.size(), 300u);
-  const auto errors = ValidateMTree(tree);
-  EXPECT_TRUE(errors.empty()) << errors.front();
+  const auto result = check::CheckMTree(tree);
+  EXPECT_TRUE(result.ok()) << result.Summary();
 }
 
 TEST(MTreeInsert, HeightGrowsWithData) {
@@ -127,8 +127,8 @@ TEST(MTreeInsert, TinyNodeSizeStillProducesValidTree) {
     tree.Insert(points[i], i);
   }
   EXPECT_EQ(tree.size(), 120u);
-  const auto errors = ValidateMTree(tree);
-  EXPECT_TRUE(errors.empty()) << errors.front();
+  const auto result = check::CheckMTree(tree);
+  EXPECT_TRUE(result.ok()) << result.Summary();
 }
 
 TEST(MTreeInsert, NodeSizeTooSmallForConstructionRejected) {
@@ -151,8 +151,8 @@ TEST(MTreeInsert, VariableLengthStringsRespectByteCapacity) {
   for (size_t i = 0; i < words.size(); ++i) {
     tree.Insert(words[i], i);
   }
-  const auto errors = ValidateMTree(tree);
-  EXPECT_TRUE(errors.empty()) << errors.front();
+  const auto result = check::CheckMTree(tree);
+  EXPECT_TRUE(result.ok()) << result.Summary();
 }
 
 }  // namespace

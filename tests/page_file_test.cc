@@ -33,14 +33,14 @@ TEST_P(PageFileTest, AllocateReadWriteRoundTrip) {
   const PageId b = file->Allocate();
   EXPECT_NE(a, b);
   std::vector<uint8_t> data(64, 0xab);
-  file->Write(a, data.data());
+  file->WritePage(a, data.data());
   std::vector<uint8_t> other(64, 0x11);
-  file->Write(b, other.data());
+  file->WritePage(b, other.data());
 
   std::vector<uint8_t> out(64, 0);
-  file->Read(a, out.data());
+  file->ReadPage(a, out.data());
   EXPECT_EQ(out, data);
-  file->Read(b, out.data());
+  file->ReadPage(b, out.data());
   EXPECT_EQ(out, other);
 }
 
@@ -48,7 +48,7 @@ TEST_P(PageFileTest, FreshPagesAreZeroed) {
   auto file = Make(32);
   const PageId id = file->Allocate();
   std::vector<uint8_t> out(32, 0xff);
-  file->Read(id, out.data());
+  file->ReadPage(id, out.data());
   EXPECT_EQ(out, std::vector<uint8_t>(32, 0));
 }
 
@@ -65,10 +65,10 @@ TEST_P(PageFileTest, FreeListRecyclesPages) {
 TEST_P(PageFileTest, OutOfRangeAccessThrows) {
   auto file = Make(32);
   std::vector<uint8_t> buf(32, 0);
-  EXPECT_THROW(file->Read(0, buf.data()), std::out_of_range);
+  EXPECT_THROW(file->ReadPage(0, buf.data()), std::out_of_range);
   file->Allocate();
-  EXPECT_THROW(file->Read(1, buf.data()), std::out_of_range);
-  EXPECT_THROW(file->Write(5, buf.data()), std::out_of_range);
+  EXPECT_THROW(file->ReadPage(1, buf.data()), std::out_of_range);
+  EXPECT_THROW(file->WritePage(5, buf.data()), std::out_of_range);
   EXPECT_THROW(file->Free(9), std::out_of_range);
 }
 
@@ -76,9 +76,9 @@ TEST_P(PageFileTest, StatsCountOperations) {
   auto file = Make(32);
   const PageId id = file->Allocate();
   std::vector<uint8_t> buf(32, 1);
-  file->Write(id, buf.data());
-  file->Read(id, buf.data());
-  file->Read(id, buf.data());
+  file->WritePage(id, buf.data());
+  file->ReadPage(id, buf.data());
+  file->ReadPage(id, buf.data());
   EXPECT_EQ(file->stats().allocations, 1u);
   EXPECT_EQ(file->stats().writes, 1u);
   EXPECT_EQ(file->stats().reads, 2u);
@@ -92,12 +92,12 @@ TEST_P(PageFileTest, ManyPagesKeepIntegrity) {
   for (uint8_t i = 0; i < 50; ++i) {
     const PageId id = file->Allocate();
     std::vector<uint8_t> buf(16, i);
-    file->Write(id, buf.data());
+    file->WritePage(id, buf.data());
     ids.push_back(id);
   }
   for (uint8_t i = 0; i < 50; ++i) {
     std::vector<uint8_t> buf(16, 0);
-    file->Read(ids[i], buf.data());
+    file->ReadPage(ids[i], buf.data());
     EXPECT_EQ(buf[0], i);
     EXPECT_EQ(buf[15], i);
   }

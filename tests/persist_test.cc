@@ -11,7 +11,7 @@
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
 #include "mcm/mtree/persist.h"
-#include "mcm/mtree/validate.h"
+#include "mcm/check/check_mtree.h"
 
 namespace mcm {
 namespace {
@@ -48,7 +48,7 @@ TEST_F(PersistTest, VectorTreeRoundTrip) {
   auto reopened = OpenMTree<VecTraits>(path, LInfDistance{}, options);
   EXPECT_EQ(reopened.size(), tree.size());
   EXPECT_EQ(reopened.height(), tree.height());
-  EXPECT_TRUE(ValidateMTree(reopened).empty());
+  EXPECT_TRUE(check::CheckMTree(reopened).ok());
 
   const auto queries =
       GenerateVectorQueries(VectorDatasetKind::kClustered, 15, 6, 229);
@@ -93,7 +93,7 @@ TEST_F(PersistTest, ReopenedTreeAcceptsInsertsAndDeletes) {
   EXPECT_EQ(reopened.size(), 301u);
   EXPECT_TRUE(reopened.Delete(data[0], 0));
   EXPECT_EQ(reopened.size(), 300u);
-  EXPECT_TRUE(ValidateMTree(reopened).empty());
+  EXPECT_TRUE(check::CheckMTree(reopened).ok());
   const auto r = reopened.RangeSearch({0.25f, 0.25f, 0.25f, 0.25f}, 0.0);
   ASSERT_FALSE(r.empty());
   EXPECT_EQ(r.front().oid, 9999u);

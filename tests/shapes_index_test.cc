@@ -11,7 +11,7 @@
 #include "mcm/distribution/estimator.h"
 #include "mcm/metric/set_metrics.h"
 #include "mcm/mtree/bulk_load.h"
-#include "mcm/mtree/validate.h"
+#include "mcm/check/check_mtree.h"
 
 namespace mcm {
 namespace {
@@ -21,7 +21,7 @@ TEST(ShapesIndex, RangeAndKnnMatchLinearScan) {
   const auto shapes = GenerateShapes(400, 419);
   auto tree = MTree<PointSetTraits>::BulkLoad(shapes, HausdorffMetric{},
                                               options);
-  EXPECT_TRUE(ValidateMTree(tree).empty());
+  EXPECT_TRUE(check::CheckMTree(tree).ok());
 
   const HausdorffMetric metric;
   const auto queries = GenerateShapeQueries(8, 419);
@@ -83,7 +83,7 @@ TEST(ShapesIndex, PagedStoreHandlesVariableSizeShapes) {
   auto tree = MTree<PointSetTraits>::BulkLoad(shapes, HausdorffMetric{},
                                               options, std::move(store));
   EXPECT_EQ(tree.size(), 300u);
-  EXPECT_TRUE(ValidateMTree(tree).empty());
+  EXPECT_TRUE(check::CheckMTree(tree).ok());
   const auto r = tree.RangeSearch(shapes[0], 0.0);
   EXPECT_FALSE(r.empty());
 }

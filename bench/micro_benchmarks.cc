@@ -3,18 +3,38 @@
 // histogram CDF/quantile kernels used by the models, and index queries.
 // These ground the Section-4.1 cost coefficients (c_CPU, c_IO) in real
 // per-operation timings on the host machine.
+//
+// The "fast lane" suite (BM_Scalar*/BM_Kernel*/BM_Bounded*/BM_*NodeCache*)
+// measures the query-path optimizations of DESIGN.md §9: dispatched SIMD
+// kernels vs the naive scalar loop, bounded early-exit evaluation, and the
+// decoded-node cache. MCM_BENCH_FILTER narrows the run (it becomes
+// --benchmark_filter), and with MCM_OBS=1 the main below writes the
+// measured ns/op plus kernel-vs-scalar speedups to
+// MCM_OBS_DIR/BENCH_micro_kernels.json.
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mcm/common/env.h"
+#include "mcm/common/query_stats.h"
 #include "mcm/cost/lmcm.h"
 #include "mcm/cost/nmcm.h"
 #include "mcm/dataset/text_datasets.h"
 #include "mcm/dataset/vector_datasets.h"
 #include "mcm/distribution/estimator.h"
-#include "mcm/common/query_stats.h"
+#include "mcm/metric/kernels.h"
 #include "mcm/metric/traits.h"
 #include "mcm/mtree/bulk_load.h"
+#include "mcm/obs/export.h"
+#include "mcm/obs/metrics.h"
 #include "mcm/obs/trace.h"
+#include "mcm/storage/page_file.h"
 #include "mcm/vptree/vptree.h"
 
 namespace {
@@ -207,6 +227,161 @@ void BM_NmcmRangePrediction(benchmark::State& state) {
 }
 BENCHMARK(BM_NmcmRangePrediction);
 
+// ---------------------------------------------------------------------------
+// Query-path fast lane: scalar baselines vs the dispatched kernels. The
+// scalar loops reproduce the pre-kernel metric implementation exactly (one
+// sequential pass, per-element float→double casts); they are the "before"
+// side of the speedup recorded in BENCH_micro_kernels.json. This file is
+// allowlisted by the `no-adhoc-vector-math` lint rule for that purpose.
+// ---------------------------------------------------------------------------
+
+double ScalarL2(const FloatVector& a, const FloatVector& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double ScalarLInf(const FloatVector& a, const FloatVector& b) {
+  double best = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d =
+        std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+    if (d > best) best = d;
+  }
+  return best;
+}
+
+double ScalarL1(const FloatVector& a, const FloatVector& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return sum;
+}
+
+// Rotating through many pairs keeps the benchmark honest: a single pair
+// would sit in L1 cache with fully predicted branches.
+std::pair<std::vector<FloatVector>, std::vector<FloatVector>> KernelPairs(
+    size_t dim) {
+  constexpr size_t kPairs = 64;
+  auto xs = GenerateUniform(kPairs, dim, kSeed);
+  auto ys = GenerateUniform(kPairs, dim, kSeed + 1);
+  return {std::move(xs), std::move(ys)};
+}
+
+void BM_ScalarL2(benchmark::State& state) {
+  const auto [xs, ys] = KernelPairs(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScalarL2(xs[i % 64], ys[i % 64]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ScalarL2)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_KernelL2(benchmark::State& state) {
+  const auto [xs, ys] = KernelPairs(static_cast<size_t>(state.range(0)));
+  const size_t dim = xs[0].size();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::L2(xs[i % 64].data(), ys[i % 64].data(), dim));
+    ++i;
+  }
+  state.SetLabel(kernels::BackendName(kernels::ActiveBackend()));
+}
+BENCHMARK(BM_KernelL2)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ScalarLInf(benchmark::State& state) {
+  const auto [xs, ys] = KernelPairs(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScalarLInf(xs[i % 64], ys[i % 64]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ScalarLInf)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_KernelLInf(benchmark::State& state) {
+  const auto [xs, ys] = KernelPairs(static_cast<size_t>(state.range(0)));
+  const size_t dim = xs[0].size();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::LInf(xs[i % 64].data(), ys[i % 64].data(), dim));
+    ++i;
+  }
+  state.SetLabel(kernels::BackendName(kernels::ActiveBackend()));
+}
+BENCHMARK(BM_KernelLInf)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ScalarL1(benchmark::State& state) {
+  const auto [xs, ys] = KernelPairs(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScalarL1(xs[i % 64], ys[i % 64]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ScalarL1)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_KernelL1(benchmark::State& state) {
+  const auto [xs, ys] = KernelPairs(static_cast<size_t>(state.range(0)));
+  const size_t dim = xs[0].size();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::L1(xs[i % 64].data(), ys[i % 64].data(), dim));
+    ++i;
+  }
+  state.SetLabel(kernels::BackendName(kernels::ActiveBackend()));
+}
+BENCHMARK(BM_KernelL1)->Arg(16)->Arg(64)->Arg(256);
+
+// Bounded evaluation with a bound the distance usually exceeds: the win is
+// how early the partial sum crosses it (range(0) is the bound in 1/100ths
+// of the expected distance, so Arg(50) aborts about halfway).
+void BM_BoundedL2(benchmark::State& state) {
+  const auto [xs, ys] = KernelPairs(256);
+  const double full = kernels::L2(xs[0].data(), ys[0].data(), 256);
+  const double bound = full * static_cast<double>(state.range(0)) / 100.0;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::L2Within(xs[i % 64].data(), ys[i % 64].data(), 256, bound));
+    ++i;
+  }
+}
+BENCHMARK(BM_BoundedL2)->Arg(10)->Arg(50)->Arg(200);
+
+// Decoded-node cache: the same paged M-tree range workload with the cache
+// off (every visit re-deserializes the page) and on (hot nodes decode
+// once). Pool is large enough that page bytes always hit — the delta
+// isolates Node::Deserialize.
+void BM_PagedRangeQueryNodeCache(benchmark::State& state) {
+  const auto data = GenerateClustered(10000, 10, kSeed);
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 64, 10, kSeed);
+  MTreeOptions options;
+  options.seed = kSeed;
+  const auto cache_entries = static_cast<int64_t>(state.range(0));
+  auto store = std::make_unique<PagedNodeStore<VectorTraits<LInfDistance>>>(
+      std::make_unique<InMemoryPageFile>(options.node_size_bytes),
+      /*pool_frames=*/4096, cache_entries);
+  auto tree = MTree<VectorTraits<LInfDistance>>::BulkLoad(
+      data, LInfDistance{}, options, std::move(store));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.RangeSearch(queries[i % 64], 0.15));
+    ++i;
+  }
+  state.SetLabel(cache_entries == 0 ? "cache off" : "cache on");
+}
+BENCHMARK(BM_PagedRangeQueryNodeCache)->Arg(0)->Arg(4096);
+
 void BM_NmcmNnPrediction(benchmark::State& state) {
   const auto data = GenerateClustered(10000, 10, kSeed);
   MTreeOptions options;
@@ -223,6 +398,101 @@ void BM_NmcmNnPrediction(benchmark::State& state) {
 }
 BENCHMARK(BM_NmcmNnPrediction)->Unit(benchmark::kMillisecond);
 
+/// Captures per-benchmark timings while still printing the console table.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      ns_per_op_[run.benchmark_name()] = run.GetAdjustedRealTime();
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::map<std::string, double>& ns_per_op() const {
+    return ns_per_op_;
+  }
+
+ private:
+  std::map<std::string, double> ns_per_op_;
+};
+
+/// Emits MCM_OBS_DIR/BENCH_micro_kernels.json: one meta record, one metric
+/// record with the raw ns/op per benchmark, and one with the
+/// kernel-vs-scalar speedups (same name suffix: "BM_KernelL2/64" pairs
+/// with "BM_ScalarL2/64").
+void EmitBenchJson(const std::map<std::string, double>& ns_per_op) {
+  const std::string dir = GetEnvString("MCM_OBS_DIR", ".");
+  JsonlWriter writer(dir + "/BENCH_micro_kernels.json");
+  if (!writer.ok()) return;
+
+  JsonObjectBuilder meta;
+  meta.Add("record", "meta");
+  meta.Add("bench", "micro_kernels");
+  meta.Add("schema_version", 1);
+  meta.Add("trace_capacity", 0);
+  writer.WriteLine(meta.Build());
+
+  JsonObjectBuilder timings;
+  for (const auto& [name, ns] : ns_per_op) {
+    timings.Add(name, ns);
+  }
+  JsonObjectBuilder timing_record;
+  timing_record.Add("record", "metric");
+  timing_record.Add("bench", "micro_kernels");
+  timing_record.AddRaw("data", timings.Build());
+  writer.WriteLine(timing_record.Build());
+
+  JsonObjectBuilder speedups;
+  speedups.Add("backend",
+               kernels::BackendName(kernels::ActiveBackend()));
+  for (const auto& [name, ns] : ns_per_op) {
+    const std::string prefix = "BM_Kernel";
+    if (name.compare(0, prefix.size(), prefix) != 0 || ns <= 0.0) continue;
+    const std::string scalar_name = "BM_Scalar" + name.substr(prefix.size());
+    const auto scalar = ns_per_op.find(scalar_name);
+    if (scalar == ns_per_op.end()) continue;
+    speedups.Add("speedup_" + name.substr(prefix.size()),
+                 scalar->second / ns);
+  }
+  JsonObjectBuilder speedup_record;
+  speedup_record.Add("record", "metric");
+  speedup_record.Add("bench", "micro_kernels");
+  speedup_record.AddRaw("data", speedups.Build());
+  writer.WriteLine(speedup_record.Build());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): injects MCM_BENCH_FILTER as
+// --benchmark_filter (google-benchmark reads no environment variables of
+// its own, and the ctest harness cannot pass argv through
+// check_bench_json.py --run), and emits the fast-lane BENCH JSON when
+// observability is on.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  const std::string filter = GetEnvString("MCM_BENCH_FILTER", "");
+  std::string filter_arg;
+  if (!filter.empty()) {
+    filter_arg = "--benchmark_filter=" + filter;
+    args.push_back(filter_arg.data());
+  }
+  const std::string min_time = GetEnvString("MCM_BENCH_MIN_TIME", "");
+  std::string min_time_arg;
+  if (!min_time.empty()) {
+    min_time_arg = "--benchmark_min_time=" + min_time;
+    args.push_back(min_time_arg.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (ObsEnabled()) {
+    EmitBenchJson(reporter.ns_per_op());
+  }
+  return 0;
+}

@@ -35,6 +35,11 @@ Rules (each registered as its own ctest, `lint_<rule>`):
                             alphabetized within each block.
   no-using-namespace-in-header
                             No `using namespace` in headers.
+  no-adhoc-vector-math      Coordinate-wise vector difference loops
+                            (`a[i] - b[i]`) are only allowed inside
+                            src/mcm/metric/ — everywhere else they bypass
+                            the dispatched SIMD kernels and fork the
+                            accumulation order.
 
 A line containing `mcm-lint: allow(<rule>)` in a comment suppresses that
 rule for that line (use sparingly; prefer fixing the code).
@@ -417,6 +422,25 @@ def check_using_namespace(sf):
 
 
 # --------------------------------------------------------------------------
+# Rule: no-adhoc-vector-math
+# --------------------------------------------------------------------------
+
+# Per-coordinate subtraction of two subscripted operands with the same
+# index (`a[i] - b[i]`): the signature of a hand-rolled distance loop over
+# FloatVector coordinates. Those loops belong in src/mcm/metric/ (where the
+# SIMD kernels and their bounded variants live); anywhere else they silently
+# fork the accumulation order and lose the kernel dispatch.
+ADHOC_VECTOR_MATH_RE = re.compile(r"(\w+)\[(\w+)\]\s*-\s*(\w+)\[\2\]")
+
+
+def check_adhoc_vector_math(sf):
+    return _grep(
+        sf, ADHOC_VECTOR_MATH_RE,
+        "hand-rolled per-coordinate vector math; call the dispatched "
+        "kernels in mcm/metric/kernels.h (or a metric functor) instead")
+
+
+# --------------------------------------------------------------------------
 # Rule registry.
 # --------------------------------------------------------------------------
 
@@ -491,6 +515,20 @@ RULES = [
         scope=LIB_HEADERS,
         allow=[],
         check=check_using_namespace,
+    ),
+    Rule(
+        "no-adhoc-vector-math",
+        "coordinate-wise vector loops only inside src/mcm/metric/",
+        scope=LIB + ["bench/*", "examples/*", "tools/*"],
+        allow=[
+            # The kernels and the metric functors ARE the designated home.
+            "src/mcm/metric/*",
+            # RddGrid differences histogram bin coordinates, not objects.
+            "src/mcm/distribution/homogeneity.cc",
+            # Scalar reference loops the kernel speedup is measured against.
+            "bench/micro_benchmarks.cc",
+        ],
+        check=check_adhoc_vector_math,
     ),
 ]
 
@@ -596,6 +634,12 @@ SELFTEST_CASES = {
     "no-using-namespace-in-header": [
         ("src/mcm/mtree/sample.h",
          "using namespace std;\n"),
+    ],
+    "no-adhoc-vector-math": [
+        ("src/mcm/cost/sample.cc",
+         "for (size_t i = 0; i < n; ++i) s += a[i] - b[i];\n"),
+        ("bench/sample.cc",
+         "double d = q[j] - p[j];\n"),
     ],
 }
 

@@ -16,6 +16,7 @@
 
 #include "mcm/common/query_stats.h"
 #include "mcm/engine/search_core.h"
+#include "mcm/metric/bounded.h"
 
 namespace mcm {
 
@@ -66,8 +67,12 @@ class LinearScan {
   void Scan(const Object& query, Collector& collector, QueryStats* st) const {
     for (size_t i = 0; i < objects_.size(); ++i) {
       ++st->distance_computations;
-      collector.Offer(static_cast<uint64_t>(i), objects_[i],
-                      metric_(query, objects_[i]));
+      // Early exit past the collector bound (metric/bounded.h); still
+      // exactly one counted computation per object, so the scan's cost
+      // stays the n the access-path model assumes.
+      collector.Offer(
+          static_cast<uint64_t>(i), objects_[i],
+          BoundedDistance(metric_, query, objects_[i], collector.Bound()));
     }
   }
 

@@ -30,4 +30,13 @@ double GetEnvDouble(const std::string& name, double default_value) {
   return v;
 }
 
+std::string GetEnvString(const std::string& name,
+                         const std::string& default_value) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || raw[0] == '\0') {
+    return default_value;
+  }
+  return raw;
+}
+
 }  // namespace mcm

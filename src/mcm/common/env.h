@@ -21,6 +21,11 @@ int64_t GetEnvInt(const std::string& name, int64_t default_value);
 /// `default_value` when unset or unparsable.
 double GetEnvDouble(const std::string& name, double default_value);
 
+/// Returns the string value of environment variable `name`, or
+/// `default_value` when unset or empty.
+std::string GetEnvString(const std::string& name,
+                         const std::string& default_value);
+
 }  // namespace mcm
 
 #endif  // MCM_COMMON_ENV_H_

@@ -20,6 +20,7 @@
 #include "mcm/common/query_stats.h"
 #include "mcm/common/random.h"
 #include "mcm/engine/search_core.h"
+#include "mcm/metric/bounded.h"
 #include "mcm/obs/trace.h"
 
 namespace mcm {
@@ -242,7 +243,12 @@ class Gnat {
           if (node.is_leaf) {
             for (const auto& [obj, oid] : node.bucket) {
               ++st->distance_computations;
-              collector.Offer(oid, obj, metric_(query, obj));
+              // Bucket objects feed only the collector; split-point
+              // distances below stay exact (they drive the range-table
+              // pruning and the children's dmin bounds).
+              collector.Offer(
+                  oid, obj,
+                  BoundedDistance(metric_, query, obj, collector.Bound()));
             }
             if (st->trace != nullptr) {
               const auto scanned = static_cast<uint32_t>(node.bucket.size());

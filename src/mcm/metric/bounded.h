@@ -1,0 +1,50 @@
+// The bounded-evaluation protocol: a metric that can prove "distance
+// exceeds `bound`" without finishing the computation exposes
+//
+//   double DistanceWithin(const T& a, const T& b, double bound) const;
+//
+// returning the exact distance when it is <= bound and +infinity as soon
+// as partial evidence (a monotone partial sum, a running max, a banded DP
+// row) strictly proves d(a, b) > bound. Two hard requirements keep the
+// protocol invisible to the paper's cost model:
+//
+//  1. A call that does not abort returns the bit-identical value the full
+//     metric would have produced (same arithmetic, same order).
+//  2. One DistanceWithin call counts as exactly one distance computation,
+//     aborted or not — CountedMetric enforces this, so N-MCM/L-MCM
+//     validation and every paper figure see unchanged counts.
+//
+// `BoundedDistance` below is what traversal code calls: it uses
+// DistanceWithin when the metric provides it and silently falls back to
+// the plain call otherwise, so indexes stay generic over metric types.
+
+#ifndef MCM_METRIC_BOUNDED_H_
+#define MCM_METRIC_BOUNDED_H_
+
+#include <utility>
+
+namespace mcm {
+
+/// Satisfied by metrics over `T` that implement the early-exit protocol.
+template <typename M, typename T>
+concept BoundedMetric = requires(const M& m, const T& a, const T& b,
+                                 double bound) {
+  { m.DistanceWithin(a, b, bound) } -> std::convertible_to<double>;
+};
+
+/// Evaluates `metric` with an early-exit bound when the metric supports
+/// it; otherwise computes the full distance. Either way the caller may
+/// rely on: result <= bound implies result is the exact distance.
+template <typename M, typename T>
+inline double BoundedDistance(const M& metric, const T& a, const T& b,
+                              double bound) {
+  if constexpr (BoundedMetric<M, T>) {
+    return metric.DistanceWithin(a, b, bound);
+  } else {
+    return metric(a, b);
+  }
+}
+
+}  // namespace mcm
+
+#endif  // MCM_METRIC_BOUNDED_H_

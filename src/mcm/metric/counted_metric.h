@@ -1,6 +1,12 @@
 // A metric decorator that counts invocations. The paper's CPU cost is the
 // number of distance computations; wrapping the metric of an index or of a
 // linear scan with CountedMetric gives the exact measured `dists` value.
+//
+// The decorator forwards the bounded-evaluation protocol (bounded.h): an
+// early-exited DistanceWithin still counts as exactly one distance
+// computation — the paper's model charges per comparison of two objects,
+// not per coordinate touched, so bounded evaluation leaves every reported
+// count bit-identical.
 
 #ifndef MCM_METRIC_COUNTED_METRIC_H_
 #define MCM_METRIC_COUNTED_METRIC_H_
@@ -8,6 +14,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+
+#include "mcm/metric/bounded.h"
 
 namespace mcm {
 
@@ -40,6 +48,15 @@ class CountedMetric {
   double operator()(const ObjectT& a, const ObjectT& b) const {
     counter_->Increment();
     return metric_(a, b);
+  }
+
+  /// Bounded evaluation via the inner metric (full distance when the inner
+  /// metric lacks the protocol). Counts one computation either way.
+  template <typename ObjectT>
+  double DistanceWithin(const ObjectT& a, const ObjectT& b,
+                        double bound) const {
+    counter_->Increment();
+    return BoundedDistance(metric_, a, b, bound);
   }
 
   /// Number of distance evaluations since construction or the last Reset.

@@ -1,0 +1,536 @@
+#include "mcm/metric/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "mcm/common/env.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define MCM_KERNELS_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define MCM_KERNELS_HAVE_AVX2 0
+#endif
+
+// Accumulation contract shared by every backend (see kernels.h): the main
+// loop walks blocks of 8 elements, lane j of acc[8] sums elements with
+// index ≡ j (mod 8), the tail (< 8 leftover elements) accumulates into a
+// separate scalar, and the eight lanes always combine as
+//   t_k = acc[k] + acc[k+4]   (k = 0..3)
+//   sum = ((t_0 + t_2) + (t_1 + t_3)) + tail
+// which is exactly the dataflow of the AVX2 path (two 4x-double vectors
+// added lane-wise, then one fixed horizontal reduction). Keeping the DAG
+// identical makes portable and AVX2 results bit-equal, so runtime dispatch
+// can never change a query answer. No FMA contraction is possible on
+// either side: generic x86-64 has no FMA instruction and the AVX2 path
+// uses explicit mul/add intrinsics under target("avx2") only.
+
+namespace mcm {
+namespace kernels {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+inline double CombineLanes(const double acc[8], double tail) {
+  const double t0 = acc[0] + acc[4];
+  const double t1 = acc[1] + acc[5];
+  const double t2 = acc[2] + acc[6];
+  const double t3 = acc[3] + acc[7];
+  return ((t0 + t2) + (t1 + t3)) + tail;
+}
+
+// Plain two-operand max: std::fmax carries NaN-select semantics compilers
+// will not inline at -O2 (it becomes a libm call per element, ~7x slower
+// than the whole scalar loop). Inputs here are absolute differences, never
+// NaN, and the ternary matches _mm256_max_pd's non-NaN behavior exactly,
+// so the two backends stay bit-identical.
+inline double Max(double a, double b) { return a > b ? a : b; }
+
+inline double CombineLanesMax(const double acc[8], double tail) {
+  const double t0 = Max(acc[0], acc[4]);
+  const double t1 = Max(acc[1], acc[5]);
+  const double t2 = Max(acc[2], acc[6]);
+  const double t3 = Max(acc[3], acc[7]);
+  return Max(Max(Max(t0, t2), Max(t1, t3)), tail);
+}
+
+/// Bounded L2 comparisons run against this precomputed limit on the
+/// *squared* partial sum; a negative bound can never be met by a
+/// non-negative distance, so any partial sum aborts immediately.
+inline double SquaredLimit(double bound) {
+  return bound >= 0.0 ? bound * bound : -1.0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Portable backend.
+// ---------------------------------------------------------------------------
+
+namespace portable {
+
+double L1(const float* a, const float* b, size_t n) {
+  double acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      const double d =
+          static_cast<double>(a[i + j]) - static_cast<double>(b[i + j]);
+      acc[j] += std::fabs(d);
+    }
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    tail += std::fabs(d);
+  }
+  return CombineLanes(acc, tail);
+}
+
+double L2Squared(const float* a, const float* b, size_t n) {
+  double acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      const double d =
+          static_cast<double>(a[i + j]) - static_cast<double>(b[i + j]);
+      acc[j] += d * d;
+    }
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    tail += d * d;
+  }
+  return CombineLanes(acc, tail);
+}
+
+double LInf(const float* a, const float* b, size_t n) {
+  double acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      const double d =
+          static_cast<double>(a[i + j]) - static_cast<double>(b[i + j]);
+      acc[j] = Max(acc[j], std::fabs(d));
+    }
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    tail = Max(tail, std::fabs(d));
+  }
+  return CombineLanesMax(acc, tail);
+}
+
+double L1Within(const float* a, const float* b, size_t n, double bound) {
+  double acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      const double d =
+          static_cast<double>(a[i + j]) - static_cast<double>(b[i + j]);
+      acc[j] += std::fabs(d);
+    }
+    // The partial sum only grows: once it exceeds the bound the final
+    // distance must too. Combining into a temp leaves the lanes intact,
+    // so a run that never aborts returns the unbounded kernel's bits.
+    if (CombineLanes(acc, 0.0) > bound) return kInfinity;
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    tail += std::fabs(d);
+  }
+  return CombineLanes(acc, tail);
+}
+
+double L2SquaredWithin(const float* a, const float* b, size_t n,
+                       double limit, double bound) {
+  double acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      const double d =
+          static_cast<double>(a[i + j]) - static_cast<double>(b[i + j]);
+      acc[j] += d * d;
+    }
+    // `limit` (= bound^2) can round below the true square, so a partial
+    // sum just past it does not yet prove d > bound: confirm with the
+    // monotone sqrt before aborting. The sqrt only runs in the narrow
+    // boundary zone the cheap squared test cannot decide.
+    const double partial = CombineLanes(acc, 0.0);
+    if (partial > limit && std::sqrt(partial) > bound) return kInfinity;
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    tail += d * d;
+  }
+  return CombineLanes(acc, tail);
+}
+
+double LInfWithin(const float* a, const float* b, size_t n, double bound) {
+  double acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      const double d =
+          static_cast<double>(a[i + j]) - static_cast<double>(b[i + j]);
+      acc[j] = Max(acc[j], std::fabs(d));
+    }
+    if (CombineLanesMax(acc, 0.0) > bound) return kInfinity;
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    tail = Max(tail, std::fabs(d));
+  }
+  return CombineLanesMax(acc, tail);
+}
+
+}  // namespace portable
+
+// ---------------------------------------------------------------------------
+// AVX2 backend. Each function mirrors its portable twin block for block;
+// see the accumulation-contract comment at the top of this file.
+// ---------------------------------------------------------------------------
+
+#if MCM_KERNELS_HAVE_AVX2
+
+namespace avx2 {
+
+namespace {
+
+/// |x| for packed doubles: clear the sign bit.
+__attribute__((target("avx2"))) inline __m256d Abs(__m256d x) {
+  const __m256d mask = _mm256_castsi256_pd(_mm256_srli_epi64(
+      _mm256_set1_epi64x(-1), 1));  // 0x7fff... in every lane.
+  return _mm256_and_pd(x, mask);
+}
+
+/// Loads floats [i, i+8) of a and b and returns the lane-wise double
+/// differences: lo = elements i..i+3, hi = elements i+4..i+7.
+__attribute__((target("avx2"))) inline void Diff8(const float* a,
+                                                  const float* b, size_t i,
+                                                  __m256d* lo, __m256d* hi) {
+  const __m256 va = _mm256_loadu_ps(a + i);
+  const __m256 vb = _mm256_loadu_ps(b + i);
+  const __m256d a_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(va));
+  const __m256d a_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(va, 1));
+  const __m256d b_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(vb));
+  const __m256d b_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(vb, 1));
+  *lo = _mm256_sub_pd(a_lo, b_lo);
+  *hi = _mm256_sub_pd(a_hi, b_hi);
+}
+
+/// The fixed lane reduction: ((t0 + t2) + (t1 + t3)) for t = lo + hi.
+__attribute__((target("avx2"))) inline double ReduceSum(__m256d lo,
+                                                        __m256d hi) {
+  double t[4];
+  _mm256_storeu_pd(t, _mm256_add_pd(lo, hi));
+  return (t[0] + t[2]) + (t[1] + t[3]);
+}
+
+__attribute__((target("avx2"))) inline double ReduceMax(__m256d lo,
+                                                        __m256d hi) {
+  double t[4];
+  _mm256_storeu_pd(t, _mm256_max_pd(lo, hi));
+  return Max(Max(t[0], t[2]), Max(t[1], t[3]));
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) double L1(const float* a, const float* b,
+                                          size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d lo, hi;
+    Diff8(a, b, i, &lo, &hi);
+    acc_lo = _mm256_add_pd(acc_lo, Abs(lo));
+    acc_hi = _mm256_add_pd(acc_hi, Abs(hi));
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    tail += std::fabs(d);
+  }
+  return ReduceSum(acc_lo, acc_hi) + tail;
+}
+
+__attribute__((target("avx2"))) double L2Squared(const float* a,
+                                                 const float* b, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d lo, hi;
+    Diff8(a, b, i, &lo, &hi);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(lo, lo));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(hi, hi));
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    tail += d * d;
+  }
+  return ReduceSum(acc_lo, acc_hi) + tail;
+}
+
+__attribute__((target("avx2"))) double LInf(const float* a, const float* b,
+                                            size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d lo, hi;
+    Diff8(a, b, i, &lo, &hi);
+    acc_lo = _mm256_max_pd(acc_lo, Abs(lo));
+    acc_hi = _mm256_max_pd(acc_hi, Abs(hi));
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    tail = Max(tail, std::fabs(d));
+  }
+  return Max(ReduceMax(acc_lo, acc_hi), tail);
+}
+
+__attribute__((target("avx2"))) double L1Within(const float* a,
+                                                const float* b, size_t n,
+                                                double bound) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d lo, hi;
+    Diff8(a, b, i, &lo, &hi);
+    acc_lo = _mm256_add_pd(acc_lo, Abs(lo));
+    acc_hi = _mm256_add_pd(acc_hi, Abs(hi));
+    if (ReduceSum(acc_lo, acc_hi) > bound) return kInfinity;
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    tail += std::fabs(d);
+  }
+  return ReduceSum(acc_lo, acc_hi) + tail;
+}
+
+__attribute__((target("avx2"))) double L2SquaredWithin(const float* a,
+                                                       const float* b,
+                                                       size_t n,
+                                                       double limit,
+                                                       double bound) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d lo, hi;
+    Diff8(a, b, i, &lo, &hi);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(lo, lo));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(hi, hi));
+    // Same sqrt confirmation as the portable kernel (see there): the
+    // squared limit alone cannot decide the boundary zone.
+    const double partial = ReduceSum(acc_lo, acc_hi);
+    if (partial > limit && std::sqrt(partial) > bound) return kInfinity;
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    tail += d * d;
+  }
+  return ReduceSum(acc_lo, acc_hi) + tail;
+}
+
+__attribute__((target("avx2"))) double LInfWithin(const float* a,
+                                                  const float* b, size_t n,
+                                                  double bound) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d lo, hi;
+    Diff8(a, b, i, &lo, &hi);
+    acc_lo = _mm256_max_pd(acc_lo, Abs(lo));
+    acc_hi = _mm256_max_pd(acc_hi, Abs(hi));
+    if (ReduceMax(acc_lo, acc_hi) > bound) return kInfinity;
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    tail = Max(tail, std::fabs(d));
+  }
+  return Max(ReduceMax(acc_lo, acc_hi), tail);
+}
+
+}  // namespace avx2
+
+#endif  // MCM_KERNELS_HAVE_AVX2
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Backend ResolveBackend() {
+#if MCM_KERNELS_HAVE_AVX2
+  if (GetEnvString("MCM_KERNELS", "auto") == "portable") {
+    return Backend::kPortable;
+  }
+  // "auto", "avx2", unset, or anything else: take SIMD when the CPU has it.
+  if (__builtin_cpu_supports("avx2")) {
+    return Backend::kAvx2;
+  }
+#endif
+  return Backend::kPortable;
+}
+
+// Resolved once at load time. A function-local static would re-check its
+// initialization guard on every distance call, which is measurable at small
+// dimensionality; ResolveBackend only touches getenv and the CPUID probe, so
+// dynamic initialization order is not a concern.
+const Backend g_backend = ResolveBackend();
+
+}  // namespace
+
+Backend ActiveBackend() { return g_backend; }
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kPortable:
+      break;
+  }
+  return "portable";
+}
+
+double L1(const float* a, const float* b, size_t n) {
+#if MCM_KERNELS_HAVE_AVX2
+  if (ActiveBackend() == Backend::kAvx2) return avx2::L1(a, b, n);
+#endif
+  return portable::L1(a, b, n);
+}
+
+double L2Squared(const float* a, const float* b, size_t n) {
+#if MCM_KERNELS_HAVE_AVX2
+  if (ActiveBackend() == Backend::kAvx2) return avx2::L2Squared(a, b, n);
+#endif
+  return portable::L2Squared(a, b, n);
+}
+
+double L2(const float* a, const float* b, size_t n) {
+  return std::sqrt(L2Squared(a, b, n));
+}
+
+double LInf(const float* a, const float* b, size_t n) {
+#if MCM_KERNELS_HAVE_AVX2
+  if (ActiveBackend() == Backend::kAvx2) return avx2::LInf(a, b, n);
+#endif
+  return portable::LInf(a, b, n);
+}
+
+double L1Within(const float* a, const float* b, size_t n, double bound) {
+#if MCM_KERNELS_HAVE_AVX2
+  if (ActiveBackend() == Backend::kAvx2) {
+    return avx2::L1Within(a, b, n, bound);
+  }
+#endif
+  return portable::L1Within(a, b, n, bound);
+}
+
+double L2Within(const float* a, const float* b, size_t n, double bound) {
+  const double limit = SquaredLimit(bound);
+#if MCM_KERNELS_HAVE_AVX2
+  if (ActiveBackend() == Backend::kAvx2) {
+    const double sq = avx2::L2SquaredWithin(a, b, n, limit, bound);
+    return std::isinf(sq) ? sq : std::sqrt(sq);
+  }
+#endif
+  const double sq = portable::L2SquaredWithin(a, b, n, limit, bound);
+  return std::isinf(sq) ? sq : std::sqrt(sq);
+}
+
+double LInfWithin(const float* a, const float* b, size_t n, double bound) {
+#if MCM_KERNELS_HAVE_AVX2
+  if (ActiveBackend() == Backend::kAvx2) {
+    return avx2::LInfWithin(a, b, n, bound);
+  }
+#endif
+  return portable::LInfWithin(a, b, n, bound);
+}
+
+// ---------------------------------------------------------------------------
+// Integer- and general-p pow sums (portable only: the per-element pow
+// dominates, so SIMD buys little here).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// |d|^p by binary exponentiation; p >= 1.
+inline double PowInt(double d, int p) {
+  double base = std::fabs(d);
+  double result = 1.0;
+  while (p > 0) {
+    if ((p & 1) != 0) result *= base;
+    base *= base;
+    p >>= 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+double LpPowSum(const float* a, const float* b, size_t n, int p) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sum += PowInt(d, p);
+  }
+  return sum;
+}
+
+double LpPowSumGeneral(const float* a, const float* b, size_t n, double p) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d =
+        std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+    sum += std::pow(d, p);
+  }
+  return sum;
+}
+
+double LpPowSumWithin(const float* a, const float* b, size_t n, int p,
+                      double bound) {
+  // Abort against bound^p (the pow sum is monotone in the prefix). The
+  // check runs every 8 elements to stay off the per-element critical path.
+  double limit = kInfinity;
+  if (bound >= 0.0 && !std::isinf(bound)) {
+    limit = PowInt(bound, p);
+  } else if (bound < 0.0) {
+    limit = -1.0;
+  }
+  double sum = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    const size_t stop = std::min(n, i + 8);
+    for (; i < stop; ++i) {
+      const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+      sum += PowInt(d, p);
+    }
+    // As with L2: bound^p rounds, so confirm via the monotone root before
+    // declaring the distance beyond the bound.
+    if (sum > limit && std::pow(sum, 1.0 / p) > bound) return kInfinity;
+  }
+  return sum;
+}
+
+}  // namespace kernels
+}  // namespace mcm

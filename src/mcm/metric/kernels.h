@@ -1,0 +1,113 @@
+// Distance kernels over contiguous float spans — the single place in the
+// library where vector arithmetic is written out element by element (the
+// `no-adhoc-vector-math` lint rule keeps it that way). The Lp metric
+// functors in vector_metrics.h delegate here.
+//
+// Two implementations back every kernel:
+//
+//  - a portable one, written with eight independent accumulators so the
+//    reduction is not one serial dependency chain, and
+//  - an AVX2 one (x86-64 only), selected at runtime behind a CPUID probe.
+//
+// Both follow the same accumulation contract — lane j sums the elements
+// with index ≡ j (mod 8), the leftover tail is summed separately, and the
+// lanes combine in one fixed order — so the dispatched kernels are
+// bit-identical to the portable reference regardless of which backend
+// runs. The bounded (`*Within`) variants share the identical block
+// structure and therefore return the bit-identical distance whenever they
+// do not abort.
+//
+// The MCM_KERNELS environment variable (read once) forces a backend:
+// "portable" disables the SIMD path, "avx2" demands it (falling back to
+// portable with no error if the CPU lacks it), "auto"/unset probes.
+
+#ifndef MCM_METRIC_KERNELS_H_
+#define MCM_METRIC_KERNELS_H_
+
+#include <cstddef>
+
+namespace mcm {
+namespace kernels {
+
+/// Implementation families a kernel call can dispatch to.
+enum class Backend {
+  kPortable,  ///< Unrolled scalar code; every platform.
+  kAvx2,      ///< 256-bit SIMD; x86-64 with AVX2 only.
+};
+
+/// The backend the dispatched kernels below actually use (resolved once
+/// from the CPU probe and the MCM_KERNELS override).
+Backend ActiveBackend();
+
+/// Human-readable backend name ("portable", "avx2").
+const char* BackendName(Backend backend);
+
+// ---------------------------------------------------------------------------
+// Dispatched kernels. `a` and `b` point at `n` floats each; accumulation
+// happens in double. All return finite non-negative values for finite
+// inputs.
+// ---------------------------------------------------------------------------
+
+/// Sum of |a_i - b_i| (Manhattan distance).
+double L1(const float* a, const float* b, size_t n);
+
+/// Sum of (a_i - b_i)^2 — the squared Euclidean distance.
+double L2Squared(const float* a, const float* b, size_t n);
+
+/// Euclidean distance: sqrt(L2Squared).
+double L2(const float* a, const float* b, size_t n);
+
+/// Max of |a_i - b_i| (Chebyshev distance).
+double LInf(const float* a, const float* b, size_t n);
+
+/// Sum of |a_i - b_i|^p for an integer exponent p >= 1, computed by
+/// repeated multiplication (no per-element std::pow).
+double LpPowSum(const float* a, const float* b, size_t n, int p);
+
+/// Sum of |a_i - b_i|^p for an arbitrary real exponent p >= 1.
+double LpPowSumGeneral(const float* a, const float* b, size_t n, double p);
+
+// ---------------------------------------------------------------------------
+// Bounded evaluation. Each returns the exact distance when it is <= bound
+// and +infinity as soon as the partial sum (L1/L2) or the running max
+// (LInf) proves the distance exceeds `bound`. A call that never aborts
+// returns the bit-identical value of the unbounded kernel. One call counts
+// as one distance computation regardless of where it stopped.
+// ---------------------------------------------------------------------------
+
+/// L1 with partial-sum abort.
+double L1Within(const float* a, const float* b, size_t n, double bound);
+
+/// L2 with partial-sum abort (partial sums compared against bound^2).
+double L2Within(const float* a, const float* b, size_t n, double bound);
+
+/// LInf with per-coordinate abort.
+double LInfWithin(const float* a, const float* b, size_t n, double bound);
+
+/// Integer-p Lp pow-sum with partial-sum abort against bound^p. Returns
+/// the exact pow-sum when the distance is <= bound, +infinity otherwise.
+double LpPowSumWithin(const float* a, const float* b, size_t n, int p,
+                      double bound);
+
+// ---------------------------------------------------------------------------
+// Portable reference implementations. The dispatched entry points above
+// resolve to these when AVX2 is absent or disabled; tests assert the SIMD
+// backend agrees with them bit for bit.
+// ---------------------------------------------------------------------------
+
+namespace portable {
+
+double L1(const float* a, const float* b, size_t n);
+double L2Squared(const float* a, const float* b, size_t n);
+double LInf(const float* a, const float* b, size_t n);
+double L1Within(const float* a, const float* b, size_t n, double bound);
+double L2SquaredWithin(const float* a, const float* b, size_t n,
+                       double limit, double bound);
+double LInfWithin(const float* a, const float* b, size_t n, double bound);
+
+}  // namespace portable
+
+}  // namespace kernels
+}  // namespace mcm
+
+#endif  // MCM_METRIC_KERNELS_H_

@@ -1,6 +1,7 @@
 #include "mcm/metric/string_metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <vector>
@@ -76,6 +77,29 @@ size_t BoundedEditDistance(const std::string& a, const std::string& b,
     if (row_min > bound) return bound + 1;
   }
   return row[m] > bound ? bound + 1 : row[m];
+}
+
+double EditDistanceMetric::DistanceWithin(const std::string& a,
+                                          const std::string& b,
+                                          double bound) const {
+  if (bound < 0.0) {
+    // Edit distances are non-negative integers, so any result exceeds a
+    // negative bound; still run the cheapest proof (length difference
+    // already exceeds k = 0 unless the strings have equal length).
+    return std::numeric_limits<double>::infinity();
+  }
+  const size_t longest = std::max(a.size(), b.size());
+  // A band of k = min(floor(bound), longest) suffices: the distance never
+  // exceeds the longer length, and integer distances make floor exact
+  // (d <= bound iff d <= floor(bound)).
+  const size_t k = std::isinf(bound)
+                       ? longest
+                       : std::min(static_cast<size_t>(bound), longest);
+  const size_t d = BoundedEditDistance(a, b, k);
+  if (d > k && static_cast<double>(d) > bound) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(d);
 }
 
 WeightedEditDistance::WeightedEditDistance(double insert_cost,

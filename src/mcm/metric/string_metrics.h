@@ -25,6 +25,11 @@ struct EditDistanceMetric {
   double operator()(const std::string& a, const std::string& b) const {
     return static_cast<double>(EditDistance(a, b));
   }
+
+  /// Bounded-evaluation protocol (bounded.h): exact distance when it is
+  /// <= bound, +infinity otherwise, via the banded DP.
+  double DistanceWithin(const std::string& a, const std::string& b,
+                        double bound) const;
 };
 
 /// Weighted edit distance with distinct insert/delete/substitute costs.

@@ -4,6 +4,13 @@
 // `uniform` and `clustered` datasets of Table 1 are compared under the
 // L-infinity metric; L1, L2 and general Lp are provided for completeness
 // (the M-tree is metric-agnostic).
+//
+// The arithmetic lives in mcm/metric/kernels.h (runtime-dispatched SIMD
+// with a bit-identical portable fallback); the functors here add the
+// dimensionality check and the bounded-evaluation protocol of
+// mcm/metric/bounded.h: DistanceWithin(a, b, bound) returns the exact
+// distance when it is <= bound and +infinity once a partial sum (L1/L2/Lp)
+// or a running max (LInf) proves the distance exceeds the bound.
 
 #ifndef MCM_METRIC_VECTOR_METRICS_H_
 #define MCM_METRIC_VECTOR_METRICS_H_
@@ -12,6 +19,8 @@
 #include <cstddef>
 #include <stdexcept>
 #include <vector>
+
+#include "mcm/metric/kernels.h"
 
 namespace mcm {
 
@@ -32,11 +41,13 @@ inline void CheckSameDim(const FloatVector& a, const FloatVector& b) {
 struct L1Distance {
   double operator()(const FloatVector& a, const FloatVector& b) const {
     internal::CheckSameDim(a, b);
-    double sum = 0.0;
-    for (size_t i = 0; i < a.size(); ++i) {
-      sum += std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
-    }
-    return sum;
+    return kernels::L1(a.data(), b.data(), a.size());
+  }
+
+  double DistanceWithin(const FloatVector& a, const FloatVector& b,
+                        double bound) const {
+    internal::CheckSameDim(a, b);
+    return kernels::L1Within(a.data(), b.data(), a.size(), bound);
   }
 };
 
@@ -44,12 +55,13 @@ struct L1Distance {
 struct L2Distance {
   double operator()(const FloatVector& a, const FloatVector& b) const {
     internal::CheckSameDim(a, b);
-    double sum = 0.0;
-    for (size_t i = 0; i < a.size(); ++i) {
-      const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
-      sum += d * d;
-    }
-    return std::sqrt(sum);
+    return kernels::L2(a.data(), b.data(), a.size());
+  }
+
+  double DistanceWithin(const FloatVector& a, const FloatVector& b,
+                        double bound) const {
+    internal::CheckSameDim(a, b);
+    return kernels::L2Within(a.data(), b.data(), a.size(), bound);
   }
 };
 
@@ -58,40 +70,68 @@ struct L2Distance {
 struct LInfDistance {
   double operator()(const FloatVector& a, const FloatVector& b) const {
     internal::CheckSameDim(a, b);
-    double best = 0.0;
-    for (size_t i = 0; i < a.size(); ++i) {
-      const double d =
-          std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
-      if (d > best) best = d;
-    }
-    return best;
+    return kernels::LInf(a.data(), b.data(), a.size());
+  }
+
+  double DistanceWithin(const FloatVector& a, const FloatVector& b,
+                        double bound) const {
+    internal::CheckSameDim(a, b);
+    return kernels::LInfWithin(a.data(), b.data(), a.size(), bound);
   }
 };
 
-/// General Minkowski Lp distance with runtime exponent p >= 1.
+/// General Minkowski Lp distance with runtime exponent p >= 1. Integer
+/// exponents take a repeated-multiplication fast path (p = 1 and p = 2
+/// collapse to the L1/L2 kernels); fractional p falls back to std::pow.
 class LpDistance {
  public:
   explicit LpDistance(double p) : p_(p) {
     if (p < 1.0) {
       throw std::invalid_argument("LpDistance: p must be >= 1");
     }
+    const double rounded = std::nearbyint(p);
+    if (!std::isinf(p) && rounded == p && p <= 64.0) {
+      int_p_ = static_cast<int>(rounded);
+    }
   }
 
   double operator()(const FloatVector& a, const FloatVector& b) const {
     internal::CheckSameDim(a, b);
-    double sum = 0.0;
-    for (size_t i = 0; i < a.size(); ++i) {
-      const double d =
-          std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
-      sum += std::pow(d, p_);
+    if (int_p_ == 1) return kernels::L1(a.data(), b.data(), a.size());
+    if (int_p_ == 2) return kernels::L2(a.data(), b.data(), a.size());
+    if (int_p_ > 0) {
+      const double sum = kernels::LpPowSum(a.data(), b.data(), a.size(), int_p_);
+      return std::pow(sum, 1.0 / p_);
     }
+    const double sum =
+        kernels::LpPowSumGeneral(a.data(), b.data(), a.size(), p_);
     return std::pow(sum, 1.0 / p_);
+  }
+
+  double DistanceWithin(const FloatVector& a, const FloatVector& b,
+                        double bound) const {
+    internal::CheckSameDim(a, b);
+    if (int_p_ == 1) {
+      return kernels::L1Within(a.data(), b.data(), a.size(), bound);
+    }
+    if (int_p_ == 2) {
+      return kernels::L2Within(a.data(), b.data(), a.size(), bound);
+    }
+    if (int_p_ > 0) {
+      const double sum =
+          kernels::LpPowSumWithin(a.data(), b.data(), a.size(), int_p_, bound);
+      return std::isinf(sum) ? sum : std::pow(sum, 1.0 / p_);
+    }
+    // Fractional p: no early-exit kernel; fall back to the full distance,
+    // which trivially satisfies the protocol.
+    return (*this)(a, b);
   }
 
   double p() const { return p_; }
 
  private:
   double p_;
+  int int_p_ = 0;  ///< p when it is a small integer, else 0.
 };
 
 /// Maximum possible Lp distance between points of the unit hypercube

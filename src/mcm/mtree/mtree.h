@@ -25,6 +25,7 @@
 #include "mcm/common/random.h"
 #include "mcm/cost/tree_stats.h"
 #include "mcm/engine/search_core.h"
+#include "mcm/metric/bounded.h"
 #include "mcm/mtree/node.h"
 #include "mcm/mtree/node_store.h"
 #include "mcm/mtree/options.h"
@@ -270,6 +271,16 @@ class MTree {
     return metric_(a, b);
   }
 
+  /// Distance with an early-exit bound (metric/bounded.h): exact when
+  /// <= `bound`, +infinity once the metric proves it exceeds `bound`.
+  /// Counts exactly one distance computation either way, so the paper's
+  /// CPU cost is identical to the unbounded Dist at every call site.
+  double DistWithin(const Object& a, const Object& b, double bound,
+                    QueryStats* st) const {
+    ++st->distance_computations;
+    return BoundedDistance(metric_, a, b, bound);
+  }
+
   void NotifyModified() const {
     if (post_modify_hook_) {
       post_modify_hook_(*this);
@@ -279,11 +290,13 @@ class MTree {
   void ComplexRecurse(NodeId id, const std::vector<Predicate>& predicates,
                       Combine combine, uint32_t level, QueryStats* st,
                       std::vector<Result>* out) const {
-    const Node node = store_->ReadTracked(id, st);
+    // Full (unbounded) distances throughout: the reported combined distance
+    // is max/min over predicates, so every predicate's exact value matters.
+    const auto node = store_->ReadShared(id, st);
     ++st->nodes_accessed;
     const bool conjunctive = combine == Combine::kAnd;
-    if (node.is_leaf) {
-      for (const auto& e : node.leaf_entries) {
+    if (node->is_leaf) {
+      for (const auto& e : node->leaf_entries) {
         bool all = true, any = false;
         double combined = conjunctive ? 0.0
                                       : std::numeric_limits<double>::max();
@@ -301,7 +314,7 @@ class MTree {
       }
       if (st->trace != nullptr) {
         const auto scanned =
-            static_cast<uint32_t>(node.leaf_entries.size());
+            static_cast<uint32_t>(node->leaf_entries.size());
         st->trace->RecordVisit(
             id, level, scanned, 0,
             scanned * static_cast<uint32_t>(predicates.size()));
@@ -309,7 +322,7 @@ class MTree {
       return;
     }
     uint32_t scanned = 0;
-    for (const auto& e : node.routing_entries) {
+    for (const auto& e : node->routing_entries) {
       bool all = true, any = false;
       for (const auto& p : predicates) {
         const double d = Dist(p.query, e.object, st);
@@ -417,30 +430,34 @@ class MTree {
         /*root_trace_id=*/root_, collector, st,
         [&](const engine::FrontierEntry<TraversalHandle>& item,
             auto& frontier) {
-          const Node node = store_->ReadTracked(item.handle.node, st);
+          const auto node = store_->ReadShared(item.handle.node, st);
           ++st->nodes_accessed;
           const double pqd = item.handle.parent_query_distance;
           const bool can_prune = optimized && !std::isnan(pqd);
           uint32_t scanned = 0;
-          if (node.is_leaf) {
-            for (const auto& e : node.leaf_entries) {
+          if (node->is_leaf) {
+            for (const auto& e : node->leaf_entries) {
               if (can_prune && std::fabs(pqd - e.parent_distance) >
                                    collector.Bound()) {
                 continue;
               }
               ++scanned;
-              const double d = Dist(query, e.object, st);
+              // Early exit past the collector bound: an aborted evaluation
+              // returns +inf, which Offer rejects exactly as it would the
+              // true (over-bound) distance.
+              const double d =
+                  DistWithin(query, e.object, collector.Bound(), st);
               collector.Offer(e.oid, e.object, d);
             }
             if (st->trace != nullptr) {
               st->trace->RecordVisit(
                   item.handle.node, item.level, scanned,
-                  static_cast<uint32_t>(node.leaf_entries.size()) - scanned,
+                  static_cast<uint32_t>(node->leaf_entries.size()) - scanned,
                   scanned);
             }
             return;
           }
-          for (const auto& e : node.routing_entries) {
+          for (const auto& e : node->routing_entries) {
             if (can_prune && std::fabs(pqd - e.parent_distance) -
                                      e.covering_radius >
                                  collector.Bound()) {
@@ -452,7 +469,12 @@ class MTree {
               continue;
             }
             ++scanned;
-            const double d = Dist(query, e.object, st);
+            // A routing distance only matters when the child survives, i.e.
+            // when dmin = d - r <= Bound(); beyond Bound() + r the child is
+            // pruned either way, so the early exit changes nothing — an
+            // aborted d gives dmin = +inf, pruned like its exact value.
+            const double d = DistWithin(
+                query, e.object, collector.Bound() + e.covering_radius, st);
             const double dmin = std::max(d - e.covering_radius, 0.0);
             frontier.PushOrPrune(dmin, item.level + 1, e.child,
                                  TraversalHandle{e.child, d}, cut_reason);
@@ -460,7 +482,7 @@ class MTree {
           if (st->trace != nullptr) {
             st->trace->RecordVisit(
                 item.handle.node, item.level, scanned,
-                static_cast<uint32_t>(node.routing_entries.size()) - scanned,
+                static_cast<uint32_t>(node->routing_entries.size()) - scanned,
                 scanned);
           }
         });

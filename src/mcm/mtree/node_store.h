@@ -15,12 +15,16 @@
 #include <cstring>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "mcm/common/env.h"
 #include "mcm/common/query_stats.h"
 #include "mcm/mtree/node.h"
+#include "mcm/obs/metrics.h"
 #include "mcm/obs/trace.h"
 #include "mcm/storage/buffer_pool.h"
+#include "mcm/storage/decoded_cache.h"
 #include "mcm/storage/io_stats.h"
 #include "mcm/storage/page_file.h"
 
@@ -52,6 +56,14 @@ class NodeStore {
     return Read(id);
   }
 
+  /// Reads node `id` as a shared immutable object — the query-path variant
+  /// of ReadTracked: stores that keep (or cache) decoded nodes hand out a
+  /// shared reference instead of copying the node. Counts one logical
+  /// access, exactly like ReadTracked.
+  virtual std::shared_ptr<const Node> ReadShared(NodeId id, QueryStats* st) {
+    return std::make_shared<const Node>(this->ReadTracked(id, st));
+  }
+
   /// Overwrites node `id`. Does not count as a query access (writes happen
   /// during construction/maintenance, not similarity search).
   virtual void Write(NodeId id, const Node& node) = 0;
@@ -76,7 +88,10 @@ class NodeStore {
   std::atomic<uint64_t> access_count_{0};
 };
 
-/// Heap-resident node store.
+/// Heap-resident node store. Nodes live behind shared_ptrs so the query
+/// path (ReadShared) hands out references instead of copying; Write
+/// replaces the pointer (copy-on-write), so concurrent readers holding the
+/// old object keep a consistent snapshot.
 template <typename Traits>
 class MemoryNodeStore final : public NodeStore<Traits> {
  public:
@@ -86,11 +101,11 @@ class MemoryNodeStore final : public NodeStore<Traits> {
     if (!free_.empty()) {
       const NodeId id = free_.back();
       free_.pop_back();
-      nodes_[id] = Node();
+      nodes_[id] = std::make_shared<const Node>();
       live_[id] = true;
       return id;
     }
-    nodes_.emplace_back();
+    nodes_.push_back(std::make_shared<const Node>());
     live_.push_back(true);
     return static_cast<NodeId>(nodes_.size() - 1);
   }
@@ -98,10 +113,19 @@ class MemoryNodeStore final : public NodeStore<Traits> {
   void Free(NodeId id) override {
     Check(id);
     live_[id] = false;
+    nodes_[id] = nullptr;
     free_.push_back(id);
   }
 
   Node Read(NodeId id) override {
+    Check(id);
+    this->CountAccess();
+    return *nodes_[id];
+  }
+
+  std::shared_ptr<const Node> ReadShared(NodeId id,
+                                         QueryStats* st) override {
+    (void)st;
     Check(id);
     this->CountAccess();
     return nodes_[id];
@@ -109,7 +133,7 @@ class MemoryNodeStore final : public NodeStore<Traits> {
 
   void Write(NodeId id, const Node& node) override {
     Check(id);
-    nodes_[id] = node;
+    nodes_[id] = std::make_shared<const Node>(node);
   }
 
   size_t NumNodes() const override { return nodes_.size() - free_.size(); }
@@ -121,20 +145,28 @@ class MemoryNodeStore final : public NodeStore<Traits> {
     }
   }
 
-  std::vector<Node> nodes_;
+  std::vector<std::shared_ptr<const Node>> nodes_;
   std::vector<bool> live_;
   std::vector<NodeId> free_;
 };
 
-/// Page-backed node store: one node per page, LRU-buffered.
+/// Page-backed node store: one node per page, LRU-buffered, with an
+/// optional decoded-node cache above the pool (storage/decoded_cache.h).
+/// The cache defaults to the MCM_NODE_CACHE environment knob (entries; 0 =
+/// off, the default, so buffer-pool hit/miss/eviction behavior is exactly
+/// the uncached store's unless a caller opts in).
 template <typename Traits>
 class PagedNodeStore final : public NodeStore<Traits> {
  public:
   using Node = MTreeNode<Traits>;
 
-  /// Creates a store over `file` (owned) with `pool_frames` buffer frames.
-  PagedNodeStore(std::unique_ptr<PageFile> file, size_t pool_frames)
-      : file_(std::move(file)), pool_(file_.get(), pool_frames) {}
+  /// Creates a store over `file` (owned) with `pool_frames` buffer frames
+  /// and `cache_entries` decoded-node slots (-1 = read MCM_NODE_CACHE).
+  PagedNodeStore(std::unique_ptr<PageFile> file, size_t pool_frames,
+                 int64_t cache_entries = -1)
+      : file_(std::move(file)),
+        pool_(file_.get(), pool_frames),
+        cache_(ResolveCacheEntries(cache_entries)) {}
 
   NodeId Allocate() override {
     PageGuard guard = pool_.NewPage();
@@ -148,6 +180,7 @@ class PagedNodeStore final : public NodeStore<Traits> {
   }
 
   void Free(NodeId id) override {
+    if (cache_.enabled()) cache_.Invalidate(id);
     file_->Free(static_cast<PageId>(id));
     --num_nodes_;
   }
@@ -173,7 +206,37 @@ class PagedNodeStore final : public NodeStore<Traits> {
     return Node::Deserialize(guard.data(), file_->page_size());
   }
 
+  std::shared_ptr<const Node> ReadShared(NodeId id,
+                                         QueryStats* st) override {
+    this->CountAccess();
+    if (cache_.enabled()) {
+      if (auto cached = cache_.Lookup(id)) {
+        // The decoded object was in memory: attribute a buffered (non-I/O)
+        // fetch, same as a pool hit, so per-query accounting still sees one
+        // fetch per node visit.
+        ++st->buffer_hits;
+        if (st->trace != nullptr) st->trace->RecordBufferFetch(id, true);
+        if (ObsEnabled()) {
+          MetricsRegistry::Global().GetCounter("node_cache.hits").Increment();
+        }
+        return cached;
+      }
+      if (ObsEnabled()) {
+        MetricsRegistry::Global().GetCounter("node_cache.misses").Increment();
+      }
+      // Capture the version before touching the page bytes: if a writer
+      // invalidates while we decode, Insert drops our (possibly stale)
+      // object instead of publishing it.
+      const uint64_t version = cache_.Version(id);
+      auto decoded = std::make_shared<const Node>(DecodeTracked(id, st));
+      cache_.Insert(id, version, decoded);
+      return decoded;
+    }
+    return std::make_shared<const Node>(DecodeTracked(id, st));
+  }
+
   void Write(NodeId id, const Node& node) override {
+    if (cache_.enabled()) cache_.Invalidate(id);
     PageGuard guard = pool_.Fetch(static_cast<PageId>(id));
     StoreInto(guard, node);
   }
@@ -190,7 +253,33 @@ class PagedNodeStore final : public NodeStore<Traits> {
   BufferPool& pool() { return pool_; }
   PageFile& file() { return *file_; }
 
+  /// The decoded-node cache (disabled unless MCM_NODE_CACHE or the ctor
+  /// argument asked for capacity).
+  DecodedNodeCache<Node>& node_cache() { return cache_; }
+
  private:
+  static size_t ResolveCacheEntries(int64_t cache_entries) {
+    if (cache_entries < 0) {
+      cache_entries = GetEnvInt("MCM_NODE_CACHE", 0);
+    }
+    return cache_entries > 0 ? static_cast<size_t>(cache_entries) : 0;
+  }
+
+  /// Pool fetch + per-query attribution + decode, without the logical
+  /// access count (the caller already counted).
+  Node DecodeTracked(NodeId id, QueryStats* st) {
+    bool hit = false;
+    PageGuard guard = pool_.Fetch(static_cast<PageId>(id), &hit);
+    if (hit) {
+      ++st->buffer_hits;
+    } else {
+      ++st->buffer_misses;
+    }
+    if (st->trace != nullptr) {
+      st->trace->RecordBufferFetch(id, hit);
+    }
+    return Node::Deserialize(guard.data(), file_->page_size());
+  }
   // Write path only (construction and maintenance are single-writer; the
   // concurrent batch executor goes through ReadTracked/Read exclusively),
   // so the shared scratch buffer needs no lock.
@@ -207,6 +296,7 @@ class PagedNodeStore final : public NodeStore<Traits> {
 
   std::unique_ptr<PageFile> file_;
   BufferPool pool_;
+  DecodedNodeCache<Node> cache_;
   std::vector<uint8_t> scratch_;
   size_t num_nodes_ = 0;
 };

@@ -24,6 +24,7 @@
 #include "mcm/common/query_stats.h"
 #include "mcm/common/random.h"
 #include "mcm/engine/search_core.h"
+#include "mcm/metric/bounded.h"
 #include "mcm/obs/trace.h"
 
 namespace mcm {
@@ -241,7 +242,12 @@ class VpTree {
           if (node.is_leaf) {
             for (const auto& [obj, oid] : node.bucket) {
               ++st->distance_computations;
-              collector.Offer(oid, obj, metric_(query, obj));
+              // Bucket objects feed only the collector, so the early exit
+              // past the bound is safe; the vantage distance below stays
+              // exact because it positions every child shell.
+              collector.Offer(
+                  oid, obj,
+                  BoundedDistance(metric_, query, obj, collector.Bound()));
             }
             if (st->trace != nullptr) {
               const auto scanned = static_cast<uint32_t>(node.bucket.size());

@@ -1,0 +1,210 @@
+#include "mcm/metric/kernels.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mcm/common/random.h"
+
+namespace mcm {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<float> RandomVector(size_t n, RandomEngine& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(UniformUnit(rng) * 2.0 - 1.0);
+  }
+  return v;
+}
+
+// Naive sequential references (the pre-kernel metric code): used for
+// tolerance checks only — the kernels use a different (fixed) summation
+// order, so sums agree to rounding, not bitwise.
+double NaiveL1(const std::vector<float>& a, const std::vector<float>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    s += std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return s;
+}
+
+double NaiveL2Squared(const std::vector<float>& a,
+                      const std::vector<float>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    s += d * d;
+  }
+  return s;
+}
+
+double NaiveLInf(const std::vector<float>& a, const std::vector<float>& b) {
+  double best = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d =
+        std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+    if (d > best) best = d;
+  }
+  return best;
+}
+
+// Every dimension pattern that exercises the 8-wide main loop and the
+// scalar tail: empty, pure tail, exactly one block, block+tail, many
+// blocks.
+const size_t kDims[] = {0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 32, 64, 100, 257};
+
+TEST(Kernels, DispatchedMatchesPortableBitwise) {
+  // The load-bearing contract: whatever backend ActiveBackend() picked
+  // (AVX2 on this machine's CI when available), results are bit-identical
+  // to the portable reference, so runtime dispatch can never change a
+  // query answer.
+  auto rng = MakeEngine(7, 0);
+  for (const size_t dim : kDims) {
+    for (int rep = 0; rep < 20; ++rep) {
+      const auto a = RandomVector(dim, rng);
+      const auto b = RandomVector(dim, rng);
+      EXPECT_EQ(kernels::L1(a.data(), b.data(), dim),
+                kernels::portable::L1(a.data(), b.data(), dim));
+      EXPECT_EQ(kernels::L2Squared(a.data(), b.data(), dim),
+                kernels::portable::L2Squared(a.data(), b.data(), dim));
+      EXPECT_EQ(kernels::LInf(a.data(), b.data(), dim),
+                kernels::portable::LInf(a.data(), b.data(), dim));
+    }
+  }
+}
+
+TEST(Kernels, MatchesNaiveReferenceWithinTolerance) {
+  auto rng = MakeEngine(11, 0);
+  for (const size_t dim : kDims) {
+    const auto a = RandomVector(dim, rng);
+    const auto b = RandomVector(dim, rng);
+    EXPECT_NEAR(kernels::L1(a.data(), b.data(), dim), NaiveL1(a, b), 1e-9);
+    EXPECT_NEAR(kernels::L2Squared(a.data(), b.data(), dim),
+                NaiveL2Squared(a, b), 1e-9);
+    EXPECT_NEAR(kernels::L2(a.data(), b.data(), dim),
+                std::sqrt(NaiveL2Squared(a, b)), 1e-9);
+    // Max has no reassociation error: exact match.
+    EXPECT_EQ(kernels::LInf(a.data(), b.data(), dim), NaiveLInf(a, b));
+  }
+}
+
+TEST(Kernels, BoundedMatchesUnboundedWhenNotAborting) {
+  auto rng = MakeEngine(13, 0);
+  for (const size_t dim : kDims) {
+    const auto a = RandomVector(dim, rng);
+    const auto b = RandomVector(dim, rng);
+    const double l1 = kernels::L1(a.data(), b.data(), dim);
+    const double l2 = kernels::L2(a.data(), b.data(), dim);
+    const double linf = kernels::LInf(a.data(), b.data(), dim);
+    // Bound exactly at the distance: must not abort, and must return the
+    // bit-identical value of the unbounded kernel.
+    EXPECT_EQ(kernels::L1Within(a.data(), b.data(), dim, l1), l1);
+    EXPECT_EQ(kernels::L2Within(a.data(), b.data(), dim, l2), l2);
+    EXPECT_EQ(kernels::LInfWithin(a.data(), b.data(), dim, linf), linf);
+    // +inf bound: never aborts.
+    EXPECT_EQ(kernels::L1Within(a.data(), b.data(), dim, kInf), l1);
+    EXPECT_EQ(kernels::L2Within(a.data(), b.data(), dim, kInf), l2);
+    EXPECT_EQ(kernels::LInfWithin(a.data(), b.data(), dim, kInf), linf);
+  }
+}
+
+TEST(Kernels, BoundedAbortsOnlyWhenDistanceExceedsBound) {
+  auto rng = MakeEngine(17, 0);
+  for (const size_t dim : kDims) {
+    for (int rep = 0; rep < 20; ++rep) {
+      const auto a = RandomVector(dim, rng);
+      const auto b = RandomVector(dim, rng);
+      const double bound = UniformUnit(rng) * static_cast<double>(dim) * 0.5;
+      const double l1 = kernels::L1(a.data(), b.data(), dim);
+      const double l2 = kernels::L2(a.data(), b.data(), dim);
+      const double linf = kernels::LInf(a.data(), b.data(), dim);
+      const double b1 = kernels::L1Within(a.data(), b.data(), dim, bound);
+      const double b2 = kernels::L2Within(a.data(), b.data(), dim, bound);
+      const double bi = kernels::LInfWithin(a.data(), b.data(), dim, bound);
+      // Exact value when within the bound; +inf (or, for short vectors
+      // where no abort checkpoint was reached, still the exact value) when
+      // beyond it. Either way the verdict "d <= bound" is preserved.
+      if (l1 <= bound) {
+        EXPECT_EQ(b1, l1);
+      } else {
+        EXPECT_TRUE(b1 == l1 || b1 == kInf) << b1;
+        EXPECT_GT(b1, bound);
+      }
+      if (l2 <= bound) {
+        EXPECT_EQ(b2, l2);
+      } else {
+        EXPECT_TRUE(b2 == l2 || b2 == kInf) << b2;
+        EXPECT_GT(b2, bound);
+      }
+      if (linf <= bound) {
+        EXPECT_EQ(bi, linf);
+      } else {
+        EXPECT_TRUE(bi == linf || bi == kInf) << bi;
+        EXPECT_GT(bi, bound);
+      }
+    }
+  }
+}
+
+TEST(Kernels, NegativeBoundRejectsEverything) {
+  auto rng = MakeEngine(19, 0);
+  const auto a = RandomVector(32, rng);
+  const auto b = RandomVector(32, rng);
+  const double neg = -1.0;
+  EXPECT_GT(kernels::L1Within(a.data(), b.data(), 32, neg), neg);
+  EXPECT_GT(kernels::L2Within(a.data(), b.data(), 32, neg), neg);
+  EXPECT_GT(kernels::LInfWithin(a.data(), b.data(), 32, neg), neg);
+}
+
+TEST(Kernels, LpPowSumMatchesPow) {
+  auto rng = MakeEngine(23, 0);
+  const auto a = RandomVector(33, rng);
+  const auto b = RandomVector(33, rng);
+  for (const int p : {1, 2, 3, 4, 7}) {
+    double expected = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      expected += std::pow(
+          std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i])),
+          p);
+    }
+    EXPECT_NEAR(kernels::LpPowSum(a.data(), b.data(), a.size(), p), expected,
+                1e-9 * (expected + 1.0));
+    EXPECT_NEAR(kernels::LpPowSumGeneral(a.data(), b.data(), a.size(),
+                                         static_cast<double>(p)),
+                expected, 1e-9 * (expected + 1.0));
+  }
+}
+
+TEST(Kernels, LpPowSumWithinContract) {
+  auto rng = MakeEngine(29, 0);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto a = RandomVector(40, rng);
+    const auto b = RandomVector(40, rng);
+    const int p = 3;
+    const double sum = kernels::LpPowSum(a.data(), b.data(), 40, p);
+    const double dist = std::pow(sum, 1.0 / p);
+    const double bound = UniformUnit(rng) * 2.0;
+    const double got = kernels::LpPowSumWithin(a.data(), b.data(), 40, p,
+                                               bound);
+    if (dist <= bound) {
+      EXPECT_EQ(got, sum);
+    } else {
+      EXPECT_TRUE(got == sum || got == kInf) << got;
+    }
+  }
+}
+
+TEST(Kernels, BackendNameIsMeaningful) {
+  const kernels::Backend backend = kernels::ActiveBackend();
+  const char* name = kernels::BackendName(backend);
+  EXPECT_TRUE(std::string(name) == "portable" ||
+              std::string(name) == "avx2");
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,251 @@
+// Decoded-node cache (storage/decoded_cache.h + PagedNodeStore wiring):
+// LRU/versioning unit tests, then the invalidation protocol end-to-end —
+// mutate an M-tree through a warmed cache and require the tree to stay
+// structurally valid and every query answer to stay bit-identical to a
+// cold-cache (and cache-off) run, sequentially and under the concurrent
+// batch executor.
+
+#include "mcm/storage/decoded_cache.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mcm/check/check_mtree.h"
+#include "mcm/common/query_stats.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/engine/executor.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/bulk_load.h"
+#include "mcm/storage/page_file.h"
+
+namespace mcm {
+namespace {
+
+using VecTraits = VectorTraits<LInfDistance>;
+
+std::shared_ptr<const int> Box(int v) { return std::make_shared<int>(v); }
+
+TEST(DecodedNodeCache, CapacityZeroDisablesEverything) {
+  DecodedNodeCache<int> cache(0);
+  EXPECT_FALSE(cache.enabled());
+  const uint64_t version = cache.Version(7);
+  cache.Insert(7, version, Box(1));
+  EXPECT_EQ(cache.Lookup(7), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DecodedNodeCache, LookupAfterInsertHitsAndCountsAreExact) {
+  DecodedNodeCache<int> cache(8, 1);
+  EXPECT_TRUE(cache.enabled());
+  EXPECT_EQ(cache.Lookup(1), nullptr);  // Miss.
+  cache.Insert(1, cache.Version(1), Box(10));
+  const auto hit = cache.Lookup(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 10);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(DecodedNodeCache, LruEvictsLeastRecentlyUsed) {
+  // Single shard so the LRU order is global and deterministic.
+  DecodedNodeCache<int> cache(2, 1);
+  cache.Insert(1, cache.Version(1), Box(1));
+  cache.Insert(2, cache.Version(2), Box(2));
+  ASSERT_NE(cache.Lookup(1), nullptr);  // 1 becomes most recent.
+  cache.Insert(3, cache.Version(3), Box(3));  // Evicts 2, not 1.
+  EXPECT_NE(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.Lookup(2), nullptr);
+  EXPECT_NE(cache.Lookup(3), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(DecodedNodeCache, InvalidateErasesAndBlocksInFlightInsert) {
+  DecodedNodeCache<int> cache(8, 1);
+  cache.Insert(5, cache.Version(5), Box(50));
+  ASSERT_NE(cache.Lookup(5), nullptr);
+
+  // The write-race guard: a reader captured the version, then a writer
+  // invalidated while the reader was decoding. The reader's Insert must be
+  // dropped — publishing it would cache pre-write bytes.
+  const uint64_t stale_version = cache.Version(5);
+  cache.Invalidate(5);
+  EXPECT_EQ(cache.Lookup(5), nullptr);
+  cache.Insert(5, stale_version, Box(999));
+  EXPECT_EQ(cache.Lookup(5), nullptr) << "stale decoded node was published";
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.stale_inserts, 1u);
+
+  // A fresh capture after the invalidation publishes normally.
+  cache.Insert(5, cache.Version(5), Box(51));
+  const auto hit = cache.Lookup(5);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 51);
+}
+
+TEST(DecodedNodeCache, ClearDropsEntriesAndBumpsVersions) {
+  DecodedNodeCache<int> cache(8, 1);
+  const uint64_t before = cache.Version(1);
+  cache.Insert(1, before, Box(1));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Insert(1, before, Box(1));  // Version moved: dropped.
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+}
+
+TEST(DecodedNodeCache, ShardingPartitionsCapacity) {
+  DecodedNodeCache<int> cache(256);
+  EXPECT_GT(cache.num_shards(), 1u);
+  for (uint64_t k = 0; k < 256; ++k) {
+    cache.Insert(k, cache.Version(k), Box(static_cast<int>(k)));
+  }
+  EXPECT_LE(cache.size(), 256u);
+  EXPECT_GT(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through PagedNodeStore + MTree.
+// ---------------------------------------------------------------------------
+
+struct PagedTree {
+  PagedNodeStore<VecTraits>* store = nullptr;
+  MTree<VecTraits> tree;
+};
+
+PagedTree BuildPagedTree(const std::vector<FloatVector>& data,
+                         const MTreeOptions& options,
+                         int64_t cache_entries) {
+  auto store = std::make_unique<PagedNodeStore<VecTraits>>(
+      std::make_unique<InMemoryPageFile>(options.node_size_bytes),
+      /*pool_frames=*/4096, cache_entries);
+  auto* raw = store.get();
+  return {raw, MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options,
+                                          std::move(store))};
+}
+
+template <typename Results>
+void ExpectBitIdentical(const Results& a, const Results& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].oid, b[i].oid);
+    EXPECT_EQ(a[i].distance, b[i].distance);
+  }
+}
+
+TEST(NodeCacheIntegration, WarmCacheServesHitsWithoutChangingAnswers) {
+  MTreeOptions options;
+  options.node_size_bytes = 1024;
+  const auto data = GenerateClustered(1500, 6, 601);
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 12, 6, 601);
+  auto cached = BuildPagedTree(data, options, /*cache_entries=*/4096);
+  auto uncached = BuildPagedTree(data, options, /*cache_entries=*/0);
+  EXPECT_TRUE(cached.store->node_cache().enabled());
+  EXPECT_FALSE(uncached.store->node_cache().enabled());
+  for (int pass = 0; pass < 2; ++pass) {  // Second pass runs fully warm.
+    for (const auto& q : queries) {
+      QueryStats sc, su;
+      ExpectBitIdentical(cached.tree.RangeSearch(q, 0.25, &sc),
+                         uncached.tree.RangeSearch(q, 0.25, &su));
+      // Logical costs are the paper's model inputs: cache must not move
+      // them.
+      EXPECT_EQ(sc.nodes_accessed, su.nodes_accessed);
+      EXPECT_EQ(sc.distance_computations, su.distance_computations);
+      ExpectBitIdentical(cached.tree.KnnSearch(q, 8, &sc),
+                         uncached.tree.KnnSearch(q, 8, &su));
+    }
+  }
+  const auto stats = cached.store->node_cache().stats();
+  EXPECT_GT(stats.hits, 0u) << "warm pass never hit the cache";
+  EXPECT_EQ(uncached.store->node_cache().stats().hits, 0u);
+}
+
+TEST(NodeCacheIntegration, MutationsInvalidateAndKeepTreeValid) {
+  MTreeOptions options;
+  options.node_size_bytes = 1024;
+  const auto data = GenerateClustered(1200, 6, 607);
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 10, 6, 607);
+  const auto extra = GenerateVectorQueries(VectorDatasetKind::kClustered,
+                                           60, 6, 991);
+  auto cached = BuildPagedTree(data, options, /*cache_entries=*/4096);
+  auto uncached = BuildPagedTree(data, options, /*cache_entries=*/0);
+
+  // Warm the cache so the subsequent inserts/deletes hit cached nodes.
+  for (const auto& q : queries) {
+    cached.tree.RangeSearch(q, 0.3);
+    uncached.tree.RangeSearch(q, 0.3);
+  }
+  EXPECT_GT(cached.store->node_cache().size(), 0u);
+
+  // Identical mutation sequence on both trees: inserts force splits and
+  // write-backs of cached nodes; deletes force underflow handling.
+  for (size_t i = 0; i < extra.size(); ++i) {
+    cached.tree.Insert(extra[i], 100000 + i);
+    uncached.tree.Insert(extra[i], 100000 + i);
+  }
+  for (size_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(cached.tree.Delete(data[i], i));
+    ASSERT_TRUE(uncached.tree.Delete(data[i], i));
+  }
+  EXPECT_GT(cached.store->node_cache().stats().invalidations, 0u);
+
+  // The tree behind the warmed cache is still structurally valid.
+  const auto result = check::CheckMTree(cached.tree);
+  EXPECT_TRUE(result.ok()) << result.Summary();
+
+  // And every answer is bit-identical to the cache-off tree — stale
+  // decoded nodes would show up here as wrong oids or distances.
+  for (const auto& q : queries) {
+    ExpectBitIdentical(cached.tree.RangeSearch(q, 0.3),
+                       uncached.tree.RangeSearch(q, 0.3));
+    ExpectBitIdentical(cached.tree.KnnSearch(q, 6),
+                       uncached.tree.KnnSearch(q, 6));
+  }
+
+  // Belt and braces: a fully cold run (cleared cache) agrees too.
+  cached.store->node_cache().Clear();
+  for (const auto& q : queries) {
+    ExpectBitIdentical(cached.tree.RangeSearch(q, 0.3),
+                       uncached.tree.RangeSearch(q, 0.3));
+  }
+}
+
+TEST(NodeCacheIntegration, ConcurrentBatchIsBitIdenticalToSequential) {
+  MTreeOptions options;
+  options.node_size_bytes = 1024;
+  const auto data = GenerateClustered(1500, 6, 613);
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 32, 6, 613);
+  auto cached = BuildPagedTree(data, options, /*cache_entries=*/2048);
+
+  // Sequential reference answers (these also warm the cache).
+  std::vector<std::vector<SearchResult<FloatVector>>> expected_range;
+  std::vector<std::vector<SearchResult<FloatVector>>> expected_knn;
+  for (const auto& q : queries) {
+    expected_range.push_back(cached.tree.RangeSearch(q, 0.25));
+    expected_knn.push_back(cached.tree.KnnSearch(q, 8));
+  }
+
+  engine::ExecutorOptions exec_options;
+  exec_options.num_threads = 4;
+  const engine::BatchExecutor<MTree<VecTraits>> executor(cached.tree,
+                                                         exec_options);
+  ASSERT_EQ(executor.num_threads(), 4u);
+  const auto range_batch = executor.RangeSearchBatch(queries, 0.25);
+  const auto knn_batch = executor.KnnSearchBatch(queries, 8);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectBitIdentical(range_batch.results[i], expected_range[i]);
+    ExpectBitIdentical(knn_batch.results[i], expected_knn[i]);
+  }
+  EXPECT_GT(cached.store->node_cache().stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,8 +1,11 @@
 #include "mcm/metric/vector_metrics.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
+
+#include "mcm/common/random.h"
 
 namespace mcm {
 namespace {
@@ -46,6 +49,55 @@ TEST(VectorMetrics, DimensionMismatchThrows) {
   EXPECT_THROW(L2Distance()({1, 2}, {1}), std::invalid_argument);
   EXPECT_THROW(LInfDistance()({1, 2}, {1}), std::invalid_argument);
   EXPECT_THROW(LpDistance(3.0)({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(LpDistance, IntegerExponentFastPathMatchesL2) {
+  // Regression for the integer-p special case: LpDistance(2.0) must route
+  // through the same L2 kernel, so the two metrics agree to 1e-12 on
+  // random vectors of every tail shape (and exactly on the fast path).
+  auto rng = MakeEngine(71, 0);
+  const LpDistance lp2(2.0);
+  const L2Distance l2;
+  for (const size_t dim : {1u, 5u, 8u, 13u, 16u, 33u, 64u, 100u}) {
+    for (int rep = 0; rep < 25; ++rep) {
+      FloatVector a(dim), b(dim);
+      for (size_t i = 0; i < dim; ++i) {
+        a[i] = static_cast<float>(UniformUnit(rng) * 2.0 - 1.0);
+        b[i] = static_cast<float>(UniformUnit(rng) * 2.0 - 1.0);
+      }
+      EXPECT_NEAR(lp2(a, b), l2(a, b), 1e-12);
+    }
+  }
+}
+
+TEST(LpDistance, IntegerExponentMatchesGeneralPath) {
+  // p = 3 and p = 4 take the binary-exponentiation fast path; they must
+  // agree with the pow-based general path to rounding.
+  auto rng = MakeEngine(73, 0);
+  for (const double p : {3.0, 4.0, 7.0}) {
+    const LpDistance fast(p);
+    // Nudging p off the integer grid forces the std::pow general path.
+    const LpDistance general(p + 1e-13);
+    for (int rep = 0; rep < 20; ++rep) {
+      FloatVector a(19), b(19);
+      for (size_t i = 0; i < a.size(); ++i) {
+        a[i] = static_cast<float>(UniformUnit(rng));
+        b[i] = static_cast<float>(UniformUnit(rng));
+      }
+      EXPECT_NEAR(fast(a, b), general(a, b), 1e-9);
+    }
+  }
+}
+
+TEST(VectorMetrics, DistanceWithinExposedByAllMetrics) {
+  const FloatVector a = {0, 0, 0};
+  const FloatVector b = {3, 0, 4};
+  EXPECT_EQ(L1Distance().DistanceWithin(a, b, 7.0), 7.0);
+  EXPECT_EQ(L2Distance().DistanceWithin(a, b, 5.0), 5.0);
+  EXPECT_EQ(LInfDistance().DistanceWithin(a, b, 4.0), 4.0);
+  EXPECT_NEAR(LpDistance(2.0).DistanceWithin(a, b, 5.0), 5.0, 1e-12);
+  // Beyond the bound the verdict must flip (value is exact or +inf).
+  EXPECT_GT(L2Distance().DistanceWithin(a, b, 4.9), 4.9);
 }
 
 TEST(UnitCubeDiameter, KnownValues) {

@@ -51,10 +51,12 @@ int main() {
         const auto hist =
             EstimateDistanceDistribution(data, LInfDistance{}, eo);
         const auto fit = EstimateCorrelationDimension(hist, 0.001, 0.2);
+        // std::string("[") dodges the operator+(const char*, string&&)
+        // overload that GCC 12 flags with a bogus -Wrestrict.
         table.AddRow({clustered ? "clustered" : "uniform",
                       std::to_string(dim), TablePrinter::Num(fit.dimension, 2),
-                      "[" + TablePrinter::Num(fit.r_lo, 3) + ", " +
-                          TablePrinter::Num(fit.r_hi, 3) + "]"});
+                      std::string("[") + TablePrinter::Num(fit.r_lo, 3) +
+                          ", " + TablePrinter::Num(fit.r_hi, 3) + "]"});
       }
     }
     const auto words = GenerateKeywords(n, kSeed);
@@ -65,7 +67,7 @@ int main() {
         EstimateDistanceDistribution(words, EditDistanceMetric{}, eo);
     const auto fit = EstimateCorrelationDimension(hist, 0.001, 0.3);
     table.AddRow({"keywords (edit)", "-", TablePrinter::Num(fit.dimension, 2),
-                  "[" + TablePrinter::Num(fit.r_lo, 1) + ", " +
+                  std::string("[") + TablePrinter::Num(fit.r_lo, 1) + ", " +
                       TablePrinter::Num(fit.r_hi, 1) + "]"});
     std::cout << "-- D2 of the Table-1 datasets (uniform data: D2 ~= D; "
                  "clustering lowers D2) --\n";

@@ -382,6 +382,37 @@ void BM_PagedRangeQueryNodeCache(benchmark::State& state) {
 }
 BENCHMARK(BM_PagedRangeQueryNodeCache)->Arg(0)->Arg(4096);
 
+// Phase-timer overhead contract (DESIGN.md §10): the same paged range
+// workload with observability off (timers compile down to one cached
+// branch per span) and on (every node visit pays two clock reads). The
+// ns/op delta between Arg(0) and Arg(1) is the telemetry tax; the
+// acceptance bar is < 2%.
+void BM_PagedRangeQueryObsToggle(benchmark::State& state) {
+  const bool obs_on = state.range(0) != 0;
+  const bool obs_was_on = ObsEnabled();
+  const auto data = GenerateClustered(10000, 10, kSeed);
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 64, 10, kSeed);
+  MTreeOptions options;
+  options.seed = kSeed;
+  auto store = std::make_unique<PagedNodeStore<VectorTraits<LInfDistance>>>(
+      std::make_unique<InMemoryPageFile>(options.node_size_bytes),
+      /*pool_frames=*/4096);
+  auto tree = MTree<VectorTraits<LInfDistance>>::BulkLoad(
+      data, LInfDistance{}, options, std::move(store));
+  SetObsEnabledForTesting(obs_on);
+  size_t i = 0;
+  for (auto _ : state) {
+    QueryStats stats;
+    benchmark::DoNotOptimize(
+        tree.RangeSearch(queries[i % 64], 0.15, &stats));
+    ++i;
+  }
+  SetObsEnabledForTesting(obs_was_on);
+  state.SetLabel(obs_on ? "obs on" : "obs off");
+}
+BENCHMARK(BM_PagedRangeQueryObsToggle)->Arg(0)->Arg(1);
+
 void BM_NmcmNnPrediction(benchmark::State& state) {
   const auto data = GenerateClustered(10000, 10, kSeed);
   MTreeOptions options;

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json artifacts and flag timing regressions.
+
+The micro-benchmark harness emits one `record=metric` line whose `data`
+object maps benchmark names (BM_*) to ns/op. This tool diffs those maps:
+
+  bench_compare.py BASELINE CURRENT [--tolerance X]
+      Compare two already-emitted artifacts. A benchmark regresses when
+      current > baseline * tolerance; exits 1 when any regression (or an
+      empty comparison) is found. Improvements and new benchmarks are
+      reported but never fail the comparison.
+
+  bench_compare.py --run BINARY --outdir DIR --baseline FILE \
+                   [--env K=V ...] [--tolerance X]
+      Run BINARY with MCM_OBS=1 / MCM_OBS_DIR=DIR (plus --env overrides),
+      then compare the artifact it wrote (same basename as FILE) against
+      the committed baseline. This is what the `bench_compare_kernels`
+      CTest runs against bench/results/BENCH_micro_kernels.json.
+
+The default tolerance is deliberately loose (5x): the committed baseline
+was produced on one machine and CI runs on another, so the check guards
+against order-of-magnitude regressions (an accidentally disabled SIMD
+backend, quadratic blowup), not few-percent noise.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def load_timings(path):
+    """Returns the merged BM_* -> ns/op map of every metric record."""
+    timings = {}
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                print(f"{path}:{lineno}: invalid JSON: {exc}",
+                      file=sys.stderr)
+                return None
+            if not isinstance(rec, dict) or rec.get("record") != "metric":
+                continue
+            data = rec.get("data")
+            if not isinstance(data, dict):
+                continue
+            for name, value in data.items():
+                if name.startswith("BM_") and isinstance(value, (int, float)):
+                    timings[name] = float(value)
+    return timings
+
+
+def compare(baseline_path, current_path, tolerance):
+    baseline = load_timings(baseline_path)
+    current = load_timings(current_path)
+    if baseline is None or current is None:
+        return 1
+    if not baseline:
+        print(f"{baseline_path}: no BM_* timings found", file=sys.stderr)
+        return 1
+    if not current:
+        print(f"{current_path}: no BM_* timings found", file=sys.stderr)
+        return 1
+
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("no benchmarks in common between "
+              f"{baseline_path} and {current_path}", file=sys.stderr)
+        return 1
+
+    regressions = []
+    print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} {'ratio':>8}")
+    for name in shared:
+        base = baseline[name]
+        cur = current[name]
+        ratio = cur / base if base > 0 else float("inf")
+        marker = ""
+        if ratio > tolerance:
+            marker = "  REGRESSION"
+            regressions.append(name)
+        elif ratio < 1.0 / tolerance:
+            marker = "  (improved)"
+        print(f"{name:<44} {base:>12.2f} {cur:>12.2f} {ratio:>8.2f}{marker}")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<44} {'-':>12} {current[name]:>12.2f}    (new)")
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"note: {len(missing)} baseline benchmark(s) not in this run: "
+              + ", ".join(missing))
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {tolerance}x: "
+              + ", ".join(regressions), file=sys.stderr)
+        return 1
+    print(f"\nok: {len(shared)} benchmark(s) within {tolerance}x "
+          "of the baseline")
+    return 0
+
+
+def run_and_compare(binary, outdir, baseline, extra_env, tolerance):
+    os.makedirs(outdir, exist_ok=True)
+    artifact = os.path.join(outdir, os.path.basename(baseline))
+    if os.path.exists(artifact):
+        os.remove(artifact)
+    env = dict(os.environ)
+    env["MCM_OBS"] = "1"
+    env["MCM_OBS_DIR"] = outdir
+    for item in extra_env:
+        key, _, value = item.partition("=")
+        env[key] = value
+    proc = subprocess.run([binary], env=env, stdout=subprocess.DEVNULL)
+    if proc.returncode != 0:
+        print(f"{binary}: exit code {proc.returncode}", file=sys.stderr)
+        return 1
+    if not os.path.exists(artifact):
+        print(f"{binary} did not write {artifact}", file=sys.stderr)
+        return 1
+    return compare(baseline, artifact, tolerance)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff BENCH_*.json timing artifacts")
+    parser.add_argument("files", nargs="*",
+                        help="BASELINE CURRENT (two-file mode)")
+    parser.add_argument("--run", help="bench binary to execute first")
+    parser.add_argument("--outdir", help="MCM_OBS_DIR for --run")
+    parser.add_argument("--baseline", help="committed artifact for --run")
+    parser.add_argument("--env", action="append", default=[],
+                        metavar="K=V", help="extra environment for --run")
+    parser.add_argument("--tolerance", type=float, default=5.0,
+                        help="allowed current/baseline ratio (default 5)")
+    args = parser.parse_args()
+
+    if args.run:
+        if not args.outdir or not args.baseline:
+            parser.error("--run requires --outdir and --baseline")
+        return run_and_compare(args.run, args.outdir, args.baseline,
+                               args.env, args.tolerance)
+    if len(args.files) != 2:
+        parser.error("expected BASELINE and CURRENT (or --run mode)")
+    return compare(args.files[0], args.files[1], args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

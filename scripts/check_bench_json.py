@@ -15,10 +15,12 @@ Schema (one JSON object per line; see DESIGN.md "Observability"):
   record=meta     bench, schema_version, trace_capacity
   record=query    case, seq, kind in {range,knn,complex}, nodes, dists,
                   pruned, buffer_hits, buffer_misses, results, latency_us,
-                  level_nodes (array), prunes (object), pred (object of
-                  {nodes, dists, level_nodes?})
+                  phase_us (object: plan/traverse/distance_eval/page_read/
+                  decode/collect), level_nodes (array), prunes (object),
+                  pred (object of {nodes, dists, level_nodes?})
   record=summary  case, queries, avg_nodes, avg_dists, avg_results,
-                  latency_us (object), residuals (object of stats)
+                  latency_us (object), phase_us (object, averages),
+                  residuals (object of stats)
   record=metric   bench, data (counters/gauges/histograms object)
 """
 
@@ -36,12 +38,12 @@ REQUIRED_BY_RECORD = {
               "nodes": (int, float), "dists": (int, float),
               "pruned": (int, float), "buffer_hits": (int, float),
               "buffer_misses": (int, float), "results": (int, float),
-              "latency_us": (int, float), "level_nodes": list,
-              "prunes": dict, "pred": dict},
+              "latency_us": (int, float), "phase_us": dict,
+              "level_nodes": list, "prunes": dict, "pred": dict},
     "summary": {"case": str, "queries": (int, float),
                 "avg_nodes": (int, float), "avg_dists": (int, float),
                 "avg_results": (int, float), "latency_us": dict,
-                "residuals": dict},
+                "phase_us": dict, "residuals": dict},
     "metric": {"bench": str, "data": dict},
 }
 
@@ -80,6 +82,13 @@ def check_record(path, lineno, rec):
                        for v in rec["level_nodes"]):
                 errors += fail(path, lineno,
                                "query.level_nodes has non-numeric entries")
+    if record in ("query", "summary") and isinstance(rec.get("phase_us"),
+                                                     dict):
+        for phase in ("plan", "traverse", "distance_eval", "page_read",
+                      "decode", "collect"):
+            if not isinstance(rec["phase_us"].get(phase), (int, float)):
+                errors += fail(path, lineno,
+                               f"{record}.phase_us missing {phase!r}")
     if record == "summary":
         for stream, stats in rec.get("residuals", {}).items():
             if not isinstance(stats, dict):

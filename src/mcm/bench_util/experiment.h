@@ -18,6 +18,8 @@
 #include "mcm/common/stopwatch.h"
 #include "mcm/engine/executor.h"
 #include "mcm/obs/bench_observer.h"
+#include "mcm/obs/phase.h"
+#include "mcm/obs/telemetry.h"
 #include "mcm/obs/trace.h"
 
 namespace mcm {
@@ -70,6 +72,7 @@ inline QueryObservation MakeObservation(const char* kind, double radius,
   obs.k = k;
   obs.stats = stats;
   obs.stats.trace = nullptr;  // The trace does not outlive this call.
+  obs.stats.spans = nullptr;  // Neither does the span log.
   obs.results = results;
   obs.latency_us = latency_us;
   obs.level_nodes = trace.LevelNodeVisits();
@@ -133,14 +136,21 @@ MeasuredCosts MeasureRange(
   MeasuredCosts costs;
   costs.num_queries = queries.size();
   QueryTrace trace(observer->trace_capacity());
+  PhaseSpanLog spans;
+  size_t query_id = 0;
   for (const Object& q : queries) {
     trace.Clear();
+    spans.Clear();
     QueryStats stats;
     stats.trace = &trace;
+    stats.spans = &spans;
     Stopwatch watch;
     const auto results = tree.RangeSearch(q, radius, &stats);
     const double latency_us = watch.ElapsedSeconds() * 1e6;
     internal::Accumulate(stats, results.size(), &costs);
+    ObservePhaseTimes(stats, query_id);
+    TelemetrySink::Global().Submit(spans, query_id);
+    ++query_id;
     observer->RecordQuery(internal::MakeObservation(
         "range", radius, 0, stats, results.size(), latency_us, trace,
         observer->dump_events()));
@@ -164,10 +174,14 @@ MeasuredCosts MeasureKnn(
   MeasuredCosts costs;
   costs.num_queries = queries.size();
   QueryTrace trace(observer->trace_capacity());
+  PhaseSpanLog spans;
+  size_t query_id = 0;
   for (const Object& q : queries) {
     trace.Clear();
+    spans.Clear();
     QueryStats stats;
     stats.trace = &trace;
+    stats.spans = &spans;
     Stopwatch watch;
     const auto results = tree.KnnSearch(q, k, &stats);
     const double latency_us = watch.ElapsedSeconds() * 1e6;
@@ -175,6 +189,9 @@ MeasuredCosts MeasureKnn(
     if (!results.empty()) {
       costs.avg_kth_distance += results.back().distance;
     }
+    ObservePhaseTimes(stats, query_id);
+    TelemetrySink::Global().Submit(spans, query_id);
+    ++query_id;
     observer->RecordQuery(internal::MakeObservation(
         "knn", 0.0, k, stats, results.size(), latency_us, trace,
         observer->dump_events()));

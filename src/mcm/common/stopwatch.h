@@ -1,31 +1,39 @@
-// Wall-clock stopwatch for the experiment harness.
+// Wall-clock stopwatch for the experiment harness. Delegates to the
+// library's single clock seam (obs/clock.h) so raw std::chrono timing
+// stays lint-forbidden outside that header.
 
 #ifndef MCM_COMMON_STOPWATCH_H_
 #define MCM_COMMON_STOPWATCH_H_
 
-#include <chrono>
+#include <cstdint>
+
+#include "mcm/obs/clock.h"
 
 namespace mcm {
 
 /// Measures elapsed wall-clock time from construction (or the last Reset).
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_ns_(MonotonicNanos()) {}
 
   /// Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ns_ = MonotonicNanos(); }
+
+  /// Elapsed nanoseconds since construction or the last Reset.
+  uint64_t ElapsedNanos() const { return MonotonicNanos() - start_ns_; }
 
   /// Elapsed seconds since construction or the last Reset.
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(ElapsedNanos()) / 1e9;
   }
 
   /// Elapsed milliseconds since construction or the last Reset.
-  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  uint64_t start_ns_;
 };
 
 }  // namespace mcm

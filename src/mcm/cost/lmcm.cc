@@ -63,6 +63,21 @@ double LevelBasedCostModel::RangeDistances(double query_radius) const {
   return total;
 }
 
+std::vector<double> LevelBasedCostModel::RangeDistancesPerLevel(
+    double query_radius) const {
+  std::vector<double> per_level(levels_.size(), 0.0);
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    const double entries_below =
+        l + 1 < levels_.size()
+            ? static_cast<double>(levels_[l + 1].num_nodes)
+            : static_cast<double>(num_objects_);
+    per_level[l] =
+        entries_below *
+        histogram_.Cdf(levels_[l].avg_covering_radius + query_radius);
+  }
+  return per_level;
+}
+
 double LevelBasedCostModel::RangeObjects(double query_radius) const {
   return static_cast<double>(num_objects_) * histogram_.Cdf(query_radius);
 }
@@ -75,6 +90,33 @@ double LevelBasedCostModel::NnNodes(size_t k) const {
 double LevelBasedCostModel::NnDistances(size_t k) const {
   return nn_model_.IntegrateAgainstNnDensity(
       [this](double r) { return RangeDistances(r); }, k);
+}
+
+std::vector<double> LevelBasedCostModel::NnNodesPerLevel(size_t k) const {
+  std::vector<double> per_level(levels_.size(), 0.0);
+  for (size_t idx = 0; idx < per_level.size(); ++idx) {
+    per_level[idx] = nn_model_.IntegrateAgainstNnDensity(
+        [this, idx](double r) {
+          const auto levels = RangeNodesPerLevel(r);
+          return idx < levels.size() ? levels[idx] : 0.0;
+        },
+        k);
+  }
+  return per_level;
+}
+
+std::vector<double> LevelBasedCostModel::NnDistancesPerLevel(
+    size_t k) const {
+  std::vector<double> per_level(levels_.size(), 0.0);
+  for (size_t idx = 0; idx < per_level.size(); ++idx) {
+    per_level[idx] = nn_model_.IntegrateAgainstNnDensity(
+        [this, idx](double r) {
+          const auto levels = RangeDistancesPerLevel(r);
+          return idx < levels.size() ? levels[idx] : 0.0;
+        },
+        k);
+  }
+  return per_level;
 }
 
 }  // namespace mcm

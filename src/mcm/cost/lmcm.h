@@ -38,6 +38,11 @@ class LevelBasedCostModel {
   /// Eq. 16: dists(range) ≈ Σ_l M_{l+1} · F(r̄_l + r_Q), M_{L+1} = n.
   double RangeDistances(double query_radius) const;
 
+  /// Eq. 16 split by level: element l-1 is M_{l+1} · F(r̄_l + r_Q) — the
+  /// distances computed over entries of level-l nodes. Sums to
+  /// RangeDistances(). Feeds the EXPLAIN per-level table.
+  std::vector<double> RangeDistancesPerLevel(double query_radius) const;
+
   /// Eq. 8 (same as N-MCM): objs(range) = n · F(r_Q).
   double RangeObjects(double query_radius) const;
 
@@ -46,6 +51,11 @@ class LevelBasedCostModel {
 
   /// Eq. 18 generalized to any k: expected distance computations.
   double NnDistances(size_t k) const;
+
+  /// Per-level versions of NnNodes / NnDistances: the range-query
+  /// per-level expectations integrated against the k-NN radius density.
+  std::vector<double> NnNodesPerLevel(size_t k) const;
+  std::vector<double> NnDistancesPerLevel(size_t k) const;
 
   const NnDistanceModel& nn_model() const { return nn_model_; }
   const std::vector<LevelStatRecord>& levels() const { return levels_; }

@@ -39,6 +39,20 @@ double NodeBasedCostModel::RangeDistances(double query_radius) const {
   return total;
 }
 
+std::vector<double> NodeBasedCostModel::RangeDistancesPerLevel(
+    double query_radius) const {
+  std::vector<double> per_level(stats_.height, 0.0);
+  for (const auto& node : stats_.nodes) {
+    const size_t idx = node.level == 0 ? 0 : node.level - 1;
+    if (idx >= per_level.size()) {
+      per_level.resize(idx + 1, 0.0);
+    }
+    per_level[idx] += static_cast<double>(node.num_entries) *
+                      histogram_.Cdf(node.covering_radius + query_radius);
+  }
+  return per_level;
+}
+
 double NodeBasedCostModel::RangeObjects(double query_radius) const {
   return static_cast<double>(stats_.num_objects) *
          histogram_.Cdf(query_radius);
@@ -106,6 +120,32 @@ double NodeBasedCostModel::NnNodes(size_t k) const {
 double NodeBasedCostModel::NnDistances(size_t k) const {
   return nn_model_.IntegrateAgainstNnDensity(
       [this](double r) { return RangeDistances(r); }, k);
+}
+
+std::vector<double> NodeBasedCostModel::NnNodesPerLevel(size_t k) const {
+  std::vector<double> per_level(stats_.height, 0.0);
+  for (size_t idx = 0; idx < per_level.size(); ++idx) {
+    per_level[idx] = nn_model_.IntegrateAgainstNnDensity(
+        [this, idx](double r) {
+          const auto levels = RangeNodesPerLevel(r);
+          return idx < levels.size() ? levels[idx] : 0.0;
+        },
+        k);
+  }
+  return per_level;
+}
+
+std::vector<double> NodeBasedCostModel::NnDistancesPerLevel(size_t k) const {
+  std::vector<double> per_level(stats_.height, 0.0);
+  for (size_t idx = 0; idx < per_level.size(); ++idx) {
+    per_level[idx] = nn_model_.IntegrateAgainstNnDensity(
+        [this, idx](double r) {
+          const auto levels = RangeDistancesPerLevel(r);
+          return idx < levels.size() ? levels[idx] : 0.0;
+        },
+        k);
+  }
+  return per_level;
 }
 
 }  // namespace mcm

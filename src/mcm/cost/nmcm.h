@@ -35,6 +35,11 @@ class NodeBasedCostModel {
   /// Eq. 7: dists(range(Q, r_Q)) = Σ_i e(N_i) · F(r(N_i) + r_Q).
   double RangeDistances(double query_radius) const;
 
+  /// Eq. 7 split by tree level: element l-1 is the expected distance
+  /// computations over entries of level-l nodes. Sums to RangeDistances().
+  /// Feeds the EXPLAIN report's per-level predicted-vs-actual table.
+  std::vector<double> RangeDistancesPerLevel(double query_radius) const;
+
   /// Eq. 8: objs(range(Q, r_Q)) = n · F(r_Q).
   double RangeObjects(double query_radius) const;
 
@@ -62,6 +67,11 @@ class NodeBasedCostModel {
 
   /// Expected distance computations of NN(Q, k).
   double NnDistances(size_t k) const;
+
+  /// Per-level versions of NnNodes / NnDistances: the range-query
+  /// per-level expectations integrated against the k-NN radius density.
+  std::vector<double> NnNodesPerLevel(size_t k) const;
+  std::vector<double> NnDistancesPerLevel(size_t k) const;
 
   const NnDistanceModel& nn_model() const { return nn_model_; }
   const MTreeStatsView& stats() const { return stats_; }

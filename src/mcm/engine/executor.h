@@ -29,6 +29,7 @@
 #include "mcm/common/stopwatch.h"
 #include "mcm/engine/metric_index.h"
 #include "mcm/engine/search_core.h"
+#include "mcm/obs/telemetry.h"
 #include "mcm/obs/trace.h"
 
 namespace mcm {
@@ -81,6 +82,11 @@ struct ExecutorOptions {
   size_t num_threads = 0;
   /// When > 0, attach a QueryTrace of this ring capacity to every query.
   size_t trace_capacity = 0;
+  /// When > 0 (and MCM_OBS is on), attach a PhaseSpanLog of this capacity
+  /// to every query and submit completed logs to TelemetrySink::Global()
+  /// for the Chrome-trace export. Span logs are also attached — with the
+  /// default capacity — whenever MCM_TRACE_OUT is configured.
+  size_t span_capacity = 0;
 };
 
 /// Everything a batch run produces. `results[i]` and `per_query[i]` belong
@@ -91,6 +97,7 @@ struct BatchResult {
   std::vector<QueryStats> per_query;
   QueryStats totals;
   std::vector<QueryTrace> traces;  ///< One per query when tracing is on.
+  std::vector<PhaseSpanLog> span_logs;  ///< One per query when spans are on.
   double wall_seconds = 0.0;       ///< Wall time of the parallel section.
 
   /// Queries per second over the parallel section.
@@ -147,19 +154,42 @@ class BatchExecutor {
         batch.traces.emplace_back(options_.trace_capacity);
       }
     }
+    size_t span_capacity = options_.span_capacity;
+    if (span_capacity == 0 && !TraceOutPath().empty()) {
+      span_capacity = PhaseSpanLog::kDefaultCapacity;
+    }
+    const bool spans_on = ObsEnabled() && span_capacity > 0;
+    if (spans_on) {
+      batch.span_logs.reserve(queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        batch.span_logs.emplace_back(span_capacity);
+      }
+    }
     Stopwatch watch;
     pool_.ParallelFor(queries.size(), [&](size_t i) {
       QueryStats* st = &batch.per_query[i];
       if (!batch.traces.empty()) {
         st->trace = &batch.traces[i];
       }
+      if (!batch.span_logs.empty()) {
+        st->spans = &batch.span_logs[i];
+      }
       batch.results[i] = fn(queries[i], st);
       st->trace = nullptr;  // The trace lives in batch.traces, not here.
+      st->spans = nullptr;  // Likewise batch.span_logs.
     });
     batch.wall_seconds = watch.ElapsedSeconds();
     // Deterministic merge: fold per-query counters in query order.
     for (const QueryStats& st : batch.per_query) {
       batch.totals += st;
+    }
+    if (spans_on) {
+      // Feed per-phase histograms and the Chrome-trace sink, in query
+      // order so exports are deterministic given a serial schedule.
+      for (size_t i = 0; i < queries.size(); ++i) {
+        ObservePhaseTimes(batch.per_query[i], /*query_id=*/i);
+        TelemetrySink::Global().Submit(batch.span_logs[i], /*query_id=*/i);
+      }
     }
     return batch;
   }

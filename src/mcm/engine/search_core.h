@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "mcm/common/query_stats.h"
+#include "mcm/obs/phase.h"
 #include "mcm/obs/trace.h"
 
 namespace mcm {
@@ -207,6 +208,9 @@ class Frontier {
 template <typename Handle, typename Collector, typename Expand>
 void BestFirstSearch(Handle root, uint64_t root_trace_id, Collector& collector,
                      QueryStats* st, Expand&& expand) {
+  // The traverse phase covers the whole driver loop; Expand callbacks carve
+  // the nested distance-eval / page-read / decode phases out of it.
+  ScopedSpan traverse_span(st, QueryPhase::kTraverse);
   Frontier<Handle, Collector> frontier(collector, st);
   frontier.Push(0.0, /*level=*/1, root_trace_id, std::move(root));
   while (!frontier.Empty()) {

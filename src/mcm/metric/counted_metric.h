@@ -7,6 +7,11 @@
 // computation — the paper's model charges per comparison of two objects,
 // not per coordinate touched, so bounded evaluation leaves every reported
 // count bit-identical.
+//
+// When MCM_OBS is on the decorator additionally accumulates the wall-clock
+// nanoseconds spent inside the wrapped metric (DistanceCounter::nanos),
+// giving a direct measurement of the model's CPU-cost unit. With obs off
+// the timing branch is a single cached test and nanos() stays zero.
 
 #ifndef MCM_METRIC_COUNTED_METRIC_H_
 #define MCM_METRIC_COUNTED_METRIC_H_
@@ -16,6 +21,8 @@
 #include <memory>
 
 #include "mcm/metric/bounded.h"
+#include "mcm/obs/clock.h"
+#include "mcm/obs/metrics.h"
 
 namespace mcm {
 
@@ -25,11 +32,21 @@ namespace mcm {
 class DistanceCounter {
  public:
   void Increment() { count_.fetch_add(1, std::memory_order_relaxed); }
-  void Reset() { count_.store(0, std::memory_order_relaxed); }
+  void AddNanos(uint64_t ns) {
+    nanos_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void Reset() {
+    count_.store(0, std::memory_order_relaxed);
+    nanos_.store(0, std::memory_order_relaxed);
+  }
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds spent inside the wrapped metric (MCM_OBS on only).
+  uint64_t nanos() const { return nanos_.load(std::memory_order_relaxed); }
 
  private:
   std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> nanos_{0};
 };
 
 /// Wraps a metric functor and increments a shared DistanceCounter on every
@@ -47,6 +64,12 @@ class CountedMetric {
   template <typename ObjectT>
   double operator()(const ObjectT& a, const ObjectT& b) const {
     counter_->Increment();
+    if (ObsEnabled()) {
+      const uint64_t start_ns = MonotonicNanos();
+      const double d = metric_(a, b);
+      counter_->AddNanos(MonotonicNanos() - start_ns);
+      return d;
+    }
     return metric_(a, b);
   }
 
@@ -56,11 +79,20 @@ class CountedMetric {
   double DistanceWithin(const ObjectT& a, const ObjectT& b,
                         double bound) const {
     counter_->Increment();
+    if (ObsEnabled()) {
+      const uint64_t start_ns = MonotonicNanos();
+      const double d = BoundedDistance(metric_, a, b, bound);
+      counter_->AddNanos(MonotonicNanos() - start_ns);
+      return d;
+    }
     return BoundedDistance(metric_, a, b, bound);
   }
 
   /// Number of distance evaluations since construction or the last Reset.
   uint64_t count() const { return counter_->count(); }
+
+  /// Nanoseconds spent inside the wrapped metric (MCM_OBS on only).
+  uint64_t nanos() const { return counter_->nanos(); }
 
   /// Resets the shared counter to zero.
   void Reset() const { counter_->Reset(); }

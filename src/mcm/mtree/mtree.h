@@ -30,6 +30,7 @@
 #include "mcm/mtree/node_store.h"
 #include "mcm/mtree/options.h"
 #include "mcm/mtree/split.h"
+#include "mcm/obs/phase.h"
 #include "mcm/obs/trace.h"
 
 namespace mcm {
@@ -111,6 +112,7 @@ class MTree {
     }
     engine::RangeCollector<Object> collector(radius);
     Traverse(query, collector, st, PruneReason::kCoveringRadius);
+    ScopedSpan collect_span(st, QueryPhase::kCollect);
     return collector.Take();
   }
 
@@ -128,6 +130,7 @@ class MTree {
     }
     engine::KnnCollector<Object> collector(k);
     Traverse(query, collector, st, PruneReason::kKnnBound);
+    ScopedSpan collect_span(st, QueryPhase::kCollect);
     return collector.Take();
   }
 
@@ -162,6 +165,7 @@ class MTree {
       return results;
     }
     ComplexRecurse(root_, predicates, combine, /*level=*/1, st, &results);
+    ScopedSpan collect_span(st, QueryPhase::kCollect);
     std::sort(results.begin(), results.end(),
               [](const Result& a, const Result& b) {
                 return a.distance < b.distance;
@@ -436,18 +440,24 @@ class MTree {
           const bool can_prune = optimized && !std::isnan(pqd);
           uint32_t scanned = 0;
           if (node->is_leaf) {
-            for (const auto& e : node->leaf_entries) {
-              if (can_prune && std::fabs(pqd - e.parent_distance) >
-                                   collector.Bound()) {
-                continue;
+            {
+              // One distance-eval span per node, not per entry: the clock
+              // is read twice per accessed node, keeping obs-on overhead
+              // proportional to I/O cost rather than CPU cost.
+              ScopedSpan dist_span(st, QueryPhase::kDistanceEval);
+              for (const auto& e : node->leaf_entries) {
+                if (can_prune && std::fabs(pqd - e.parent_distance) >
+                                     collector.Bound()) {
+                  continue;
+                }
+                ++scanned;
+                // Early exit past the collector bound: an aborted
+                // evaluation returns +inf, which Offer rejects exactly as
+                // it would the true (over-bound) distance.
+                const double d =
+                    DistWithin(query, e.object, collector.Bound(), st);
+                collector.Offer(e.oid, e.object, d);
               }
-              ++scanned;
-              // Early exit past the collector bound: an aborted evaluation
-              // returns +inf, which Offer rejects exactly as it would the
-              // true (over-bound) distance.
-              const double d =
-                  DistWithin(query, e.object, collector.Bound(), st);
-              collector.Offer(e.oid, e.object, d);
             }
             if (st->trace != nullptr) {
               st->trace->RecordVisit(
@@ -457,27 +467,32 @@ class MTree {
             }
             return;
           }
-          for (const auto& e : node->routing_entries) {
-            if (can_prune && std::fabs(pqd - e.parent_distance) -
-                                     e.covering_radius >
-                                 collector.Bound()) {
-              ++st->nodes_pruned;
-              if (st->trace != nullptr) {
-                st->trace->RecordPrune(e.child, item.level + 1,
-                                       PruneReason::kParentFilter);
+          {
+            ScopedSpan dist_span(st, QueryPhase::kDistanceEval);
+            for (const auto& e : node->routing_entries) {
+              if (can_prune && std::fabs(pqd - e.parent_distance) -
+                                       e.covering_radius >
+                                   collector.Bound()) {
+                ++st->nodes_pruned;
+                if (st->trace != nullptr) {
+                  st->trace->RecordPrune(e.child, item.level + 1,
+                                         PruneReason::kParentFilter);
+                }
+                continue;
               }
-              continue;
+              ++scanned;
+              // A routing distance only matters when the child survives,
+              // i.e. when dmin = d - r <= Bound(); beyond Bound() + r the
+              // child is pruned either way, so the early exit changes
+              // nothing — an aborted d gives dmin = +inf, pruned like its
+              // exact value.
+              const double d = DistWithin(
+                  query, e.object, collector.Bound() + e.covering_radius,
+                  st);
+              const double dmin = std::max(d - e.covering_radius, 0.0);
+              frontier.PushOrPrune(dmin, item.level + 1, e.child,
+                                   TraversalHandle{e.child, d}, cut_reason);
             }
-            ++scanned;
-            // A routing distance only matters when the child survives, i.e.
-            // when dmin = d - r <= Bound(); beyond Bound() + r the child is
-            // pruned either way, so the early exit changes nothing — an
-            // aborted d gives dmin = +inf, pruned like its exact value.
-            const double d = DistWithin(
-                query, e.object, collector.Bound() + e.covering_radius, st);
-            const double dmin = std::max(d - e.covering_radius, 0.0);
-            frontier.PushOrPrune(dmin, item.level + 1, e.child,
-                                 TraversalHandle{e.child, d}, cut_reason);
           }
           if (st->trace != nullptr) {
             st->trace->RecordVisit(

@@ -22,6 +22,7 @@
 #include "mcm/common/query_stats.h"
 #include "mcm/mtree/node.h"
 #include "mcm/obs/metrics.h"
+#include "mcm/obs/phase.h"
 #include "mcm/obs/trace.h"
 #include "mcm/storage/buffer_pool.h"
 #include "mcm/storage/decoded_cache.h"
@@ -193,17 +194,7 @@ class PagedNodeStore final : public NodeStore<Traits> {
 
   Node ReadTracked(NodeId id, QueryStats* st) override {
     this->CountAccess();
-    bool hit = false;
-    PageGuard guard = pool_.Fetch(static_cast<PageId>(id), &hit);
-    if (hit) {
-      ++st->buffer_hits;
-    } else {
-      ++st->buffer_misses;
-    }
-    if (st->trace != nullptr) {
-      st->trace->RecordBufferFetch(id, hit);
-    }
-    return Node::Deserialize(guard.data(), file_->page_size());
+    return DecodeTracked(id, st);
   }
 
   std::shared_ptr<const Node> ReadShared(NodeId id,
@@ -269,7 +260,10 @@ class PagedNodeStore final : public NodeStore<Traits> {
   /// access count (the caller already counted).
   Node DecodeTracked(NodeId id, QueryStats* st) {
     bool hit = false;
-    PageGuard guard = pool_.Fetch(static_cast<PageId>(id), &hit);
+    PageGuard guard = [&] {
+      ScopedSpan page_span(st, QueryPhase::kPageRead);
+      return pool_.Fetch(static_cast<PageId>(id), &hit);
+    }();
     if (hit) {
       ++st->buffer_hits;
     } else {
@@ -278,6 +272,7 @@ class PagedNodeStore final : public NodeStore<Traits> {
     if (st->trace != nullptr) {
       st->trace->RecordBufferFetch(id, hit);
     }
+    ScopedSpan decode_span(st, QueryPhase::kDecode);
     return Node::Deserialize(guard.data(), file_->page_size());
   }
   // Write path only (construction and maintenance are single-writer; the

@@ -9,6 +9,7 @@
 #include "mcm/common/table_printer.h"
 #include "mcm/obs/export.h"
 #include "mcm/obs/metrics.h"
+#include "mcm/obs/telemetry.h"
 
 namespace mcm {
 
@@ -42,6 +43,14 @@ std::string PredictionsJson(const std::vector<CostPrediction>& predictions) {
     all.AddRaw(p.model, one.Build());
   }
   return all.Build();
+}
+
+std::string PhaseUsJson(const std::array<double, kNumQueryPhases>& us) {
+  JsonObjectBuilder o;
+  for (size_t i = 0; i < kNumQueryPhases; ++i) {
+    o.Add(ToString(static_cast<QueryPhase>(i)), us[i]);
+  }
+  return o.Build();
 }
 
 std::string ResidualStatsJson(const ResidualStats& stats) {
@@ -110,6 +119,7 @@ void BenchObserver::BeginCase(
   case_queries_ = 0;
   sum_nodes_ = sum_dists_ = sum_results_ = sum_pruned_ = 0.0;
   sum_buffer_hits_ = sum_buffer_misses_ = 0;
+  sum_phase_us_.fill(0.0);
   latencies_us_.clear();
 }
 
@@ -131,6 +141,11 @@ void BenchObserver::RecordQuery(const QueryObservation& obs) {
   sum_pruned_ += static_cast<double>(obs.stats.nodes_pruned);
   sum_buffer_hits_ += obs.stats.buffer_hits;
   sum_buffer_misses_ += obs.stats.buffer_misses;
+  std::array<double, kNumQueryPhases> phase_us{};
+  for (size_t i = 0; i < kNumQueryPhases; ++i) {
+    phase_us[i] = static_cast<double>(obs.stats.phase_ns[i]) / 1e3;
+    sum_phase_us_[i] += phase_us[i];
+  }
   latencies_us_.push_back(obs.latency_us);
 
   for (const auto& p : predictions_) {
@@ -169,6 +184,10 @@ void BenchObserver::RecordQuery(const QueryObservation& obs) {
   rec.Add("buffer_misses", obs.stats.buffer_misses);
   rec.Add("results", obs.results);
   rec.Add("latency_us", obs.latency_us);
+  // All six phases, zero when the query path recorded no time (phase
+  // timers only run under MCM_OBS, which is on whenever records are
+  // written, but memory stores never touch page-read/decode).
+  rec.AddRaw("phase_us", PhaseUsJson(phase_us));
   // Always present (empty for flat structures) so every artifact matches
   // the query-record schema regardless of which bench produced it.
   rec.AddNumberArray("level_nodes", obs.level_nodes);
@@ -256,6 +275,14 @@ void BenchObserver::WriteSummaryRecord() {
     rec.AddRaw("latency_us", lat.Build());
   }
   {
+    // Per-phase wall time averaged over the case's queries.
+    std::array<double, kNumQueryPhases> avg_phase_us{};
+    for (size_t i = 0; i < kNumQueryPhases; ++i) {
+      avg_phase_us[i] = sum_phase_us_[i] / n;
+    }
+    rec.AddRaw("phase_us", PhaseUsJson(avg_phase_us));
+  }
+  {
     // Always present ("{}" without predictions) to match the schema.
     JsonObjectBuilder res;
     for (const std::string& name : residuals_.Names()) {
@@ -329,6 +356,17 @@ void BenchObserver::Finish() {
   jsonl_->Flush();
   std::cout << "[obs] wrote " << jsonl_->lines_written() << " records to "
             << artifact_path_ << "\n";
+  // Honor MCM_TRACE_OUT / MCM_METRICS_OUT from any bench that ran with
+  // an observer: flush the Chrome trace and the Prometheus snapshot.
+  const int flushed = FlushTelemetry();
+  if (flushed > 0) {
+    if (!TraceOutPath().empty()) {
+      std::cout << "[obs] chrome trace: " << TraceOutPath() << "\n";
+    }
+    if (!MetricsOutPath().empty()) {
+      std::cout << "[obs] prometheus snapshot: " << MetricsOutPath() << "\n";
+    }
+  }
   finished_ = true;
 }
 

@@ -113,6 +113,7 @@ class BenchObserver {
   double sum_pruned_ = 0.0;
   uint64_t sum_buffer_hits_ = 0;
   uint64_t sum_buffer_misses_ = 0;
+  std::array<double, kNumQueryPhases> sum_phase_us_{};
   std::vector<double> latencies_us_;
   bool finished_ = false;
 };

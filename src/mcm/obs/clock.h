@@ -1,0 +1,26 @@
+// The library's only monotonic-clock seam. Every wall-clock measurement
+// (Stopwatch, phase spans, page-read timing) funnels through MonotonicNanos()
+// so the no-rand-or-time lint rule can forbid raw std::chrono clock reads
+// everywhere else — one audited call site instead of scattered timing code.
+
+#ifndef MCM_OBS_CLOCK_H_
+#define MCM_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mcm {
+
+/// Nanoseconds on a monotonic (steady) clock. The absolute value is
+/// meaningless; only differences between two reads are.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now()  // mcm-lint: allow(no-rand-or-time)
+              .time_since_epoch())
+          .count());
+}
+
+}  // namespace mcm
+
+#endif  // MCM_OBS_CLOCK_H_

@@ -28,6 +28,8 @@ void SetObsEnabledForTesting(bool enabled) {
   g_obs_override = enabled ? 1 : 0;
 }
 
+void SetObsEnabled(bool enabled) { g_obs_override = enabled ? 1 : 0; }
+
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
   for (size_t i = 1; i < bounds_.size(); ++i) {
@@ -47,6 +49,24 @@ void Histogram::Observe(double v) {
   while (!sum_.compare_exchange_weak(cur, cur + v,
                                      std::memory_order_relaxed)) {
   }
+}
+
+void Histogram::ObserveWithExemplar(double v, uint64_t query_id) {
+  Observe(v);
+  // Last-write-wins; the three stores are not atomic as a group, but an
+  // exemplar is diagnostic breadcrumb data, not an exact tally.
+  exemplar_value_.store(v, std::memory_order_relaxed);
+  exemplar_query_.store(query_id, std::memory_order_relaxed);
+  has_exemplar_.store(true, std::memory_order_release);
+}
+
+bool Histogram::LastExemplar(double* value, uint64_t* query_id) const {
+  if (!has_exemplar_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  *value = exemplar_value_.load(std::memory_order_relaxed);
+  *query_id = exemplar_query_.load(std::memory_order_relaxed);
+  return true;
 }
 
 std::vector<uint64_t> Histogram::BucketCounts() const {
@@ -179,6 +199,65 @@ void MetricsRegistry::WriteText(std::ostream& out) const {
         << std::setprecision(2) << hist->Mean()
         << " p50=" << hist->Quantile(0.50) << " p95=" << hist->Quantile(0.95)
         << "\n";
+  }
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; our registry
+// names use dots ("mcm.phase.plan.us"), so map everything else to '_'.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string PromDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return JsonNumber(v);
+}
+
+}  // namespace
+
+void MetricsRegistry::WritePrometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    const std::string p = PromName(name);
+    out << "# TYPE " << p << " counter\n";
+    out << p << " " << counter->Value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string p = PromName(name);
+    out << "# TYPE " << p << " gauge\n";
+    out << p << " " << PromDouble(gauge->Value()) << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const std::string p = PromName(name);
+    out << "# TYPE " << p << " histogram\n";
+    double ex_value = 0.0;
+    uint64_t ex_query = 0;
+    if (hist->LastExemplar(&ex_value, &ex_query)) {
+      out << "# " << p << " exemplar {query_id=\"" << ex_query
+          << "\"} " << PromDouble(ex_value) << "\n";
+    }
+    const auto counts = hist->BucketCounts();
+    const auto& bounds = hist->bounds();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      const std::string le =
+          i < bounds.size() ? PromDouble(bounds[i]) : "+Inf";
+      out << p << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+    }
+    out << p << "_sum " << PromDouble(hist->Sum()) << "\n";
+    out << p << "_count " << hist->Count() << "\n";
   }
 }
 

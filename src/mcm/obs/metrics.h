@@ -26,6 +26,12 @@ bool ObsEnabled();
 /// concurrent ObsEnabled() callers).
 void SetObsEnabledForTesting(bool enabled);
 
+/// Programmatic equivalent of exporting MCM_OBS=1 before startup: forces
+/// observability on (or off) for the rest of the process. Used by tools
+/// (mcm_explain) that need phase timers regardless of the environment.
+/// Same caveat as SetObsEnabledForTesting: call before spawning threads.
+void SetObsEnabled(bool enabled);
+
 /// Monotonically increasing counter.
 class Counter {
  public:
@@ -63,6 +69,15 @@ class Histogram {
 
   void Observe(double v);
 
+  /// Observe() plus a last-write-wins exemplar: the query id of the most
+  /// recent observation, surfaced in the Prometheus export (OpenMetrics
+  /// `# {query_id="..."}` style comment) so a spike can be traced back to
+  /// a concrete query.
+  void ObserveWithExemplar(double v, uint64_t query_id);
+
+  /// True when at least one exemplar was recorded; fills the outputs.
+  bool LastExemplar(double* value, uint64_t* query_id) const;
+
   /// Per-bucket counts: bounds().size() + 1 entries (last = overflow).
   std::vector<uint64_t> BucketCounts() const;
   const std::vector<double>& bounds() const { return bounds_; }
@@ -79,6 +94,9 @@ class Histogram {
   std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1.
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  std::atomic<bool> has_exemplar_{false};
+  std::atomic<double> exemplar_value_{0.0};
+  std::atomic<uint64_t> exemplar_query_{0};
 };
 
 /// Default latency bucket bounds (microseconds): 1us .. ~10s, log-spaced.
@@ -105,6 +123,12 @@ class MetricsRegistry {
 
   /// Human-readable dump (sorted by name).
   void WriteText(std::ostream& out) const;
+
+  /// Prometheus text-exposition snapshot: counters, gauges, and histograms
+  /// (`_bucket{le=...}` cumulative, `_sum`, `_count`), with the last
+  /// exemplar query id attached to each histogram as an OpenMetrics-style
+  /// comment. Metric names have non-[a-zA-Z0-9_:] characters mapped to '_'.
+  void WritePrometheus(std::ostream& out) const;
 
   /// Drops every registered instrument (tests only; callers holding
   /// instrument references must not use them afterwards).

@@ -1,0 +1,49 @@
+#include "mcm/obs/phase.h"
+
+#include <atomic>
+
+namespace mcm {
+
+const char* ToString(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kPlan:
+      return "plan";
+    case QueryPhase::kTraverse:
+      return "traverse";
+    case QueryPhase::kDistanceEval:
+      return "distance_eval";
+    case QueryPhase::kPageRead:
+      return "page_read";
+    case QueryPhase::kDecode:
+      return "decode";
+    case QueryPhase::kCollect:
+      return "collect";
+  }
+  return "unknown";
+}
+
+uint32_t CurrentThreadLane() {
+  static std::atomic<uint32_t> next_lane{0};
+  thread_local const uint32_t lane =
+      next_lane.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+std::string PhaseHistogramName(QueryPhase phase) {
+  return std::string("mcm.phase.") + ToString(phase) + ".us";
+}
+
+void ObservePhaseTimes(const QueryStats& st, uint64_t query_id) {
+  if (!ObsEnabled()) return;
+  auto& registry = MetricsRegistry::Global();
+  for (size_t i = 0; i < kNumQueryPhases; ++i) {
+    if (st.phase_ns[i] == 0) continue;
+    const QueryPhase phase = static_cast<QueryPhase>(i);
+    auto& hist = registry.GetHistogram(PhaseHistogramName(phase),
+                                       DefaultLatencyBoundsUs());
+    hist.ObserveWithExemplar(static_cast<double>(st.phase_ns[i]) / 1e3,
+                             query_id);
+  }
+}
+
+}  // namespace mcm

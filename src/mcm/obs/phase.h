@@ -1,0 +1,137 @@
+// Phase timers: ScopedSpan stamps a QueryPhase interval into
+// QueryStats::phase_ns (and, when a PhaseSpanLog is attached, appends a
+// begin/end span for the Chrome-trace exporter). Everything is gated on
+// ObsEnabled(): with MCM_OBS off a span costs one cached branch and never
+// touches the clock, so query answers and counters stay bit-identical.
+
+#ifndef MCM_OBS_PHASE_H_
+#define MCM_OBS_PHASE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcm/common/query_stats.h"
+#include "mcm/obs/clock.h"
+#include "mcm/obs/metrics.h"
+
+namespace mcm {
+
+/// One completed phase interval. Timestamps are MonotonicNanos() values;
+/// `lane` is a small dense id for the recording thread (Chrome-trace tid).
+struct PhaseSpan {
+  QueryPhase phase = QueryPhase::kPlan;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  uint32_t lane = 0;
+};
+
+/// A small dense id for the calling thread, stable for the thread's
+/// lifetime. Used as the Chrome-trace thread lane.
+uint32_t CurrentThreadLane();
+
+/// Capped append-only log of completed spans for one query. Not
+/// thread-safe: each query owns its log (the batch executor hands every
+/// worker its own slot).
+class PhaseSpanLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit PhaseSpanLog(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  void Append(QueryPhase phase, uint64_t start_ns, uint64_t end_ns) {
+    if (spans_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    spans_.push_back(PhaseSpan{phase, start_ns, end_ns, CurrentThreadLane()});
+  }
+
+  void Clear() {
+    spans_.clear();
+    dropped_ = 0;
+  }
+
+  const std::vector<PhaseSpan>& spans() const { return spans_; }
+  uint64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::vector<PhaseSpan> spans_;
+  uint64_t dropped_ = 0;
+};
+
+/// RAII phase timer. Arms only when `st` is non-null and ObsEnabled();
+/// otherwise construction and destruction are a cached branch each.
+/// On destruction adds the elapsed nanoseconds to st->phase_ns[phase] and,
+/// if st->spans is attached, appends the interval there.
+class ScopedSpan {
+ public:
+  ScopedSpan(QueryStats* st, QueryPhase phase) : st_(nullptr), phase_(phase) {
+    if (st != nullptr && ObsEnabled()) {
+      st_ = st;
+      start_ns_ = MonotonicNanos();
+    }
+  }
+
+  ~ScopedSpan() {
+    if (st_ == nullptr) return;
+    const uint64_t end_ns = MonotonicNanos();
+    st_->phase_ns[static_cast<size_t>(phase_)] += end_ns - start_ns_;
+    if (st_->spans != nullptr) st_->spans->Append(phase_, start_ns_, end_ns);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// True when this span is actually recording (obs on and stats attached).
+  bool armed() const { return st_ != nullptr; }
+
+ private:
+  QueryStats* st_;
+  QueryPhase phase_;
+  uint64_t start_ns_ = 0;
+};
+
+/// Manual start/stop variant of ScopedSpan for non-lexical phases.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(QueryStats* st) : st_(st) {}
+
+  void Start(QueryPhase phase) {
+    if (st_ == nullptr || !ObsEnabled()) return;
+    phase_ = phase;
+    start_ns_ = MonotonicNanos();
+    running_ = true;
+  }
+
+  void Stop() {
+    if (!running_) return;
+    running_ = false;
+    const uint64_t end_ns = MonotonicNanos();
+    st_->phase_ns[static_cast<size_t>(phase_)] += end_ns - start_ns_;
+    if (st_->spans != nullptr) st_->spans->Append(phase_, start_ns_, end_ns);
+  }
+
+ private:
+  QueryStats* st_;
+  QueryPhase phase_ = QueryPhase::kPlan;
+  uint64_t start_ns_ = 0;
+  bool running_ = false;
+};
+
+/// Metrics-registry name of the latency histogram for `phase`
+/// ("mcm.phase.<name>.us").
+std::string PhaseHistogramName(QueryPhase phase);
+
+/// Feeds st.phase_ns into the global registry's per-phase latency
+/// histograms (microseconds), tagging each observation with `query_id` as
+/// the Prometheus exemplar. No-op when obs is off or all totals are zero.
+void ObservePhaseTimes(const QueryStats& st, uint64_t query_id);
+
+}  // namespace mcm
+
+#endif  // MCM_OBS_PHASE_H_

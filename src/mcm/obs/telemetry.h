@@ -1,0 +1,77 @@
+// Export side of the phase-timer layer: a process-wide sink collecting
+// per-query span logs, a Chrome-trace (Perfetto JSON array) writer, and a
+// Prometheus snapshot writer for the metrics registry. Both exports hang
+// off environment knobs — MCM_TRACE_OUT=<path> and MCM_METRICS_OUT=<path>
+// — so any bench or example flushes them by calling FlushTelemetry() (the
+// BenchObserver does this in Finish()).
+
+#ifndef MCM_OBS_TELEMETRY_H_
+#define MCM_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mcm/obs/phase.h"
+
+namespace mcm {
+
+/// Path of MCM_TRACE_OUT (empty = Chrome-trace export disabled). Read once
+/// and cached; override with SetTraceOutForTesting.
+const std::string& TraceOutPath();
+
+/// Path of MCM_METRICS_OUT (empty = Prometheus export disabled).
+const std::string& MetricsOutPath();
+
+/// Overrides the cached export paths (tests/tools only; not thread-safe
+/// with concurrent readers). Empty string disables the export.
+void SetTraceOutForTesting(const std::string& path);
+void SetMetricsOutForTesting(const std::string& path);
+
+/// One query's spans as submitted to the sink.
+struct QuerySpans {
+  uint64_t query_id = 0;
+  std::vector<PhaseSpan> spans;
+};
+
+/// Process-wide collector of completed span logs. The batch executor (and
+/// the explain driver) submit each query's PhaseSpanLog here after the
+/// query finishes; FlushTelemetry() serializes the accumulated spans as a
+/// Chrome trace. Mutex-guarded: submissions come from worker threads.
+class TelemetrySink {
+ public:
+  static TelemetrySink& Global();
+
+  /// Copies `log`'s spans under `query_id`. No-op when the log is empty.
+  void Submit(const PhaseSpanLog& log, uint64_t query_id);
+
+  /// Snapshot of everything submitted since the last Clear().
+  std::vector<QuerySpans> Snapshot() const;
+
+  void Clear();
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<QuerySpans> queries_;
+};
+
+/// Serializes `queries` as a Chrome-trace JSON array of complete events
+/// (ph:"X", ts/dur in microseconds, tid = recording thread's lane, with
+/// the query id in args). Loadable in chrome://tracing and Perfetto.
+void WriteChromeTrace(std::ostream& out,
+                      const std::vector<QuerySpans>& queries);
+
+/// Writes the pending exports, if configured: the global sink's spans as a
+/// Chrome trace to TraceOutPath() and the global registry as a Prometheus
+/// snapshot to MetricsOutPath(). Returns the number of files written.
+/// Clears the sink after a successful trace write.
+int FlushTelemetry();
+
+}  // namespace mcm
+
+#endif  // MCM_OBS_TELEMETRY_H_

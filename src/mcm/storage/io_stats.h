@@ -40,6 +40,7 @@ inline PageFileStats operator-(const PageFileStats& a,
   d.reads = a.reads - b.reads;
   d.writes = a.writes - b.writes;
   d.allocations = a.allocations - b.allocations;
+  d.read_ns = a.read_ns - b.read_ns;
   return d;
 }
 

@@ -3,6 +3,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "mcm/obs/clock.h"
+#include "mcm/obs/metrics.h"
+
 namespace mcm {
 
 PageFile::PageFile(size_t page_size) : page_size_(page_size) {
@@ -35,6 +38,12 @@ void PageFile::ReadPage(PageId id, uint8_t* out) {
   std::lock_guard<std::mutex> lock(mu_);
   CheckId(id);
   ++stats_.reads;
+  if (ObsEnabled()) {
+    const uint64_t start_ns = MonotonicNanos();
+    DoRead(id, out);
+    stats_.read_ns += MonotonicNanos() - start_ns;
+    return;
+  }
   DoRead(id, out);
 }
 

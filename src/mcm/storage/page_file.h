@@ -25,6 +25,9 @@ struct PageFileStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t allocations = 0;
+  /// Wall-clock nanoseconds spent inside ReadPage. Accumulated only when
+  /// MCM_OBS is on (zero otherwise), so the untimed read path is unchanged.
+  uint64_t read_ns = 0;
 };
 
 /// Abstract store of fixed-size pages.

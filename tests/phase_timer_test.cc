@@ -1,0 +1,225 @@
+// Phase-timer contracts: spans arm only when stats are attached AND
+// observability is on; with obs off a query's answers and counters are
+// bit-identical to an instrumented run while every phase total stays zero;
+// with obs on the traverse span encloses the distance-eval / page-read /
+// decode spans it triggers (the nesting the Chrome-trace exporter relies
+// on); and ObservePhaseTimes feeds the per-phase registry histograms with
+// the query id as exemplar.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/mtree.h"
+#include "mcm/obs/metrics.h"
+#include "mcm/obs/phase.h"
+
+namespace mcm {
+namespace {
+
+using Traits = VectorTraits<L2Distance>;
+
+/// Restores the cached MCM_OBS flag on scope exit so tests cannot leak
+/// their override into each other.
+class ObsGuard {
+ public:
+  explicit ObsGuard(bool enabled) : previous_(ObsEnabled()) {
+    SetObsEnabledForTesting(enabled);
+  }
+  ~ObsGuard() { SetObsEnabledForTesting(previous_); }
+
+ private:
+  bool previous_;
+};
+
+/// Busy work so a surrounding span covers a measurably nonzero interval
+/// even on coarse clocks.
+void Spin() {
+  volatile uint64_t sink = 0;
+  for (uint64_t i = 0; i < 10'000; ++i) sink += i;
+}
+
+MTree<Traits> BuildTree(size_t n = 400) {
+  MTreeOptions options;
+  options.node_size_bytes = 512;
+  MTree<Traits> tree{L2Distance{}, options};
+  const auto data =
+      GenerateVectorDataset(VectorDatasetKind::kClustered, n, 4, 7);
+  for (size_t i = 0; i < data.size(); ++i) tree.Insert(data[i], i);
+  return tree;
+}
+
+TEST(ScopedSpan, ArmsOnlyWithStatsAndObsOn) {
+  QueryStats stats;
+  {
+    ObsGuard obs(true);
+    ScopedSpan with_stats(&stats, QueryPhase::kTraverse);
+    EXPECT_TRUE(with_stats.armed());
+    Spin();
+    ScopedSpan without_stats(nullptr, QueryPhase::kTraverse);
+    EXPECT_FALSE(without_stats.armed());
+  }
+  {
+    ObsGuard obs(false);
+    ScopedSpan span(&stats, QueryPhase::kTraverse);
+    EXPECT_FALSE(span.armed());
+  }
+  EXPECT_GT(stats.PhaseNs(QueryPhase::kTraverse), 0u);  // The armed span.
+}
+
+TEST(ScopedSpan, AppendsToAttachedLog) {
+  ObsGuard obs(true);
+  PhaseSpanLog log;
+  QueryStats stats;
+  stats.spans = &log;
+  { ScopedSpan span(&stats, QueryPhase::kDecode); }
+  { ScopedSpan span(&stats, QueryPhase::kCollect); }
+  ASSERT_EQ(log.spans().size(), 2u);
+  EXPECT_EQ(log.spans()[0].phase, QueryPhase::kDecode);
+  EXPECT_EQ(log.spans()[1].phase, QueryPhase::kCollect);
+  EXPECT_LE(log.spans()[0].start_ns, log.spans()[0].end_ns);
+  EXPECT_EQ(stats.TotalPhaseNs(),
+            stats.PhaseNs(QueryPhase::kDecode) +
+                stats.PhaseNs(QueryPhase::kCollect));
+}
+
+TEST(PhaseSpanLog, DropsPastCapacity) {
+  ObsGuard obs(true);
+  PhaseSpanLog log(2);
+  QueryStats stats;
+  stats.spans = &log;
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan span(&stats, QueryPhase::kTraverse);
+  }
+  EXPECT_EQ(log.spans().size(), 2u);
+  EXPECT_EQ(log.dropped(), 3u);
+  log.Clear();
+  EXPECT_TRUE(log.spans().empty());
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(PhaseTimer, ManualStartStop) {
+  ObsGuard obs(true);
+  QueryStats stats;
+  PhaseTimer timer(&stats);
+  timer.Start(QueryPhase::kPlan);
+  Spin();
+  timer.Stop();
+  timer.Stop();  // Idempotent.
+  EXPECT_GT(stats.PhaseNs(QueryPhase::kPlan), 0u);
+  EXPECT_EQ(stats.PhaseNs(QueryPhase::kTraverse), 0u);
+}
+
+TEST(QueryStats, MergeAndResetKeepPhaseState) {
+  QueryStats a;
+  QueryStats b;
+  a.phase_ns[static_cast<size_t>(QueryPhase::kTraverse)] = 10;
+  b.phase_ns[static_cast<size_t>(QueryPhase::kTraverse)] = 5;
+  b.phase_ns[static_cast<size_t>(QueryPhase::kDecode)] = 3;
+  a += b;
+  EXPECT_EQ(a.PhaseNs(QueryPhase::kTraverse), 15u);
+  EXPECT_EQ(a.PhaseNs(QueryPhase::kDecode), 3u);
+
+  PhaseSpanLog log;
+  a.spans = &log;
+  ResetCounters(&a);
+  EXPECT_EQ(a.TotalPhaseNs(), 0u);
+  EXPECT_EQ(a.spans, &log);  // Attachment survives the reset.
+}
+
+TEST(PhaseTimers, ObsOffIsBitIdentical) {
+  const auto tree = BuildTree();
+  const auto queries =
+      GenerateVectorDataset(VectorDatasetKind::kClustered, 20, 4, 11);
+
+  std::vector<QueryStats> off_stats;
+  std::vector<size_t> off_results;
+  {
+    ObsGuard obs(false);
+    for (const auto& q : queries) {
+      QueryStats st;
+      off_results.push_back(tree.RangeSearch(q, 0.4, &st).size());
+      EXPECT_EQ(st.TotalPhaseNs(), 0u);  // Timers never fired.
+      off_stats.push_back(st);
+    }
+  }
+  {
+    ObsGuard obs(true);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      QueryStats st;
+      const auto results = tree.RangeSearch(queries[i], 0.4, &st);
+      EXPECT_EQ(results.size(), off_results[i]);
+      EXPECT_EQ(st.nodes_accessed, off_stats[i].nodes_accessed);
+      EXPECT_EQ(st.distance_computations,
+                off_stats[i].distance_computations);
+      EXPECT_EQ(st.nodes_pruned, off_stats[i].nodes_pruned);
+      EXPECT_GT(st.PhaseNs(QueryPhase::kTraverse), 0u);
+    }
+  }
+}
+
+TEST(PhaseTimers, TraverseEnclosesInnerPhases) {
+  ObsGuard obs(true);
+  const auto tree = BuildTree();
+  PhaseSpanLog log;
+  QueryStats stats;
+  stats.spans = &log;
+  const auto results = tree.KnnSearch(
+      GenerateVectorDataset(VectorDatasetKind::kClustered, 1, 4, 13)[0], 5,
+      &stats);
+  ASSERT_EQ(results.size(), 5u);
+  ASSERT_FALSE(log.spans().empty());
+
+  // Exactly one traverse span (single-threaded query), recorded last
+  // because ScopedSpan logs on destruction.
+  std::vector<PhaseSpan> traverse;
+  for (const auto& s : log.spans()) {
+    if (s.phase == QueryPhase::kTraverse) traverse.push_back(s);
+  }
+  ASSERT_EQ(traverse.size(), 1u);
+  size_t inner = 0;
+  for (const auto& s : log.spans()) {
+    if (s.phase == QueryPhase::kTraverse || s.phase == QueryPhase::kCollect) {
+      continue;
+    }
+    ++inner;
+    EXPECT_GE(s.start_ns, traverse[0].start_ns);
+    EXPECT_LE(s.end_ns, traverse[0].end_ns);
+    EXPECT_EQ(s.lane, traverse[0].lane);
+  }
+  EXPECT_GT(inner, 0u);  // At least the distance-eval spans.
+
+  // The traverse total consequently dominates each inner phase, and the
+  // grand total exceeds the wall-clock of the traverse alone (nesting).
+  EXPECT_GE(stats.PhaseNs(QueryPhase::kTraverse),
+            stats.PhaseNs(QueryPhase::kDistanceEval));
+}
+
+TEST(ObservePhaseTimes, FeedsRegistryHistogramsWithExemplar) {
+  ObsGuard obs(true);
+  MetricsRegistry::Global().Clear();
+  QueryStats stats;
+  stats.phase_ns[static_cast<size_t>(QueryPhase::kTraverse)] = 42'000;
+  ObservePhaseTimes(stats, /*query_id=*/7);
+
+  auto& hist = MetricsRegistry::Global().GetHistogram(
+      PhaseHistogramName(QueryPhase::kTraverse), DefaultLatencyBoundsUs());
+  EXPECT_EQ(hist.Count(), 1u);
+  EXPECT_DOUBLE_EQ(hist.Sum(), 42.0);  // Microseconds.
+  double value = 0.0;
+  uint64_t query_id = 0;
+  ASSERT_TRUE(hist.LastExemplar(&value, &query_id));
+  EXPECT_EQ(query_id, 7u);
+
+  // Zero phases are skipped: no decode histogram appears.
+  auto& decode = MetricsRegistry::Global().GetHistogram(
+      PhaseHistogramName(QueryPhase::kDecode), DefaultLatencyBoundsUs());
+  EXPECT_EQ(decode.Count(), 0u);
+  MetricsRegistry::Global().Clear();
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,143 @@
+// Extension: distance reuse through the witness cascade on a string
+// workload (edit distance, synthetic keywords). Each index family runs
+// the same range(Q, 3) workload twice — witness capacity 0 (the
+// pre-cascade behavior) and the default capacity — and the table reports
+// the measured drop in metric evaluations plus the avoided-evaluation
+// counter. The linear scan rides along as the witness-free floor.
+//
+// The emitted BENCH_witness_reuse.json is the artifact behind the
+// `bench_compare_witness` CTest, which requires the default-capacity
+// M-tree run to spend at most 85% of the capacity-0 run's distances
+// (generic metric mode of scripts/bench_compare.py).
+//
+// Scale knobs: MCM_N (default 4000 keywords), MCM_QUERIES (default 100),
+//              MCM_WITNESS_CAP (default 8).
+
+#include <iostream>
+#include <string>
+
+#include "mcm/baseline/linear_scan.h"
+#include "mcm/bench_util/experiment.h"
+#include "mcm/common/env.h"
+#include "mcm/common/stopwatch.h"
+#include "mcm/common/table_printer.h"
+#include "mcm/dataset/text_datasets.h"
+#include "mcm/gnat/gnat.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/bulk_load.h"
+#include "mcm/obs/bench_observer.h"
+#include "mcm/vptree/vptree.h"
+
+namespace {
+
+struct CasePair {
+  std::string index;
+  mcm::MeasuredCosts off;  // witness capacity 0
+  mcm::MeasuredCosts on;   // default capacity
+};
+
+}  // namespace
+
+int main() {
+  using namespace mcm;
+  using Traits = StringTraits<EditDistanceMetric>;
+  const size_t n = static_cast<size_t>(GetEnvInt("MCM_N", 4000));
+  const size_t num_queries =
+      static_cast<size_t>(GetEnvInt("MCM_QUERIES", 100));
+  const int cap = static_cast<int>(GetEnvInt("MCM_WITNESS_CAP", 8));
+  constexpr double kRadius = 3.0;
+  constexpr uint64_t kSeed = 42;
+
+  std::cout << "== Witness cascade: distance reuse on range(Q, 3), edit "
+               "distance, n=" << n << ", " << num_queries << " queries, "
+               "capacity 0 vs " << cap << " ==\n\n";
+
+  const auto words = GenerateKeywords(n, kSeed);
+  const auto queries = GenerateKeywordQueries(num_queries, kSeed + 1);
+
+  BenchObserver observer("witness_reuse");
+  Stopwatch watch;
+  std::vector<CasePair> rows;
+
+  const auto run = [&](const auto& tree, const std::string& label,
+                       int capacity) {
+    return MeasureRange(tree, queries, kRadius, &observer, label, {},
+                        {{"n", static_cast<double>(n)},
+                         {"radius", kRadius},
+                         {"witness_capacity",
+                          static_cast<double>(capacity)}});
+  };
+
+  {
+    CasePair row;
+    row.index = "mtree";
+    for (const int capacity : {0, cap}) {
+      MTreeOptions options;  // 4 KB nodes, paper defaults.
+      options.witness_capacity = capacity;
+      auto tree =
+          MTree<Traits>::BulkLoad(words, EditDistanceMetric{}, options);
+      tree.InstallWitnessCascade();
+      const auto costs = run(tree, "mtree_edit_w" + std::to_string(capacity),
+                             capacity);
+      (capacity == 0 ? row.off : row.on) = costs;
+    }
+    rows.push_back(row);
+  }
+  {
+    CasePair row;
+    row.index = "vptree";
+    for (const int capacity : {0, cap}) {
+      VpTreeOptions options;
+      options.witness_capacity = capacity;
+      VpTree<Traits> tree(words, EditDistanceMetric{}, options);
+      const auto costs = run(
+          tree, "vptree_edit_w" + std::to_string(capacity), capacity);
+      (capacity == 0 ? row.off : row.on) = costs;
+    }
+    rows.push_back(row);
+  }
+  {
+    CasePair row;
+    row.index = "gnat";
+    for (const int capacity : {0, cap}) {
+      GnatOptions options;
+      options.witness_capacity = capacity;
+      Gnat<Traits> tree(words, EditDistanceMetric{}, options);
+      const auto costs =
+          run(tree, "gnat_edit_w" + std::to_string(capacity), capacity);
+      (capacity == 0 ? row.off : row.on) = costs;
+    }
+    rows.push_back(row);
+  }
+
+  // Witness-free floor: every object evaluated exactly once.
+  const LinearScan<Traits> scan(words, EditDistanceMetric{});
+  const auto scan_costs = run(scan, "linear_edit", 0);
+
+  TablePrinter table({"index", "dists w0", "dists w" + std::to_string(cap),
+                      "saved", "results w0", "results w" +
+                      std::to_string(cap)});
+  for (const auto& row : rows) {
+    const double saved =
+        row.off.avg_dists > 0.0
+            ? 100.0 * (1.0 - row.on.avg_dists / row.off.avg_dists)
+            : 0.0;
+    table.AddRow({row.index, TablePrinter::Num(row.off.avg_dists, 1),
+                  TablePrinter::Num(row.on.avg_dists, 1),
+                  TablePrinter::Num(saved, 1) + "%",
+                  TablePrinter::Num(row.off.avg_results, 2),
+                  TablePrinter::Num(row.on.avg_results, 2)});
+  }
+  table.AddRow({"linear", TablePrinter::Num(scan_costs.avg_dists, 1),
+                TablePrinter::Num(scan_costs.avg_dists, 1), "0.0%",
+                TablePrinter::Num(scan_costs.avg_results, 2),
+                TablePrinter::Num(scan_costs.avg_results, 2)});
+  table.Print(std::cout);
+
+  std::cout << "\nExpected shape: identical result counts per index; the "
+               "witness runs cut distance\ncomputations (>= 15% on the "
+               "M-tree at default capacity).\n"
+            << "Elapsed: " << TablePrinter::Num(watch.ElapsedSeconds(), 1)
+            << " s\n";
+  return 0;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_*.json artifacts and flag timing regressions.
+"""Compare two BENCH_*.json artifacts and flag regressions.
 
-The micro-benchmark harness emits one `record=metric` line whose `data`
-object maps benchmark names (BM_*) to ns/op. This tool diffs those maps:
+Kernel-timing mode (the original): the micro-benchmark harness emits one
+`record=metric` line whose `data` object maps benchmark names (BM_*) to
+ns/op. This tool diffs those maps:
 
   bench_compare.py BASELINE CURRENT [--tolerance X]
       Compare two already-emitted artifacts. A benchmark regresses when
@@ -21,6 +22,22 @@ The default tolerance is deliberately loose (5x): the committed baseline
 was produced on one machine and CI runs on another, so the check guards
 against order-of-magnitude regressions (an accidentally disabled SIMD
 backend, quadratic blowup), not few-percent noise.
+
+Generic metric mode: any pair of schema-valid BENCH_*.json files can be
+compared on an explicit metric path with a hard ratio bound:
+
+  bench_compare.py BASELINE CURRENT --metric SPEC \
+                   [--current-metric SPEC] --max-ratio X \
+                   [--run BINARY --outdir DIR [--env K=V ...]]
+      SPEC is RECORD:CASE:FIELD — record type (`summary` or `query`),
+      the record's `case` label, and a dotted numeric field path
+      (`avg_dists`, `latency_us.p50`). When several records match (query
+      records do), their values are averaged. The comparison fails when
+      current > baseline * max-ratio. --current-metric defaults to
+      --metric; passing the SAME file as both BASELINE and CURRENT with
+      two different specs compares two cases of one artifact — the
+      `bench_compare_witness` CTest uses this to require the witness
+      cascade to cut avg_dists to <= 0.85x of the capacity-0 run.
 """
 
 import argparse
@@ -103,11 +120,78 @@ def compare(baseline_path, current_path, tolerance):
     return 0
 
 
-def run_and_compare(binary, outdir, baseline, extra_env, tolerance):
+def parse_spec(spec):
+    """Splits RECORD:CASE:FIELD; returns (record, case, field path list)."""
+    parts = spec.split(":")
+    if len(parts) != 3 or not all(parts):
+        print(f"bad metric spec {spec!r}: expected RECORD:CASE:FIELD",
+              file=sys.stderr)
+        return None
+    record, case, field = parts
+    if record not in ("summary", "query"):
+        print(f"bad metric spec {spec!r}: record must be summary or query",
+              file=sys.stderr)
+        return None
+    return record, case, field.split(".")
+
+
+def extract_metric(path, spec):
+    """Average numeric value of FIELD over matching records, or None."""
+    parsed = parse_spec(spec)
+    if parsed is None:
+        return None
+    record, case, field_path = parsed
+    values = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                print(f"{path}:{lineno}: invalid JSON: {exc}",
+                      file=sys.stderr)
+                return None
+            if (not isinstance(rec, dict) or rec.get("record") != record
+                    or rec.get("case") != case):
+                continue
+            value = rec
+            for key in field_path:
+                value = value.get(key) if isinstance(value, dict) else None
+            if not isinstance(value, (int, float)):
+                print(f"{path}:{lineno}: {'.'.join(field_path)} is not "
+                      f"numeric in matching {record} record",
+                      file=sys.stderr)
+                return None
+            values.append(float(value))
+    if not values:
+        print(f"{path}: no {record} record with case {case!r}",
+              file=sys.stderr)
+        return None
+    return sum(values) / len(values)
+
+
+def compare_metric(baseline_path, current_path, baseline_spec, current_spec,
+                   max_ratio):
+    base = extract_metric(baseline_path, baseline_spec)
+    cur = extract_metric(current_path, current_spec)
+    if base is None or cur is None:
+        return 1
+    ratio = cur / base if base > 0 else float("inf")
+    print(f"baseline  {baseline_spec:<40} {base:>12.3f}  ({baseline_path})")
+    print(f"current   {current_spec:<40} {cur:>12.3f}  ({current_path})")
+    print(f"ratio     {ratio:.3f}  (max allowed {max_ratio})")
+    if ratio > max_ratio:
+        print(f"FAIL: ratio {ratio:.3f} exceeds {max_ratio}",
+              file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
+def run_binary(binary, outdir, extra_env):
     os.makedirs(outdir, exist_ok=True)
-    artifact = os.path.join(outdir, os.path.basename(baseline))
-    if os.path.exists(artifact):
-        os.remove(artifact)
     env = dict(os.environ)
     env["MCM_OBS"] = "1"
     env["MCM_OBS_DIR"] = outdir
@@ -117,6 +201,15 @@ def run_and_compare(binary, outdir, baseline, extra_env, tolerance):
     proc = subprocess.run([binary], env=env, stdout=subprocess.DEVNULL)
     if proc.returncode != 0:
         print(f"{binary}: exit code {proc.returncode}", file=sys.stderr)
+        return False
+    return True
+
+
+def run_and_compare(binary, outdir, baseline, extra_env, tolerance):
+    artifact = os.path.join(outdir, os.path.basename(baseline))
+    if os.path.exists(artifact):
+        os.remove(artifact)
+    if not run_binary(binary, outdir, extra_env):
         return 1
     if not os.path.exists(artifact):
         print(f"{binary} did not write {artifact}", file=sys.stderr)
@@ -136,8 +229,27 @@ def main():
                         metavar="K=V", help="extra environment for --run")
     parser.add_argument("--tolerance", type=float, default=5.0,
                         help="allowed current/baseline ratio (default 5)")
+    parser.add_argument("--metric", metavar="RECORD:CASE:FIELD",
+                        help="generic mode: metric path in BASELINE")
+    parser.add_argument("--current-metric", metavar="RECORD:CASE:FIELD",
+                        help="metric path in CURRENT (default: --metric)")
+    parser.add_argument("--max-ratio", type=float,
+                        help="generic mode: max current/baseline ratio")
     args = parser.parse_args()
 
+    if args.metric or args.max_ratio is not None:
+        if not args.metric or args.max_ratio is None:
+            parser.error("generic mode needs both --metric and --max-ratio")
+        if len(args.files) != 2:
+            parser.error("generic mode expects BASELINE and CURRENT files")
+        if args.run:
+            if not args.outdir:
+                parser.error("--run requires --outdir")
+            if not run_binary(args.run, args.outdir, args.env):
+                return 1
+        return compare_metric(args.files[0], args.files[1], args.metric,
+                              args.current_metric or args.metric,
+                              args.max_ratio)
     if args.run:
         if not args.outdir or not args.baseline:
             parser.error("--run requires --outdir and --baseline")

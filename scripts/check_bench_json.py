@@ -14,13 +14,14 @@ Two modes:
 Schema (one JSON object per line; see DESIGN.md "Observability"):
   record=meta     bench, schema_version, trace_capacity
   record=query    case, seq, kind in {range,knn,complex}, nodes, dists,
-                  pruned, buffer_hits, buffer_misses, results, latency_us,
-                  phase_us (object: plan/traverse/distance_eval/page_read/
-                  decode/collect), level_nodes (array), prunes (object),
+                  pruned, witness_avoided, buffer_hits, buffer_misses,
+                  results, latency_us, phase_us (object: plan/traverse/
+                  distance_eval/page_read/decode/collect), level_nodes
+                  (array), prunes (object),
                   pred (object of {nodes, dists, level_nodes?})
   record=summary  case, queries, avg_nodes, avg_dists, avg_results,
-                  latency_us (object), phase_us (object, averages),
-                  residuals (object of stats)
+                  avg_witness_avoided, latency_us (object), phase_us
+                  (object, averages), residuals (object of stats)
   record=metric   bench, data (counters/gauges/histograms object)
 """
 
@@ -36,13 +37,15 @@ REQUIRED_BY_RECORD = {
              "trace_capacity": (int, float)},
     "query": {"case": str, "seq": (int, float), "kind": str,
               "nodes": (int, float), "dists": (int, float),
-              "pruned": (int, float), "buffer_hits": (int, float),
-              "buffer_misses": (int, float), "results": (int, float),
-              "latency_us": (int, float), "phase_us": dict,
-              "level_nodes": list, "prunes": dict, "pred": dict},
+              "pruned": (int, float), "witness_avoided": (int, float),
+              "buffer_hits": (int, float), "buffer_misses": (int, float),
+              "results": (int, float), "latency_us": (int, float),
+              "phase_us": dict, "level_nodes": list, "prunes": dict,
+              "pred": dict},
     "summary": {"case": str, "queries": (int, float),
                 "avg_nodes": (int, float), "avg_dists": (int, float),
-                "avg_results": (int, float), "latency_us": dict,
+                "avg_results": (int, float),
+                "avg_witness_avoided": (int, float), "latency_us": dict,
                 "phase_us": dict, "residuals": dict},
     "metric": {"bench": str, "data": dict},
 }

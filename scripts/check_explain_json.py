@@ -16,11 +16,14 @@ Schema (one JSON object; see src/mcm/obs/explain.cc RenderExplainJson):
   index            num_objects, height, num_nodes, node_size_bytes, d_plus
   plan             access_path in {index-scan, sequential-scan},
                    index_ms, sequential_ms
-  predictions      array of exactly 2 models (nmcm then lmcm), each with
-                   nodes, distances, level_nodes[], level_distances[]
-  actual           nodes, distances, pruned, buffer_hits, buffer_misses,
-                   results, latency_us, levels[] (per-level tallies),
-                   prunes (object), trace_dropped
+  predictions      array of 2 or 3 models (nmcm, lmcm, then optionally
+                   nmcm.witness when the index reports an installed
+                   witness cascade), each with nodes, distances,
+                   level_nodes[], level_distances[]
+  actual           nodes, distances, pruned, witness_avoided, buffer_hits,
+                   buffer_misses, results, latency_us, levels[] (per-level
+                   tallies incl. witness_avoided), prunes (object),
+                   trace_dropped
   phase_us         plan, traverse, distance_eval, page_read, decode,
                    collect (all numbers)
 """
@@ -42,12 +45,12 @@ PLAN_KEYS = {"access_path": str, "index_ms": NUM, "sequential_ms": NUM}
 PREDICTION_KEYS = {"model": str, "nodes": NUM, "distances": NUM,
                    "level_nodes": list, "level_distances": list}
 ACTUAL_KEYS = {"nodes": NUM, "distances": NUM, "pruned": NUM,
-               "buffer_hits": NUM, "buffer_misses": NUM, "results": NUM,
-               "latency_us": NUM, "levels": list, "prunes": dict,
-               "trace_dropped": NUM}
+               "witness_avoided": NUM, "buffer_hits": NUM,
+               "buffer_misses": NUM, "results": NUM, "latency_us": NUM,
+               "levels": list, "prunes": dict, "trace_dropped": NUM}
 LEVEL_KEYS = {"level": NUM, "nodes": NUM, "distances": NUM,
               "entries_scanned": NUM, "entries_pruned": NUM,
-              "subtree_prunes": NUM}
+              "subtree_prunes": NUM, "witness_avoided": NUM}
 
 
 def fail(where, message):
@@ -93,16 +96,27 @@ def check_document(where, doc):
                        f"{doc['plan'].get('access_path')!r}")
 
     predictions = doc["predictions"]
-    if len(predictions) != 2:
+    if len(predictions) not in (2, 3):
         errors += fail(f"{where}.predictions",
-                       f"expected 2 models, found {len(predictions)}")
+                       f"expected 2 or 3 models, found {len(predictions)}")
     for i, pred in enumerate(predictions):
         errors += check_keys(f"{where}.predictions[{i}]", pred,
                              PREDICTION_KEYS)
     models = [p.get("model") for p in predictions if isinstance(p, dict)]
-    if models != ["nmcm", "lmcm"]:
+    if models not in (["nmcm", "lmcm"], ["nmcm", "lmcm", "nmcm.witness"]):
         errors += fail(f"{where}.predictions",
-                       f"expected [nmcm, lmcm], found {models}")
+                       f"expected [nmcm, lmcm(, nmcm.witness)], "
+                       f"found {models}")
+    if models == ["nmcm", "lmcm", "nmcm.witness"]:
+        # Witnesses avoid metric evaluations, never node reads: the
+        # corrected model must predict no more distances than N-MCM.
+        nmcm_d = predictions[0].get("distances")
+        witness_d = predictions[2].get("distances")
+        if (isinstance(nmcm_d, NUM) and isinstance(witness_d, NUM)
+                and witness_d > nmcm_d + 1e-9):
+            errors += fail(f"{where}.predictions",
+                           f"nmcm.witness distances ({witness_d}) exceed "
+                           f"nmcm distances ({nmcm_d})")
 
     errors += check_keys(f"{where}.actual", doc["actual"], ACTUAL_KEYS)
     for i, level in enumerate(doc["actual"].get("levels", [])):

@@ -41,6 +41,14 @@ Rules (each registered as its own ctest, `lint_<rule>`):
                             src/mcm/metric/ — everywhere else they bypass
                             the dispatched SIMD kernels and fork the
                             accumulation order.
+  no-direct-prune-distance  Index traversal code (mtree/vptree/gnat/
+                            baseline) may not call BoundedDistance or a
+                            metric's DistanceWithin directly; prune-site
+                            evaluations go through engine/witness.h
+                            (GuardedDistanceWithin, GuardedExactDistance,
+                            CountedDistanceWithin) so the witness cascade
+                            sees every computed distance and the avoided-
+                            evaluation accounting stays exact.
 
 A line containing `mcm-lint: allow(<rule>)` in a comment suppresses that
 rule for that line (use sparingly; prefer fixing the code).
@@ -443,6 +451,26 @@ def check_adhoc_vector_math(sf):
 
 
 # --------------------------------------------------------------------------
+# Rule: no-direct-prune-distance
+# --------------------------------------------------------------------------
+
+# A bounded evaluation at a prune site that does not flow through
+# engine/witness.h never records a witness and never consults the cascade,
+# silently forking the distance accounting. The lookbehind keeps the
+# sanctioned wrappers (GuardedDistanceWithin, CountedDistanceWithin) from
+# matching on their common suffix.
+PRUNE_DISTANCE_RE = re.compile(r"(?<!\w)(DistanceWithin|BoundedDistance)\s*\(")
+
+
+def check_direct_prune_distance(sf):
+    return _grep(
+        sf, PRUNE_DISTANCE_RE,
+        "direct bounded-distance call at a prune site; route it through "
+        "engine/witness.h (GuardedDistanceWithin, GuardedExactDistance or "
+        "CountedDistanceWithin) so witnesses are recorded and consulted")
+
+
+# --------------------------------------------------------------------------
 # Rule registry.
 # --------------------------------------------------------------------------
 
@@ -517,6 +545,16 @@ RULES = [
         scope=LIB_HEADERS,
         allow=[],
         check=check_using_namespace,
+    ),
+    Rule(
+        "no-direct-prune-distance",
+        "prune-site distance evaluations go through engine/witness.h",
+        scope=[
+            "src/mcm/mtree/*", "src/mcm/vptree/*", "src/mcm/gnat/*",
+            "src/mcm/baseline/*",
+        ],
+        allow=[],
+        check=check_direct_prune_distance,
     ),
     Rule(
         "no-adhoc-vector-math",
@@ -641,6 +679,14 @@ SELFTEST_CASES = {
     "no-using-namespace-in-header": [
         ("src/mcm/mtree/sample.h",
          "using namespace std;\n"),
+    ],
+    "no-direct-prune-distance": [
+        ("src/mcm/mtree/sample.cc",
+         "const double d = metric_.DistanceWithin(a, b, r);\n"),
+        ("src/mcm/vptree/sample.cc",
+         "double d = BoundedDistance(metric_, a, b, bound);\n"),
+        ("src/mcm/gnat/sample.cc",
+         "if (DistanceWithin(q, o, limit) <= limit) {}\n"),
     ],
     "no-adhoc-vector-math": [
         ("src/mcm/cost/sample.cc",

@@ -19,13 +19,13 @@ set -eu
 SANITIZER=${1:-}
 case "${SANITIZER}" in
   thread)
-    TARGETS="engine_executor_test buffer_pool_test bounded_metric_test node_cache_test telemetry_export_test"
+    TARGETS="engine_executor_test buffer_pool_test bounded_metric_test node_cache_test telemetry_export_test witness_test witness_reuse_test"
     ;;
   address)
-    TARGETS="buffer_pool_test mtree_insert_test mtree_delete_test persist_test check_invariants_test bounded_metric_test node_cache_test phase_timer_test explain_test"
+    TARGETS="buffer_pool_test mtree_insert_test mtree_delete_test persist_test check_invariants_test bounded_metric_test node_cache_test phase_timer_test explain_test witness_test witness_reuse_test"
     ;;
   undefined)
-    TARGETS="histogram_test nmcm_test lmcm_test vp_model_test check_invariants_test kernels_test bounded_metric_test node_cache_test phase_timer_test explain_test"
+    TARGETS="histogram_test nmcm_test lmcm_test vp_model_test check_invariants_test kernels_test bounded_metric_test node_cache_test phase_timer_test explain_test witness_test witness_reuse_test"
     ;;
   *)
     echo "usage: $0 thread|address|undefined" >&2

@@ -16,7 +16,7 @@
 
 #include "mcm/common/query_stats.h"
 #include "mcm/engine/search_core.h"
-#include "mcm/metric/bounded.h"
+#include "mcm/engine/witness.h"
 
 namespace mcm {
 
@@ -66,13 +66,14 @@ class LinearScan {
   template <typename Collector>
   void Scan(const Object& query, Collector& collector, QueryStats* st) const {
     for (size_t i = 0; i < objects_.size(); ++i) {
-      ++st->distance_computations;
-      // Early exit past the collector bound (metric/bounded.h); still
-      // exactly one counted computation per object, so the scan's cost
-      // stays the n the access-path model assumes.
-      collector.Offer(
-          static_cast<uint64_t>(i), objects_[i],
-          BoundedDistance(metric_, query, objects_[i], collector.Bound()));
+      // Early exit past the collector bound via the engine's counted entry
+      // point (engine/witness.h); a scan stores no witness distances, so
+      // the cost stays exactly the n computations the access-path model
+      // assumes.
+      collector.Offer(static_cast<uint64_t>(i), objects_[i],
+                      engine::CountedDistanceWithin(metric_, query,
+                                                    objects_[i],
+                                                    collector.Bound(), st));
     }
   }
 

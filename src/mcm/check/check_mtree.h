@@ -13,7 +13,10 @@
 //   leaf-depth        all leaves at the same depth (the tree is balanced);
 //   empty-node        no node is empty;
 //   radius-sign       no negative covering radius;
-//   size-mismatch     the number of leaf objects equals tree.size().
+//   size-mismatch     the number of leaf objects equals tree.size();
+//   ancestor-distance persisted witness-cascade ancestor distances match
+//                     the recomputed d(ancestor routing object, entry) and
+//                     never cover more ancestors than lie above the parent.
 //
 // CheckMTree is pure observation (it reads nodes through the tree's store,
 // so access counters do move — run it outside measured sections).
@@ -66,6 +69,37 @@ CheckResult CheckMTree(const MTree<Traits>& tree, double epsilon = 1e-9) {
   const auto& metric = tree.metric();
   size_t leaf_objects = 0;
   int leaf_depth = -1;
+
+  // Witness-cascade entry layout (mtree/node.h): ancestor_distances[i]
+  // must equal d(routing object at depth i, entry object) and the array
+  // may only cover ancestors strictly above the parent (the parent's
+  // distance is the entry's parent_distance). Lengths are structural and
+  // checked always; values are only meaningful while the cascade is
+  // installed (stale arrays are never consulted otherwise).
+  auto check_ancestors =
+      [&](const std::vector<double>& stored, const Object& object,
+          const std::vector<std::pair<const Object*, double>>& balls,
+          const std::string& where) {
+        const size_t above_parent = balls.empty() ? 0 : balls.size() - 1;
+        if (stored.size() > above_parent) {
+          std::ostringstream os;
+          os << "entry stores " << stored.size()
+             << " ancestor distance(s) but only " << above_parent
+             << " ancestor(s) lie above the parent";
+          result.Add("ancestor-distance", where, os.str());
+          return;
+        }
+        if (!tree.cascade_installed()) return;
+        for (size_t i = 0; i < stored.size(); ++i) {
+          const double d = metric(*balls[i].first, object);
+          if (std::fabs(d - stored[i]) > epsilon) {
+            std::ostringstream os;
+            os << "stored ancestor distance [" << i << "] = " << stored[i]
+               << " != actual " << d;
+            result.Add("ancestor-distance", where, os.str());
+          }
+        }
+      };
 
   // Pass 1: per-node structure plus parent-distance consistency. The
   // `balls` stack carries every (routing object, covering radius) on the
@@ -135,6 +169,7 @@ CheckResult CheckMTree(const MTree<Traits>& tree, double epsilon = 1e-9) {
             result.Add("covering-radius", where.str(), os.str());
           }
         }
+        check_ancestors(e.ancestor_distances, e.object, balls, where.str());
       }
       return;
     }
@@ -156,6 +191,7 @@ CheckResult CheckMTree(const MTree<Traits>& tree, double epsilon = 1e-9) {
            << " (child " << e.child << ")";
         result.Add("radius-sign", label, os.str());
       }
+      check_ancestors(e.ancestor_distances, e.object, balls, label);
       auto next = balls;
       next.emplace_back(&e.object, e.covering_radius);
       // `next` points into the local `node` copy, which stays alive for

@@ -45,6 +45,12 @@ struct QueryStats {
   uint64_t buffer_hits = 0;    ///< Node reads served from the buffer pool.
   uint64_t buffer_misses = 0;  ///< Node reads that hit the PageFile.
 
+  /// Metric evaluations skipped because a witness (an already-computed
+  /// query distance paired with a stored object-to-witness distance) proved
+  /// via the triangle inequality that the entry cannot qualify. Each such
+  /// skip would have been one distance_computations increment.
+  uint64_t distance_calcs_avoided_by_witness = 0;
+
   /// Per-phase wall-clock totals in nanoseconds, indexed by QueryPhase.
   /// Filled only when MCM_OBS is on; all-zero otherwise.
   std::array<uint64_t, kNumQueryPhases> phase_ns{};
@@ -78,6 +84,8 @@ struct QueryStats {
     nodes_pruned += other.nodes_pruned;
     buffer_hits += other.buffer_hits;
     buffer_misses += other.buffer_misses;
+    distance_calcs_avoided_by_witness +=
+        other.distance_calcs_avoided_by_witness;
     for (size_t i = 0; i < kNumQueryPhases; ++i) {
       phase_ns[i] += other.phase_ns[i];
     }

@@ -17,14 +17,17 @@
 #define MCM_COST_EXPLAIN_H_
 
 #include <algorithm>
+#include <concepts>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mcm/common/stopwatch.h"
 #include "mcm/cost/access_path.h"
 #include "mcm/cost/lmcm.h"
 #include "mcm/cost/nmcm.h"
+#include "mcm/cost/witness_model.h"
 #include "mcm/distribution/histogram.h"
 #include "mcm/obs/explain.h"
 #include "mcm/obs/phase.h"
@@ -61,6 +64,7 @@ inline void FillActuals(const QueryTrace& trace, ExplainReport* report) {
     a.entries_scanned = levels[l].entries_scanned;
     a.entries_pruned = levels[l].entries_pruned;
     a.subtree_prunes = levels[l].subtree_prunes;
+    a.witness_avoided = levels[l].witness_avoided;
   }
   report->prunes_by_reason = trace.prunes_by_reason();
   report->trace_dropped = trace.dropped();
@@ -120,6 +124,51 @@ void Execute(const RunFn& run, uint64_t plan_ns,
   TelemetrySink::Global().Submit(spans, options.query_id);
 }
 
+/// Trees that expose the engine's witness cascade state (MTree). The
+/// witness-corrected prediction is only emitted for them, and only when
+/// the cascade is installed and the capacity is positive.
+template <typename Tree>
+concept WitnessReportingTree = requires(const Tree& tree) {
+  { tree.witness_capacity() } -> std::convertible_to<int>;
+  { tree.cascade_installed() } -> std::convertible_to<bool>;
+};
+
+/// Appends the "nmcm.witness" prediction: N-MCM's per-level distance
+/// expectations scaled by the witness-hit-rate correction at pruning bound
+/// `bound` (the query radius, or the expected k-NN radius). Node reads are
+/// unchanged — witnesses avoid metric evaluations, not node accesses.
+template <typename Tree>
+void AddWitnessPrediction(const Tree& tree, const DistanceHistogram& histogram,
+                          const NodeBasedCostModel& nmcm, double bound,
+                          const std::vector<double>& level_nodes,
+                          const std::vector<double>& level_distances,
+                          double nodes, ExplainReport* report) {
+  if constexpr (WitnessReportingTree<Tree>) {
+    if (!tree.cascade_installed() || tree.witness_capacity() <= 0) return;
+    const WitnessCostModel witness_model(histogram, tree.witness_capacity());
+    // Entries of a level-l internal node are pruned at bound + r(entry)
+    // (their children live at level l+1); leaf entries at the bound
+    // itself. The per-level aggregates carry the average child radius.
+    const MTreeStatsView& stats = nmcm.stats();
+    std::vector<double> level_bounds(level_distances.size(), bound);
+    for (const LevelStatRecord& rec : stats.levels) {
+      if (rec.level >= 2 && rec.level - 2 < level_bounds.size()) {
+        level_bounds[rec.level - 2] = bound + rec.avg_covering_radius;
+      }
+    }
+    std::vector<double> corrected =
+        witness_model.CorrectLevelDistances(level_distances, level_bounds);
+    double total = 0.0;
+    for (double v : corrected) total += v;
+    report->predictions.push_back(
+        {"nmcm.witness", nodes, total, level_nodes, std::move(corrected)});
+  } else {
+    (void)tree;
+    (void)histogram;
+    (void)nmcm;
+  }
+}
+
 }  // namespace explain_internal
 
 /// Explains range(Q, radius) on `tree`. `histogram` is the sampled
@@ -146,6 +195,10 @@ ExplainReport ExplainRange(const Tree& tree,
   report.predictions.push_back(
       {"lmcm", lmcm.RangeNodes(radius), lmcm.RangeDistances(radius),
        lmcm.RangeNodesPerLevel(radius), lmcm.RangeDistancesPerLevel(radius)});
+  explain_internal::AddWitnessPrediction(
+      tree, histogram, nmcm, radius, report.predictions[0].level_nodes,
+      report.predictions[0].level_distances, report.predictions[0].nodes,
+      &report);
   const AccessPathDecision decision = ChooseAccessPath(
       options.disk, report.predictions[0].distances,
       report.predictions[0].nodes, report.node_size_bytes,
@@ -182,6 +235,11 @@ ExplainReport ExplainKnn(const Tree& tree, const DistanceHistogram& histogram,
   report.predictions.push_back({"lmcm", lmcm.NnNodes(k), lmcm.NnDistances(k),
                                 lmcm.NnNodesPerLevel(k),
                                 lmcm.NnDistancesPerLevel(k)});
+  explain_internal::AddWitnessPrediction(
+      tree, histogram, nmcm, nmcm.nn_model().ExpectedNnDistance(k),
+      report.predictions[0].level_nodes,
+      report.predictions[0].level_distances, report.predictions[0].nodes,
+      &report);
   const AccessPathDecision decision = ChooseAccessPath(
       options.disk, report.predictions[0].distances,
       report.predictions[0].nodes, report.node_size_bytes,

@@ -1,0 +1,60 @@
+#include "mcm/cost/witness_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcm {
+
+WitnessCostModel::WitnessCostModel(const DistanceHistogram& histogram,
+                                   int capacity)
+    : histogram_(histogram), capacity_(std::max(capacity, 0)) {}
+
+double WitnessCostModel::PairSurvival(double r) const {
+  if (r < 0.0) return 0.0;
+  if (r >= histogram_.d_plus()) return 1.0;
+  // P(|X - Y| <= r) = Σ_i m_i · (F(c_i + r) - F(c_i - r)) with c_i the bin
+  // centers — the histogram's self-convolution at the bin resolution.
+  const auto& masses = histogram_.masses();
+  const double width = histogram_.bin_width();
+  double p = 0.0;
+  for (size_t i = 0; i < masses.size(); ++i) {
+    if (masses[i] == 0.0) continue;
+    const double center = (static_cast<double>(i) + 0.5) * width;
+    p += masses[i] * (histogram_.Cdf(center + r) - histogram_.Cdf(center - r));
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double WitnessCostModel::EvalFraction(double r, int witnesses) const {
+  if (witnesses <= 0) return 1.0;
+  return std::pow(PairSurvival(r), witnesses);
+}
+
+int WitnessCostModel::WitnessesAtLevel(uint32_t level) const {
+  const int above = level > 0 ? static_cast<int>(level) - 1 : 0;
+  return std::min(capacity_, above);
+}
+
+std::vector<double> WitnessCostModel::CorrectLevelDistances(
+    const std::vector<double>& level_distances, double bound) const {
+  return CorrectLevelDistances(level_distances,
+                               std::vector<double>{bound});
+}
+
+std::vector<double> WitnessCostModel::CorrectLevelDistances(
+    const std::vector<double>& level_distances,
+    const std::vector<double>& level_bounds) const {
+  std::vector<double> corrected(level_distances.size(), 0.0);
+  for (size_t l = 0; l < level_distances.size(); ++l) {
+    const auto level = static_cast<uint32_t>(l + 1);
+    const double bound = level_bounds.empty()
+                             ? 0.0
+                             : level_bounds[std::min(l,
+                                                     level_bounds.size() - 1)];
+    corrected[l] = level_distances[l] *
+                   EvalFraction(bound, WitnessesAtLevel(level));
+  }
+  return corrected;
+}
+
+}  // namespace mcm

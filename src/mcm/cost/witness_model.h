@@ -1,0 +1,75 @@
+// Witness-hit-rate correction for the cost models (engine/witness.h).
+//
+// N-MCM / L-MCM predict one distance computation per entry of every
+// accessed node (Eq. 7) — the footnote-2 convention that ignores
+// distance-saving optimizations. With the witness cascade enabled, a
+// fraction of those evaluations is avoided: an entry o is skipped when
+// some witness w on the path proves |d(Q,w) - d(w,o)| > bound. The
+// correction estimates that fraction from the measured distance
+// distribution F̂ⁿ alone:
+//
+//   PairSurvival(r) = P(|X - Y| <= r),  X, Y iid ~ F̂ⁿ,
+//
+// the probability one random witness FAILS to prune at bound r (the
+// triangle-inequality cut requires the two distances to differ by more
+// than r). With w independent witnesses the entry is evaluated with
+// probability EvalFraction(r, w) = PairSurvival(r)^w, and a node at level
+// l has accrued w(l) = min(capacity, l - 1) witnesses (one per ancestor
+// evaluation on the path). Independence and F_Q ≈ F̂ⁿ are exactly the
+// paper's Assumption 1 applied to the witness pair — biased toward
+// over-predicting savings on correlated paths, which the EXPLAIN residual
+// tables make visible.
+
+#ifndef MCM_COST_WITNESS_MODEL_H_
+#define MCM_COST_WITNESS_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mcm/distribution/histogram.h"
+
+namespace mcm {
+
+/// Correction model for the witness cascade's avoided evaluations.
+class WitnessCostModel {
+ public:
+  /// `histogram` (copied) is the sampled distance distribution F̂ⁿ;
+  /// `capacity` is the engine's resolved witness capacity (MCM_WITNESSES).
+  WitnessCostModel(const DistanceHistogram& histogram, int capacity);
+
+  /// P(|X - Y| <= r) for X, Y iid ~ F̂ⁿ: the probability one witness fails
+  /// to prune an entry at pruning bound r. Clamps to 1 for r >= d⁺.
+  double PairSurvival(double r) const;
+
+  /// Fraction of entry evaluations that survive w independent witnesses:
+  /// PairSurvival(r)^w. EvalFraction(r, 0) = 1 (cascade off).
+  double EvalFraction(double r, int witnesses) const;
+
+  /// Witnesses accrued by a node at level l (root = 1): one per ancestor
+  /// on the path, capped by the capacity.
+  int WitnessesAtLevel(uint32_t level) const;
+
+  /// Applies the correction to a per-level distance prediction (index
+  /// l-1 = level l): element l-1 scaled by EvalFraction(r, w(l)).
+  std::vector<double> CorrectLevelDistances(
+      const std::vector<double>& level_distances, double bound) const;
+
+  /// Same, with a per-level pruning bound (index l-1 = level l): entries
+  /// of internal nodes are pruned at r + r(entry), so their effective
+  /// bound includes the child's average covering radius; leaf entries are
+  /// pruned at r itself. Missing elements fall back to the last bound.
+  std::vector<double> CorrectLevelDistances(
+      const std::vector<double>& level_distances,
+      const std::vector<double>& level_bounds) const;
+
+  int capacity() const { return capacity_; }
+
+ private:
+  DistanceHistogram histogram_;
+  int capacity_ = 0;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_COST_WITNESS_MODEL_H_

@@ -1,0 +1,208 @@
+// The engine's witness set: every metric evaluation a traversal performs
+// on its way down is a *witness* — a pair (reference, d(witness, Q)) that,
+// combined with a stored witness-to-object distance, yields triangle-
+// inequality bounds on d(Q, object) for free:
+//
+//   |d(Q, w) - d(w, o)| <= d(Q, o) <= d(Q, w) + d(w, o).
+//
+// The Cascading Metric Tree applies exactly this cascade of bounds to cut
+// metric evaluations; the Symmetric M-tree shows the stored side (the
+// d(w, o) values) can live in the node entry layout. Here the witness set
+// is owned by the traversal driver (search_core.h threads a WitnessChain
+// through every FrontierEntry) and the indexes supply the stored side:
+// M-tree entries persist distances to ancestor routing objects, the
+// vp-tree propagates ancestor-vantage distances at build time, and the
+// GNAT's range tables are one witness source among several.
+//
+// Replacement policy: a traversal path accrues witnesses root-to-leaf and
+// bounds from near ancestors are the tightest (their stored distances
+// describe the smallest regions), so the chain keeps every link but
+// consults only the `capacity` most recent (deepest) ones. Capacity comes
+// from MCM_WITNESSES (default 8); capacity 0 disables every witness
+// consultation and reproduces the pre-witness traversal bit-identically.
+//
+// The sole sanctioned prune-site entry point is GuardedDistanceWithin: it
+// consults the witness bounds first, charges either one avoided or one
+// computed evaluation to QueryStats, and only then runs the (bounded)
+// metric. The lint rule `no-direct-prune-distance` keeps index prune sites
+// on this path.
+
+#ifndef MCM_ENGINE_WITNESS_H_
+#define MCM_ENGINE_WITNESS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "mcm/common/env.h"
+#include "mcm/common/query_stats.h"
+#include "mcm/metric/bounded.h"
+
+namespace mcm {
+namespace engine {
+
+/// Number of witnesses consulted per bound when the capacity is left at
+/// its -1 ("resolve from environment") default and MCM_WITNESSES is unset.
+inline constexpr int kDefaultWitnessCapacity = 8;
+
+/// Resolves a witness-capacity knob: a non-negative configured value wins;
+/// -1 defers to MCM_WITNESSES (default kDefaultWitnessCapacity). Clamped
+/// to a sane non-negative range.
+inline int ResolveWitnessCapacity(int configured) {
+  int64_t v = configured >= 0
+                  ? configured
+                  : GetEnvInt("MCM_WITNESSES", kDefaultWitnessCapacity);
+  if (v < 0) v = 0;
+  if (v > 1024) v = 1024;
+  return static_cast<int>(v);
+}
+
+/// The stored side of one witness bound: the interval [lo, hi] known to
+/// contain d(witness, o) for the object (or every object of the region)
+/// being bounded. A point distance is the degenerate interval [d, d];
+/// Unknown() contributes nothing.
+struct WitnessInterval {
+  double lo = std::numeric_limits<double>::quiet_NaN();
+  double hi = std::numeric_limits<double>::quiet_NaN();
+
+  static WitnessInterval Unknown() { return {}; }
+  static WitnessInterval Point(double d) { return {d, d}; }
+
+  bool known() const { return !std::isnan(lo) && !std::isnan(hi); }
+};
+
+/// An immutable chain of witnesses, newest (deepest ancestor) first.
+/// Extending shares structure with the parent chain, so frontier entries
+/// of sibling subtrees branch off one path cheaply and safely across the
+/// batch executor's threads (links are immutable once created).
+class WitnessChain {
+ public:
+  WitnessChain() = default;
+
+  /// The chain with one more witness (reference `ref`, measured query
+  /// distance `query_distance`) in front. `ref` is index-defined: the
+  /// M-tree uses the ancestor depth, the GNAT an ancestor slot index.
+  WitnessChain Extend(uint64_t ref, double query_distance) const {
+    auto link = std::make_shared<Link>();
+    link->ref = ref;
+    link->query_distance = query_distance;
+    link->next = head_;
+    WitnessChain out;
+    out.head_ = std::move(link);
+    return out;
+  }
+
+  bool Empty() const { return head_ == nullptr; }
+
+  /// Calls fn(ref, query_distance) for the `limit` newest witnesses.
+  template <typename Fn>
+  void Visit(int limit, Fn&& fn) const {
+    const Link* link = head_.get();
+    for (int i = 0; i < limit && link != nullptr; ++i, link = link->next.get()) {
+      fn(link->ref, link->query_distance);
+    }
+  }
+
+ private:
+  struct Link {
+    uint64_t ref = 0;
+    double query_distance = 0.0;
+    std::shared_ptr<const Link> next;
+  };
+
+  std::shared_ptr<const Link> head_;
+};
+
+/// Best lower bound on d(Q, o) obtainable from the `capacity` newest
+/// witnesses. `stored(ref)` must return the WitnessInterval containing
+/// d(witness ref, o); Unknown() intervals are skipped. Never negative;
+/// 0 when no witness contributes.
+template <typename StoredFn>
+inline double WitnessLowerBound(const WitnessChain& chain, int capacity,
+                                StoredFn&& stored) {
+  double lb = 0.0;
+  chain.Visit(capacity, [&](uint64_t ref, double dq) {
+    const WitnessInterval iv = stored(ref);
+    if (!iv.known()) return;
+    if (dq - iv.hi > lb) lb = dq - iv.hi;
+    if (iv.lo - dq > lb) lb = iv.lo - dq;
+  });
+  return lb;
+}
+
+namespace internal {
+
+/// Metrics (CountedMetric) that keep their own avoided-evaluation ledger.
+template <typename M>
+concept WitnessAwareMetric = requires(const M& m) {
+  m.RecordAvoided();
+};
+
+}  // namespace internal
+
+/// The engine's guarded prune-site evaluation. Consults the witness bounds
+/// first: when they prove d(a, b) > bound, charges one avoided evaluation
+/// (QueryStats::distance_calcs_avoided_by_witness plus the metric's own
+/// ledger when it keeps one) and returns +infinity without touching the
+/// metric. Otherwise charges one computed evaluation and runs the bounded
+/// protocol. With capacity 0 (or an empty chain) this is exactly the
+/// pre-witness `++distance_computations; BoundedDistance(...)` sequence.
+template <typename StoredFn, typename Metric, typename ObjectT>
+inline double GuardedDistanceWithin(const WitnessChain& chain, int capacity,
+                                    StoredFn&& stored, const Metric& metric,
+                                    const ObjectT& a, const ObjectT& b,
+                                    double bound, QueryStats* st) {
+  if (capacity > 0 && !chain.Empty() &&
+      WitnessLowerBound(chain, capacity, stored) > bound) {
+    ++st->distance_calcs_avoided_by_witness;
+    if constexpr (internal::WitnessAwareMetric<Metric>) {
+      metric.RecordAvoided();
+    }
+    return std::numeric_limits<double>::infinity();
+  }
+  ++st->distance_computations;
+  return BoundedDistance(metric, a, b, bound);
+}
+
+/// Guarded evaluation for sites that need the *exact* distance when the
+/// witness bounds cannot rule the object out past `prune_bound` (GNAT
+/// split points: the computed distance feeds the range-table pruning loop
+/// and the children's dmin bounds, so the bounded early exit is off the
+/// table). Avoidance accounting matches GuardedDistanceWithin; the
+/// computed branch charges one evaluation and runs the metric unbounded.
+template <typename StoredFn, typename Metric, typename ObjectT>
+inline double GuardedExactDistance(const WitnessChain& chain, int capacity,
+                                   StoredFn&& stored, const Metric& metric,
+                                   const ObjectT& a, const ObjectT& b,
+                                   double prune_bound, QueryStats* st) {
+  if (capacity > 0 && !chain.Empty() &&
+      WitnessLowerBound(chain, capacity, stored) > prune_bound) {
+    ++st->distance_calcs_avoided_by_witness;
+    if constexpr (internal::WitnessAwareMetric<Metric>) {
+      metric.RecordAvoided();
+    }
+    return std::numeric_limits<double>::infinity();
+  }
+  ++st->distance_computations;
+  return metric(a, b);
+}
+
+/// Guarded evaluation for sites with no stored witness distances (linear
+/// scan, structures before their cascade is installed): one computed
+/// evaluation through the bounded protocol. Identical accounting to the
+/// historical inline sequence, but routed through the engine so prune
+/// sites stay lintable.
+template <typename Metric, typename ObjectT>
+inline double CountedDistanceWithin(const Metric& metric, const ObjectT& a,
+                                    const ObjectT& b, double bound,
+                                    QueryStats* st) {
+  ++st->distance_computations;
+  return BoundedDistance(metric, a, b, bound);
+}
+
+}  // namespace engine
+}  // namespace mcm
+
+#endif  // MCM_ENGINE_WITNESS_H_

@@ -32,20 +32,31 @@ namespace mcm {
 class DistanceCounter {
  public:
   void Increment() { count_.fetch_add(1, std::memory_order_relaxed); }
+  void IncrementAvoided() {
+    avoided_.fetch_add(1, std::memory_order_relaxed);
+  }
   void AddNanos(uint64_t ns) {
     nanos_.fetch_add(ns, std::memory_order_relaxed);
   }
   void Reset() {
     count_.store(0, std::memory_order_relaxed);
+    avoided_.store(0, std::memory_order_relaxed);
     nanos_.store(0, std::memory_order_relaxed);
   }
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Evaluations skipped by the engine's witness bounds (would each have
+  /// been one count() increment).
+  uint64_t avoided() const {
+    return avoided_.load(std::memory_order_relaxed);
+  }
 
   /// Nanoseconds spent inside the wrapped metric (MCM_OBS on only).
   uint64_t nanos() const { return nanos_.load(std::memory_order_relaxed); }
 
  private:
   std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> avoided_{0};
   std::atomic<uint64_t> nanos_{0};
 };
 
@@ -88,8 +99,16 @@ class CountedMetric {
     return BoundedDistance(metric_, a, b, bound);
   }
 
+  /// Notes one metric evaluation skipped by a witness bound. Called by the
+  /// engine's guarded entry points so the decorator's ledger distinguishes
+  /// "computed" from "proven unnecessary" evaluations.
+  void RecordAvoided() const { counter_->IncrementAvoided(); }
+
   /// Number of distance evaluations since construction or the last Reset.
   uint64_t count() const { return counter_->count(); }
+
+  /// Evaluations skipped by witness bounds since the last Reset.
+  uint64_t avoided_count() const { return counter_->avoided(); }
 
   /// Nanoseconds spent inside the wrapped metric (MCM_OBS on only).
   uint64_t nanos() const { return counter_->nanos(); }

@@ -43,6 +43,10 @@ size_t BoundedEditDistance(const std::string& a, const std::string& b,
   const std::string& t = la <= lb ? b : a;
   const size_t m = s.size();
   const size_t n = t.size();
+  // Empty shorter string: the distance is exactly n insertions, and the
+  // length-gap check above already proved n <= bound. The banded loop
+  // below cannot represent an empty DP row (lo > hi), so answer directly.
+  if (m == 0) return n;
   const size_t kInf = std::numeric_limits<size_t>::max() / 2;
 
   std::vector<size_t> row(m + 1, kInf);

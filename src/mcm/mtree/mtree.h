@@ -25,7 +25,7 @@
 #include "mcm/common/random.h"
 #include "mcm/cost/tree_stats.h"
 #include "mcm/engine/search_core.h"
-#include "mcm/metric/bounded.h"
+#include "mcm/engine/witness.h"
 #include "mcm/mtree/node.h"
 #include "mcm/mtree/node_store.h"
 #include "mcm/mtree/options.h"
@@ -53,6 +53,8 @@ class MTree {
         options_(options),
         store_(store ? std::move(store)
                      : std::make_unique<MemoryNodeStore<Traits>>()),
+        witness_capacity_(
+            engine::ResolveWitnessCapacity(options.witness_capacity)),
         rng_(MakeEngine(options.seed, /*stream=*/3)) {
     if (options_.node_size_bytes <= Node::HeaderSize()) {
       throw std::invalid_argument("MTree: node size too small");
@@ -75,7 +77,7 @@ class MTree {
       root_ = store_->Allocate();
       Node node;
       node.is_leaf = true;
-      node.leaf_entries.push_back({object, oid, 0.0});
+      node.leaf_entries.push_back({object, oid, 0.0, {}});
       store_->Write(root_, node);
       height_ = 1;
       num_objects_ = 1;
@@ -84,6 +86,12 @@ class MTree {
     }
     auto split = InsertRecursive(root_, nullptr, object, oid);
     if (split.has_value()) {
+      // A root split deepens the tree: every stored ancestor distance is
+      // indexed by absolute depth, so the cascade is invalidated wholesale
+      // (re-install it with InstallWitnessCascade). Non-root splits keep
+      // the cascade: moved entries retain their above-parent ancestors and
+      // freshly promoted entries carry empty (safe) arrays.
+      cascade_installed_ = false;
       Node new_root;
       new_root.is_leaf = false;
       split->first.parent_distance = 0.0;
@@ -189,7 +197,14 @@ class MTree {
       return false;
     }
     --num_objects_;
+    const uint32_t height_before = height_;
     CollapseRoot();
+    if (height_ != height_before) {
+      // Collapsing the root shifts every depth, invalidating the
+      // depth-indexed ancestor distances. Removals alone keep the
+      // surviving entries' stored distances exact.
+      cascade_installed_ = false;
+    }
     NotifyModified();
     return true;
   }
@@ -208,11 +223,13 @@ class MTree {
   /// with; `root`, `num_objects` and `height` come from the saved metadata.
   static MTree Attach(Metric metric, MTreeOptions options,
                       std::unique_ptr<NodeStore<Traits>> store, NodeId root,
-                      size_t num_objects, uint32_t height) {
+                      size_t num_objects, uint32_t height,
+                      bool cascade_installed = false) {
     MTree tree(std::move(metric), options, std::move(store));
     tree.root_ = root;
     tree.num_objects_ = num_objects;
     tree.height_ = height;
+    tree.cascade_installed_ = cascade_installed;
     return tree;
   }
 
@@ -226,6 +243,33 @@ class MTree {
   const MTreeOptions& options() const { return options_; }
   const Metric& metric() const { return metric_; }
   NodeStore<Traits>& store() const { return *store_; }
+
+  /// Resolved witness-set capacity (options.witness_capacity, with -1
+  /// resolved from MCM_WITNESSES at construction).
+  int witness_capacity() const { return witness_capacity_; }
+
+  /// True once InstallWitnessCascade has stored per-entry ancestor
+  /// distances and no structural change has invalidated them since.
+  bool cascade_installed() const { return cascade_installed_; }
+
+  /// Installs the witness cascade: walks the tree top-down and stores, in
+  /// every entry, its exact metric distances to the routing objects
+  /// strictly above its parent (indexed by 0-based depth). These are the
+  /// stored side of the engine's witness bounds; search consults them only
+  /// while cascade_installed() holds (root splits and root collapses clear
+  /// the flag — re-run this pass to restore it).
+  ///
+  /// Build-time metric evaluations are intentionally uncounted, like those
+  /// of Insert/BulkLoad. A node whose serialized form would overflow the
+  /// page with the arrays attached keeps them empty (a safe fallback: its
+  /// entries simply contribute no witness bounds).
+  void InstallWitnessCascade() {
+    if (root_ != kInvalidNodeId) {
+      std::vector<const Object*> path;
+      InstallCascadeRecurse(root_, &path);
+    }
+    cascade_installed_ = true;
+  }
 
   /// Snapshots the statistics the cost models need. `root_radius` is the
   /// conventional covering radius of the root — d⁺ per footnote 1.
@@ -275,14 +319,44 @@ class MTree {
     return metric_(a, b);
   }
 
-  /// Distance with an early-exit bound (metric/bounded.h): exact when
-  /// <= `bound`, +infinity once the metric proves it exceeds `bound`.
-  /// Counts exactly one distance computation either way, so the paper's
-  /// CPU cost is identical to the unbounded Dist at every call site.
-  double DistWithin(const Object& a, const Object& b, double bound,
-                    QueryStats* st) const {
-    ++st->distance_computations;
-    return BoundedDistance(metric_, a, b, bound);
+  /// Fills the ancestor-distance arrays of the subtree at `id`. `path`
+  /// holds the routing objects on the way down (depths 0..l-1 for a node
+  /// at depth l); entries store distances to all of them but the last (the
+  /// parent, already covered by parent_distance).
+  void InstallCascadeRecurse(NodeId id, std::vector<const Object*>* path) {
+    Node node = store_->Read(id);
+    const size_t above_parent = path->empty() ? 0 : path->size() - 1;
+    auto fill = [&](const Object& object, std::vector<double>* distances) {
+      distances->clear();
+      distances->reserve(above_parent);
+      for (size_t i = 0; i < above_parent; ++i) {
+        distances->push_back(metric_(*(*path)[i], object));
+      }
+    };
+    if (node.is_leaf) {
+      for (auto& e : node.leaf_entries) fill(e.object, &e.ancestor_distances);
+    } else {
+      for (auto& e : node.routing_entries) {
+        fill(e.object, &e.ancestor_distances);
+      }
+    }
+    if (node.SerializedSize() > options_.node_size_bytes) {
+      // The arrays do not fit this page: keep the node in the historical
+      // layout. Its entries contribute no witness bounds.
+      if (node.is_leaf) {
+        for (auto& e : node.leaf_entries) e.ancestor_distances.clear();
+      } else {
+        for (auto& e : node.routing_entries) e.ancestor_distances.clear();
+      }
+    }
+    store_->Write(id, node);
+    if (!node.is_leaf) {
+      for (const auto& e : node.routing_entries) {
+        path->push_back(&e.object);
+        InstallCascadeRecurse(e.child, path);
+        path->pop_back();
+      }
+    }
   }
 
   void NotifyModified() const {
@@ -429,6 +503,10 @@ class MTree {
   void Traverse(const Object& query, Collector& collector, QueryStats* st,
                 PruneReason cut_reason) const {
     const bool optimized = options_.pruning == PruningMode::kOptimized;
+    // Witness bounds engage only while the stored ancestor distances are
+    // valid; capacity 0 makes every guarded call collapse to the plain
+    // bounded evaluation, bit-identical to the pre-witness search.
+    const int wcap = cascade_installed_ ? witness_capacity_ : 0;
     engine::BestFirstSearch<TraversalHandle>(
         TraversalHandle{root_, std::numeric_limits<double>::quiet_NaN()},
         /*root_trace_id=*/root_, collector, st,
@@ -439,6 +517,7 @@ class MTree {
           const double pqd = item.handle.parent_query_distance;
           const bool can_prune = optimized && !std::isnan(pqd);
           uint32_t scanned = 0;
+          uint32_t wavoided = 0;
           if (node->is_leaf) {
             {
               // One distance-eval span per node, not per entry: the clock
@@ -450,20 +529,43 @@ class MTree {
                                      collector.Bound()) {
                   continue;
                 }
+                // Witness link `ref` is the 0-based depth of the witness
+                // routing object: the parent (depth level-2) is served
+                // from the stored parent distance, everything above it
+                // from the entry's ancestor-distance array.
+                auto stored = [&](uint64_t ref) {
+                  if (item.level >= 2 && ref == item.level - 2) {
+                    return engine::WitnessInterval::Point(e.parent_distance);
+                  }
+                  if (ref < e.ancestor_distances.size()) {
+                    return engine::WitnessInterval::Point(
+                        e.ancestor_distances[ref]);
+                  }
+                  return engine::WitnessInterval::Unknown();
+                };
+                // Early exit past the collector bound: an aborted (or
+                // witness-avoided) evaluation returns +inf, which Offer
+                // rejects exactly as it would the true distance.
+                const uint64_t avoided_before =
+                    st->distance_calcs_avoided_by_witness;
+                const double d = engine::GuardedDistanceWithin(
+                    item.witness, wcap, stored, metric_, query, e.object,
+                    collector.Bound(), st);
+                if (st->distance_calcs_avoided_by_witness !=
+                    avoided_before) {
+                  ++wavoided;
+                  continue;
+                }
                 ++scanned;
-                // Early exit past the collector bound: an aborted
-                // evaluation returns +inf, which Offer rejects exactly as
-                // it would the true (over-bound) distance.
-                const double d =
-                    DistWithin(query, e.object, collector.Bound(), st);
                 collector.Offer(e.oid, e.object, d);
               }
             }
             if (st->trace != nullptr) {
               st->trace->RecordVisit(
                   item.handle.node, item.level, scanned,
-                  static_cast<uint32_t>(node->leaf_entries.size()) - scanned,
-                  scanned);
+                  static_cast<uint32_t>(node->leaf_entries.size()) - scanned -
+                      wavoided,
+                  scanned, wavoided);
             }
             return;
           }
@@ -480,25 +582,52 @@ class MTree {
                 }
                 continue;
               }
-              ++scanned;
+              auto stored = [&](uint64_t ref) {
+                if (item.level >= 2 && ref == item.level - 2) {
+                  return engine::WitnessInterval::Point(e.parent_distance);
+                }
+                if (ref < e.ancestor_distances.size()) {
+                  return engine::WitnessInterval::Point(
+                      e.ancestor_distances[ref]);
+                }
+                return engine::WitnessInterval::Unknown();
+              };
               // A routing distance only matters when the child survives,
               // i.e. when dmin = d - r <= Bound(); beyond Bound() + r the
               // child is pruned either way, so the early exit changes
               // nothing — an aborted d gives dmin = +inf, pruned like its
-              // exact value.
-              const double d = DistWithin(
-                  query, e.object, collector.Bound() + e.covering_radius,
-                  st);
+              // exact value. A witness-avoided evaluation proves the same
+              // inequality from stored distances alone, cutting the child
+              // without touching the metric.
+              const uint64_t avoided_before =
+                  st->distance_calcs_avoided_by_witness;
+              const double d = engine::GuardedDistanceWithin(
+                  item.witness, wcap, stored, metric_, query, e.object,
+                  collector.Bound() + e.covering_radius, st);
+              if (st->distance_calcs_avoided_by_witness != avoided_before) {
+                ++wavoided;
+                ++st->nodes_pruned;
+                if (st->trace != nullptr) {
+                  st->trace->RecordPrune(e.child, item.level + 1,
+                                         PruneReason::kWitness);
+                }
+                continue;
+              }
+              ++scanned;
               const double dmin = std::max(d - e.covering_radius, 0.0);
-              frontier.PushOrPrune(dmin, item.level + 1, e.child,
-                                   TraversalHandle{e.child, d}, cut_reason);
+              frontier.PushOrPrune(
+                  dmin, item.level + 1, e.child, TraversalHandle{e.child, d},
+                  cut_reason,
+                  wcap > 0 ? item.witness.Extend(item.level - 1, d)
+                           : engine::WitnessChain{});
             }
           }
           if (st->trace != nullptr) {
             st->trace->RecordVisit(
                 item.handle.node, item.level, scanned,
-                static_cast<uint32_t>(node->routing_entries.size()) - scanned,
-                scanned);
+                static_cast<uint32_t>(node->routing_entries.size()) -
+                    scanned - wavoided,
+                scanned, wavoided);
           }
         });
   }
@@ -646,6 +775,8 @@ class MTree {
   NodeId root_ = kInvalidNodeId;
   size_t num_objects_ = 0;
   uint32_t height_ = 0;
+  int witness_capacity_ = 0;
+  bool cascade_installed_ = false;
   std::function<void(const MTree&)> post_modify_hook_;
   RandomEngine rng_;
 };

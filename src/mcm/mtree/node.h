@@ -3,6 +3,16 @@
 //   routing entry:  [O_r, r(N_r), ptr(N_r)]   plus the stored d(O_r, O_parent)
 // Nodes serialize into fixed-size pages; SerializedSize() is the overflow
 // test used by insertion, splitting and bulk loading.
+//
+// Witness-cascade extension (Symmetric-M-tree-style): each entry may
+// additionally store its exact distances to the routing objects *above*
+// its parent (ancestor_distances[i] = d(entry object, routing object at
+// 0-based tree depth i)). The engine's witness bounds consult these to
+// skip metric evaluations. Serialization is versioned by the header tag
+// byte — 0/1 is the historical layout without the arrays, 2/3 carries a
+// per-entry count + doubles — so index files written before the extension
+// still load, and nodes whose entries all have empty arrays keep writing
+// the historical bytes (bit-identical on-disk format).
 
 #ifndef MCM_MTREE_NODE_H_
 #define MCM_MTREE_NODE_H_
@@ -28,6 +38,12 @@ struct LeafEntry {
   Object object;
   uint64_t oid = 0;
   double parent_distance = 0.0;
+
+  /// Witness cascade: d(object, ancestor routing object at depth i) for
+  /// the ancestors strictly above the parent (index i = 0-based depth,
+  /// root node = depth 0). Empty when the cascade is not installed; may be
+  /// shorter than the full ancestor path (missing tail = unknown).
+  std::vector<double> ancestor_distances;
 };
 
 /// Entry of an internal node: a routing object with its covering radius and
@@ -38,6 +54,10 @@ struct RoutingEntry {
   double covering_radius = 0.0;
   double parent_distance = 0.0;
   NodeId child = kInvalidNodeId;
+
+  /// Witness cascade: distances to the ancestors strictly above the
+  /// parent, indexed by 0-based depth (see LeafEntry::ancestor_distances).
+  std::vector<double> ancestor_distances;
 };
 
 /// An M-tree node: either a leaf (LeafEntry list) or internal
@@ -65,30 +85,69 @@ struct MTreeNode {
            sizeof(NodeId);
   }
 
-  /// Fixed node header: leaf flag + entry count.
+  /// Fixed node header: format tag (leaf flag + layout version) + entry
+  /// count.
   static size_t HeaderSize() { return sizeof(uint8_t) + sizeof(uint32_t); }
+
+  /// True when any entry carries witness-cascade ancestor distances —
+  /// i.e. when this node serializes in the versioned (tag 2/3) layout.
+  bool HasAncestorDistances() const {
+    if (is_leaf) {
+      for (const auto& e : leaf_entries) {
+        if (!e.ancestor_distances.empty()) return true;
+      }
+    } else {
+      for (const auto& e : routing_entries) {
+        if (!e.ancestor_distances.empty()) return true;
+      }
+    }
+    return false;
+  }
 
   /// Total bytes this node occupies when serialized into a page.
   size_t SerializedSize() const {
     size_t size = HeaderSize();
+    const bool versioned = HasAncestorDistances();
     if (is_leaf) {
-      for (const auto& e : leaf_entries) size += LeafEntrySize(e.object);
+      for (const auto& e : leaf_entries) {
+        size += LeafEntrySize(e.object);
+        if (versioned) {
+          size += sizeof(uint32_t) +
+                  e.ancestor_distances.size() * sizeof(double);
+        }
+      }
     } else {
-      for (const auto& e : routing_entries) size += RoutingEntrySize(e.object);
+      for (const auto& e : routing_entries) {
+        size += RoutingEntrySize(e.object);
+        if (versioned) {
+          size += sizeof(uint32_t) +
+                  e.ancestor_distances.size() * sizeof(double);
+        }
+      }
     }
     return size;
   }
 
-  /// Serializes into `out` (appended).
+  /// Serializes into `out` (appended). Tag byte: 0 = internal, 1 = leaf
+  /// (historical layout, no ancestor arrays); 2 = internal, 3 = leaf with
+  /// a per-entry ancestor-distance block appended to each entry.
   void Serialize(std::vector<uint8_t>* out) const {
     ByteWriter w(out);
-    w.Put<uint8_t>(is_leaf ? 1 : 0);
+    const bool versioned = HasAncestorDistances();
+    w.Put<uint8_t>(static_cast<uint8_t>((is_leaf ? 1 : 0) |
+                                        (versioned ? 2 : 0)));
+    auto put_ancestors = [&](const std::vector<double>& distances) {
+      if (!versioned) return;
+      w.Put<uint32_t>(static_cast<uint32_t>(distances.size()));
+      for (double d : distances) w.Put<double>(d);
+    };
     if (is_leaf) {
       w.Put<uint32_t>(static_cast<uint32_t>(leaf_entries.size()));
       for (const auto& e : leaf_entries) {
         Traits::Serialize(e.object, w);
         w.Put<uint64_t>(e.oid);
         w.Put<double>(e.parent_distance);
+        put_ancestors(e.ancestor_distances);
       }
     } else {
       w.Put<uint32_t>(static_cast<uint32_t>(routing_entries.size()));
@@ -97,16 +156,27 @@ struct MTreeNode {
         w.Put<double>(e.covering_radius);
         w.Put<double>(e.parent_distance);
         w.Put<NodeId>(e.child);
+        put_ancestors(e.ancestor_distances);
       }
     }
   }
 
-  /// Parses a node from `data` (as produced by Serialize).
+  /// Parses a node from `data` (as produced by Serialize, either layout).
   static MTreeNode Deserialize(const uint8_t* data, size_t size) {
     ByteReader r(data, size);
     MTreeNode node;
-    node.is_leaf = r.Get<uint8_t>() != 0;
+    const uint8_t tag = r.Get<uint8_t>();
+    node.is_leaf = (tag & 1) != 0;
+    const bool versioned = (tag & 2) != 0;
     const uint32_t count = r.Get<uint32_t>();
+    auto get_ancestors = [&](std::vector<double>* distances) {
+      if (!versioned) return;
+      const uint32_t n = r.Get<uint32_t>();
+      distances->reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        distances->push_back(r.Get<double>());
+      }
+    };
     if (node.is_leaf) {
       node.leaf_entries.reserve(count);
       for (uint32_t i = 0; i < count; ++i) {
@@ -114,6 +184,7 @@ struct MTreeNode {
         e.object = Traits::Deserialize(r);
         e.oid = r.Get<uint64_t>();
         e.parent_distance = r.Get<double>();
+        get_ancestors(&e.ancestor_distances);
         node.leaf_entries.push_back(std::move(e));
       }
     } else {
@@ -124,6 +195,7 @@ struct MTreeNode {
         e.covering_radius = r.Get<double>();
         e.parent_distance = r.Get<double>();
         e.child = r.Get<NodeId>();
+        get_ancestors(&e.ancestor_distances);
         node.routing_entries.push_back(std::move(e));
       }
     }

@@ -57,6 +57,16 @@ struct MTreeOptions {
 
   /// Seed for randomized promotion and bulk-load seed sampling.
   uint64_t seed = 42;
+
+  /// Witness-set capacity for search: how many of the query distances
+  /// computed on the path down are consulted (via triangle-inequality
+  /// bounds against the stored ancestor distances) before each metric
+  /// evaluation. 0 disables the witness cascade and reproduces the
+  /// pre-witness search bit-identically; -1 (default) resolves from
+  /// MCM_WITNESSES (default 8) at construction time. Witness bounds only
+  /// engage after InstallWitnessCascade() has stored the per-entry
+  /// ancestor distances.
+  int witness_capacity = -1;
 };
 
 }  // namespace mcm

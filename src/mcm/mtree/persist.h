@@ -29,7 +29,16 @@ namespace mcm {
 namespace persist_internal {
 
 inline constexpr uint32_t kMagic = 0x4d434d54;  // "MCMT".
-inline constexpr uint32_t kVersion = 1;
+
+// Version 2 appends `flags` to the metadata (bit 0: the witness cascade's
+// per-entry ancestor distances are installed and valid) and allows node
+// pages in the versioned tag-2/3 entry layout (mtree/node.h). Version-1
+// files — no flags, tag-0/1 pages only — still load: ReadMeta fills
+// flags = 0 and Deserialize branches on the page tag.
+inline constexpr uint32_t kVersion = 2;
+inline constexpr uint32_t kMinVersion = 1;
+
+inline constexpr uint64_t kFlagCascadeInstalled = 1;
 
 struct Meta {
   uint64_t node_size = 0;
@@ -37,7 +46,11 @@ struct Meta {
   uint32_t height = 0;
   uint64_t num_objects = 0;
   uint64_t num_nodes = 0;
+  uint64_t flags = 0;  // Written since version 2.
 };
+
+/// Bytes of Meta persisted by version-1 files (everything before `flags`).
+inline constexpr size_t kMetaV1Size = sizeof(Meta) - sizeof(uint64_t);
 
 inline std::string MetaPath(const std::string& path) { return path + ".meta"; }
 
@@ -62,13 +75,17 @@ inline Meta ReadMeta(const std::string& path) {
   }
   uint32_t head[2] = {0, 0};
   Meta meta;
-  const bool ok = std::fread(head, sizeof(head), 1, f) == 1 &&
-                  std::fread(&meta, sizeof(meta), 1, f) == 1;
+  bool ok = std::fread(head, sizeof(head), 1, f) == 1;
+  if (ok && head[1] == kMinVersion) {
+    ok = std::fread(&meta, kMetaV1Size, 1, f) == 1;  // flags stays 0.
+  } else if (ok) {
+    ok = std::fread(&meta, sizeof(meta), 1, f) == 1;
+  }
   std::fclose(f);
   if (!ok || head[0] != kMagic) {
     throw std::runtime_error("OpenMTree: bad metadata in " + MetaPath(path));
   }
-  if (head[1] != kVersion) {
+  if (head[1] < kMinVersion || head[1] > kVersion) {
     throw std::runtime_error("OpenMTree: unsupported version");
   }
   return meta;
@@ -112,6 +129,9 @@ void SaveMTree(const MTree<Traits>& tree, const std::string& path) {
   meta.node_size = tree.options().node_size_bytes;
   meta.height = tree.height();
   meta.num_objects = tree.size();
+  if (tree.cascade_installed()) {
+    meta.flags |= persist_internal::kFlagCascadeInstalled;
+  }
   if (tree.root() != kInvalidNodeId) {
     meta.root = static_cast<uint32_t>(copy(copy, tree.root()));
   }
@@ -136,9 +156,11 @@ MTree<Traits> OpenMTree(const std::string& path,
                                       StdioPageFile::Mode::kOpenExisting),
       options.buffer_pool_frames);
   store->RestoreNodeCount(meta.num_nodes);
+  const bool cascade =
+      (meta.flags & persist_internal::kFlagCascadeInstalled) != 0;
   return MTree<Traits>::Attach(std::move(metric), options, std::move(store),
                                static_cast<NodeId>(meta.root),
-                               meta.num_objects, meta.height);
+                               meta.num_objects, meta.height, cascade);
 }
 
 }  // namespace mcm

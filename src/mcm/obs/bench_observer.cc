@@ -118,6 +118,7 @@ void BenchObserver::BeginCase(
   residuals_.Clear();
   case_queries_ = 0;
   sum_nodes_ = sum_dists_ = sum_results_ = sum_pruned_ = 0.0;
+  sum_witness_avoided_ = 0.0;
   sum_buffer_hits_ = sum_buffer_misses_ = 0;
   sum_phase_us_.fill(0.0);
   latencies_us_.clear();
@@ -139,6 +140,8 @@ void BenchObserver::RecordQuery(const QueryObservation& obs) {
   sum_dists_ += static_cast<double>(obs.stats.distance_computations);
   sum_results_ += static_cast<double>(obs.results);
   sum_pruned_ += static_cast<double>(obs.stats.nodes_pruned);
+  sum_witness_avoided_ +=
+      static_cast<double>(obs.stats.distance_calcs_avoided_by_witness);
   sum_buffer_hits_ += obs.stats.buffer_hits;
   sum_buffer_misses_ += obs.stats.buffer_misses;
   std::array<double, kNumQueryPhases> phase_us{};
@@ -180,6 +183,7 @@ void BenchObserver::RecordQuery(const QueryObservation& obs) {
   rec.Add("nodes", obs.stats.nodes_accessed);
   rec.Add("dists", obs.stats.distance_computations);
   rec.Add("pruned", obs.stats.nodes_pruned);
+  rec.Add("witness_avoided", obs.stats.distance_calcs_avoided_by_witness);
   rec.Add("buffer_hits", obs.stats.buffer_hits);
   rec.Add("buffer_misses", obs.stats.buffer_misses);
   rec.Add("results", obs.results);
@@ -220,6 +224,10 @@ void BenchObserver::RecordQuery(const QueryObservation& obs) {
           ev.Add("scanned", static_cast<uint64_t>(e.entries_scanned));
           ev.Add("entry_pruned", static_cast<uint64_t>(e.entries_pruned));
           ev.Add("dists", static_cast<uint64_t>(e.distances));
+          if (e.witness_avoided > 0) {
+            ev.Add("witness_avoided",
+                   static_cast<uint64_t>(e.witness_avoided));
+          }
           break;
         case TraceEventKind::kPrune:
           ev.Add("ev", "prune");
@@ -257,6 +265,7 @@ void BenchObserver::WriteSummaryRecord() {
   rec.Add("avg_dists", sum_dists_ / n);
   rec.Add("avg_results", sum_results_ / n);
   rec.Add("avg_pruned", sum_pruned_ / n);
+  rec.Add("avg_witness_avoided", sum_witness_avoided_ / n);
   const uint64_t fetches = sum_buffer_hits_ + sum_buffer_misses_;
   rec.Add("buffer_hit_rate",
           fetches == 0 ? 0.0

@@ -111,6 +111,7 @@ class BenchObserver {
   double sum_dists_ = 0.0;
   double sum_results_ = 0.0;
   double sum_pruned_ = 0.0;
+  double sum_witness_avoided_ = 0.0;
   uint64_t sum_buffer_hits_ = 0;
   uint64_t sum_buffer_misses_ = 0;
   std::array<double, kNumQueryPhases> sum_phase_us_{};

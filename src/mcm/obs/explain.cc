@@ -1,6 +1,7 @@
 #include "mcm/obs/explain.h"
 
 #include <sstream>
+#include <utility>
 
 #include "mcm/common/table_printer.h"
 #include "mcm/obs/export.h"
@@ -49,6 +50,7 @@ std::string RenderExplainText(const ExplainReport& report) {
 
   const ExplainModelPrediction* nmcm = FindModel(report, "nmcm");
   const ExplainModelPrediction* lmcm = FindModel(report, "lmcm");
+  const ExplainModelPrediction* witness = FindModel(report, "nmcm.witness");
 
   out << "predicted vs actual totals:\n";
   {
@@ -61,6 +63,10 @@ std::string RenderExplainText(const ExplainReport& report) {
       totals.AddRow({"L-MCM", TablePrinter::Num(lmcm->nodes),
                      TablePrinter::Num(lmcm->distances)});
     }
+    if (witness != nullptr) {
+      totals.AddRow({"N-MCM+w", TablePrinter::Num(witness->nodes),
+                     TablePrinter::Num(witness->distances)});
+    }
     totals.AddRow({"actual",
                    std::to_string(report.stats.nodes_accessed),
                    std::to_string(report.stats.distance_computations)});
@@ -69,9 +75,13 @@ std::string RenderExplainText(const ExplainReport& report) {
 
   out << "\nper-level (root = level 1):\n";
   {
-    TablePrinter levels({"level", "nodes N-MCM", "nodes L-MCM",
-                         "nodes actual", "resid%", "dists N-MCM",
-                         "dists L-MCM", "dists actual"});
+    std::vector<std::string> header = {"level", "nodes N-MCM", "nodes L-MCM",
+                                       "nodes actual", "resid%",
+                                       "dists N-MCM", "dists L-MCM"};
+    if (witness != nullptr) header.push_back("dists N-MCM+w");
+    header.push_back("dists actual");
+    if (witness != nullptr) header.push_back("avoided");
+    TablePrinter levels(std::move(header));
     const size_t height = report.level_actuals.size();
     for (size_t l = 0; l < height; ++l) {
       const auto& actual = report.level_actuals[l];
@@ -83,14 +93,22 @@ std::string RenderExplainText(const ExplainReport& report) {
           nmcm != nullptr ? LevelValue(nmcm->level_distances, l) : 0.0;
       const double l_dists =
           lmcm != nullptr ? LevelValue(lmcm->level_distances, l) : 0.0;
-      levels.AddRow(
-          {std::to_string(l + 1), TablePrinter::Num(n_nodes),
-           TablePrinter::Num(l_nodes),
-           std::to_string(actual.node_visits),
-           TablePrinter::Num(Residual(
-               static_cast<double>(actual.node_visits), n_nodes), 1),
-           TablePrinter::Num(n_dists), TablePrinter::Num(l_dists),
-           std::to_string(actual.distances)});
+      std::vector<std::string> row = {
+          std::to_string(l + 1), TablePrinter::Num(n_nodes),
+          TablePrinter::Num(l_nodes),
+          std::to_string(actual.node_visits),
+          TablePrinter::Num(Residual(
+              static_cast<double>(actual.node_visits), n_nodes), 1),
+          TablePrinter::Num(n_dists), TablePrinter::Num(l_dists)};
+      if (witness != nullptr) {
+        row.push_back(TablePrinter::Num(LevelValue(witness->level_distances,
+                                                   l)));
+      }
+      row.push_back(std::to_string(actual.distances));
+      if (witness != nullptr) {
+        row.push_back(std::to_string(actual.witness_avoided));
+      }
+      levels.AddRow(std::move(row));
     }
     levels.Print(out);
   }
@@ -126,6 +144,10 @@ std::string RenderExplainText(const ExplainReport& report) {
       << "  latency: " << TablePrinter::Num(report.latency_us, 1)
       << " us  buffer hits/misses: " << report.stats.buffer_hits << "/"
       << report.stats.buffer_misses;
+  if (report.stats.distance_calcs_avoided_by_witness > 0) {
+    out << "  witness-avoided distances: "
+        << report.stats.distance_calcs_avoided_by_witness;
+  }
   if (report.trace_dropped > 0) {
     out << "  (trace dropped " << report.trace_dropped << " events)";
   }
@@ -183,6 +205,8 @@ std::string RenderExplainJson(const ExplainReport& report) {
     actual.Add("nodes", report.stats.nodes_accessed);
     actual.Add("distances", report.stats.distance_computations);
     actual.Add("pruned", report.stats.nodes_pruned);
+    actual.Add("witness_avoided",
+               report.stats.distance_calcs_avoided_by_witness);
     actual.Add("buffer_hits", report.stats.buffer_hits);
     actual.Add("buffer_misses", report.stats.buffer_misses);
     actual.Add("results", static_cast<uint64_t>(report.num_results));
@@ -198,6 +222,7 @@ std::string RenderExplainJson(const ExplainReport& report) {
       level.Add("entries_scanned", a.entries_scanned);
       level.Add("entries_pruned", a.entries_pruned);
       level.Add("subtree_prunes", a.subtree_prunes);
+      level.Add("witness_avoided", a.witness_avoided);
       levels += level.Build();
     }
     levels += "]";

@@ -36,6 +36,7 @@ struct ExplainLevelActual {
   uint64_t entries_scanned = 0;
   uint64_t entries_pruned = 0;
   uint64_t subtree_prunes = 0;
+  uint64_t witness_avoided = 0;  ///< Evaluations cut by the witness cascade.
 };
 
 /// The full predicted-vs-actual story of one query execution.

@@ -44,6 +44,10 @@ void ObservePhaseTimes(const QueryStats& st, uint64_t query_id) {
     hist.ObserveWithExemplar(static_cast<double>(st.phase_ns[i]) / 1e3,
                              query_id);
   }
+  if (st.distance_calcs_avoided_by_witness > 0) {
+    registry.GetCounter("mcm.witness.avoided_distance_calcs")
+        .Increment(st.distance_calcs_avoided_by_witness);
+  }
 }
 
 }  // namespace mcm

@@ -18,6 +18,8 @@ const char* ToString(PruneReason reason) {
       return "range_table";
     case PruneReason::kShellBound:
       return "shell_bound";
+    case PruneReason::kWitness:
+      return "witness";
   }
   return "unknown";
 }
@@ -45,7 +47,7 @@ TraceLevelTally& QueryTrace::LevelAt(uint32_t level) {
 
 void QueryTrace::RecordVisit(uint64_t node, uint32_t level,
                              uint32_t entries_scanned, uint32_t entries_pruned,
-                             uint32_t distances) {
+                             uint32_t distances, uint32_t witness_avoided) {
   TraceEvent e;
   e.kind = TraceEventKind::kNodeVisit;
   e.node = node;
@@ -53,6 +55,7 @@ void QueryTrace::RecordVisit(uint64_t node, uint32_t level,
   e.entries_scanned = entries_scanned;
   e.entries_pruned = entries_pruned;
   e.distances = distances;
+  e.witness_avoided = witness_avoided;
   Push(e);
   ++total_visits_;
   TraceLevelTally& tally = LevelAt(level);
@@ -60,6 +63,7 @@ void QueryTrace::RecordVisit(uint64_t node, uint32_t level,
   tally.entries_scanned += entries_scanned;
   tally.entries_pruned += entries_pruned;
   tally.distances += distances;
+  tally.witness_avoided += witness_avoided;
 }
 
 void QueryTrace::RecordPrune(uint64_t node, uint32_t level,

@@ -22,10 +22,12 @@ enum class PruneReason : uint8_t {
   kKnnBound,        ///< k-NN dynamic radius r_k cut the region off.
   kRangeTable,      ///< GNAT range-table elimination.
   kShellBound,      ///< vp-tree shell [lo, hi] misses the query ball.
+  kWitness,         ///< Triangle-inequality bound from a reused witness
+                    ///< distance (engine witness cascade).
 };
 
 /// Number of PruneReason values (for per-reason tally arrays).
-inline constexpr size_t kNumPruneReasons = 6;
+inline constexpr size_t kNumPruneReasons = 7;
 
 const char* ToString(PruneReason reason);
 
@@ -37,7 +39,8 @@ enum class TraceEventKind : uint8_t {
 };
 
 /// One trace event. Field meaning depends on `kind`:
-///  kNodeVisit   — node, level, entries_scanned, entries_pruned, distances.
+///  kNodeVisit   — node, level, entries_scanned, entries_pruned, distances,
+///                 witness_avoided.
 ///  kPrune       — node (the pruned child, when known), level, reason.
 ///  kBufferFetch — node (page id), buffer_hit.
 struct TraceEvent {
@@ -48,6 +51,7 @@ struct TraceEvent {
   uint32_t entries_scanned = 0;  ///< Entries whose distance was computed.
   uint32_t entries_pruned = 0;   ///< Entries skipped by the parent filter.
   uint32_t distances = 0;        ///< Distance computations at this node.
+  uint32_t witness_avoided = 0;  ///< Metric calls skipped by witness bounds.
   bool buffer_hit = false;
 };
 
@@ -58,6 +62,7 @@ struct TraceLevelTally {
   uint64_t entries_pruned = 0;
   uint64_t distances = 0;
   uint64_t subtree_prunes = 0;
+  uint64_t witness_avoided = 0;
 };
 
 class QueryTrace {
@@ -69,7 +74,8 @@ class QueryTrace {
   explicit QueryTrace(size_t capacity = kDefaultCapacity);
 
   void RecordVisit(uint64_t node, uint32_t level, uint32_t entries_scanned,
-                   uint32_t entries_pruned, uint32_t distances);
+                   uint32_t entries_pruned, uint32_t distances,
+                   uint32_t witness_avoided = 0);
   void RecordPrune(uint64_t node, uint32_t level, PruneReason reason);
   void RecordBufferFetch(uint64_t node, bool hit);
 

@@ -1,5 +1,7 @@
 #include "mcm/metric/string_metrics.h"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
@@ -74,6 +76,63 @@ TEST(WeightedEditDistance, AsymmetricCostsWeighDirection) {
 TEST(WeightedEditDistance, RejectsNonPositiveCosts) {
   EXPECT_THROW(WeightedEditDistance(0.0, 1.0, 1.0), std::invalid_argument);
   EXPECT_THROW(WeightedEditDistance(1.0, -1.0, 1.0), std::invalid_argument);
+}
+
+TEST(EditDistanceMetricDistanceWithin, LimitEqualToTrueDistanceIsExact) {
+  // d("kitten", "sitting") = 3: the boundary limit must return the exact
+  // distance, not the out-of-range sentinel.
+  const EditDistanceMetric metric;
+  EXPECT_DOUBLE_EQ(metric.DistanceWithin("kitten", "sitting", 3.0), 3.0);
+  EXPECT_TRUE(std::isinf(metric.DistanceWithin("kitten", "sitting", 2.0)));
+  // A fractional limit between d-1 and d is still exceeded.
+  EXPECT_TRUE(std::isinf(metric.DistanceWithin("kitten", "sitting", 2.5)));
+  // And a fractional limit just above d still returns d exactly.
+  EXPECT_DOUBLE_EQ(metric.DistanceWithin("kitten", "sitting", 3.5), 3.0);
+}
+
+TEST(EditDistanceMetricDistanceWithin, EmptyStrings) {
+  const EditDistanceMetric metric;
+  EXPECT_DOUBLE_EQ(metric.DistanceWithin("", "", 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(metric.DistanceWithin("", "abc", 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(metric.DistanceWithin("abc", "", 3.0), 3.0);
+  EXPECT_TRUE(std::isinf(metric.DistanceWithin("", "abc", 2.0)));
+}
+
+TEST(EditDistanceMetricDistanceWithin, LimitZero) {
+  const EditDistanceMetric metric;
+  EXPECT_DOUBLE_EQ(metric.DistanceWithin("same", "same", 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(metric.DistanceWithin("same", "sane", 0.0)));
+  // Negative limits can never be met, even by identical strings.
+  EXPECT_TRUE(std::isinf(metric.DistanceWithin("same", "same", -1.0)));
+}
+
+TEST(EditDistanceMetricDistanceWithin, AgreesWithUnboundedOnKeywords) {
+  // Cross-check the banded computation against the full metric: within
+  // the limit both agree exactly; past it the bounded form reports +inf.
+  const EditDistanceMetric metric;
+  const auto words = GenerateKeywords(60, 911);
+  for (size_t i = 0; i < words.size(); ++i) {
+    for (size_t j = i + 1; j < words.size(); j += 7) {
+      const double exact = metric(words[i], words[j]);
+      for (const double limit : {0.0, 1.0, 2.0, 3.0, exact, exact + 1.0}) {
+        const double got = metric.DistanceWithin(words[i], words[j], limit);
+        if (exact <= limit) {
+          EXPECT_DOUBLE_EQ(got, exact)
+              << words[i] << " / " << words[j] << " limit " << limit;
+        } else {
+          EXPECT_TRUE(std::isinf(got))
+              << words[i] << " / " << words[j] << " limit " << limit;
+        }
+      }
+    }
+  }
+}
+
+TEST(EditDistanceMetricDistanceWithin, InfiniteLimitIsTheFullMetric) {
+  const EditDistanceMetric metric;
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(metric.DistanceWithin("kitten", "sitting", inf), 3.0);
+  EXPECT_DOUBLE_EQ(metric.DistanceWithin("", "", inf), 0.0);
 }
 
 TEST(HammingDistance, CountsMismatches) {

@@ -9,10 +9,12 @@
 //
 //   mcm_check --selftest <dir>
 //       End-to-end proof that the checker detects corruption: builds a
-//       small L2 tree, saves it under <dir>, validates it (must be clean),
-//       then shrinks a root covering radius directly in the page file and
-//       re-validates (must report covering-radius). Exit 0 only when both
-//       phases behave.
+//       small L2 tree (witness cascade installed), saves it under <dir>,
+//       validates it (must be clean), shrinks a root covering radius
+//       directly in the page file and re-validates (must report
+//       covering-radius), then corrupts a persisted witness-cascade
+//       ancestor distance in a second copy (must report
+//       ancestor-distance). Exit 0 only when all phases behave.
 //
 // The metric must match the one the index was built with — the checker
 // recomputes distances, so a wrong metric reports violations for a healthy
@@ -79,10 +81,14 @@ int SelfTest(const std::string& dir) {
   options.node_size_bytes = 512;
   mcm::MTree<Traits> tree{mcm::L2Distance{}, options};
   const auto data = mcm::GenerateVectorDataset(
-      mcm::VectorDatasetKind::kClustered, /*n=*/300, /*dim=*/4, /*seed=*/7);
+      mcm::VectorDatasetKind::kClustered, /*n=*/600, /*dim=*/4, /*seed=*/7);
   for (size_t i = 0; i < data.size(); ++i) {
     tree.Insert(data[i], i);
   }
+  // Persist the witness cascade so the healthy check also validates the
+  // stored ancestor distances (and the corruption phase below has
+  // something to corrupt).
+  tree.InstallWitnessCascade();
   mcm::SaveMTree(tree, path);
 
   {
@@ -124,6 +130,67 @@ int SelfTest(const std::string& dir) {
   }
   std::printf("selftest: corruption detected: %s\n",
               result.Summary(2).c_str());
+
+  // Phase 3: a fresh copy with one persisted witness-cascade ancestor
+  // distance perturbed must be flagged as ancestor-distance.
+  const std::string wpath = dir + "/selftest_witness.mtree";
+  mcm::SaveMTree(tree, wpath);
+  const auto wmeta = mcm::persist_internal::ReadMeta(wpath);
+  {
+    mcm::PagedNodeStore<Traits> store(
+        std::make_unique<mcm::StdioPageFile>(
+            wpath, options.node_size_bytes,
+            mcm::StdioPageFile::Mode::kOpenExisting),
+        /*pool_frames=*/16);
+    store.RestoreNodeCount(wmeta.num_nodes);
+    // Find a node holding a non-empty ancestor array (depth >= 2 exists
+    // whenever the tree has >= 3 levels) and perturb its first distance.
+    bool corrupted_one = false;
+    std::vector<mcm::NodeId> pending{static_cast<mcm::NodeId>(wmeta.root)};
+    while (!pending.empty() && !corrupted_one) {
+      const mcm::NodeId id = pending.back();
+      pending.pop_back();
+      auto node = store.Read(id);
+      for (auto& e : node.leaf_entries) {
+        if (!e.ancestor_distances.empty()) {
+          e.ancestor_distances[0] += 1.0;
+          corrupted_one = true;
+          break;
+        }
+      }
+      if (!corrupted_one) {
+        for (auto& e : node.routing_entries) {
+          if (!e.ancestor_distances.empty()) {
+            e.ancestor_distances[0] += 1.0;
+            corrupted_one = true;
+            break;
+          }
+          pending.push_back(e.child);
+        }
+      }
+      if (corrupted_one) {
+        store.Write(id, node);
+        store.Flush();
+      }
+    }
+    if (!corrupted_one) {
+      std::fprintf(stderr,
+                   "selftest: no persisted ancestor distances to corrupt "
+                   "(tree too shallow?)\n");
+      return 1;
+    }
+  }
+  auto wcorrupted = mcm::OpenMTree<Traits>(wpath, mcm::L2Distance{}, options);
+  const auto wresult = mcm::check::CheckMTree(wcorrupted);
+  if (wresult.ok() || !wresult.Has("ancestor-distance")) {
+    std::fprintf(stderr,
+                 "selftest: ancestor-distance corruption not detected "
+                 "(result: %s)\n",
+                 wresult.Summary().c_str());
+    return 1;
+  }
+  std::printf("selftest: ancestor corruption detected: %s\n",
+              wresult.Summary(2).c_str());
   return 0;
 }
 

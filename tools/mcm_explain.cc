@@ -193,6 +193,9 @@ int MakeDemo(const std::string& path) {
   for (size_t i = 0; i < data.size(); ++i) {
     tree.Insert(data[i], i);
   }
+  // Persist the witness cascade so EXPLAIN on the demo exercises the
+  // witness-corrected prediction and the avoided-distance counters.
+  tree.InstallWitnessCascade();
   mcm::SaveMTree(tree, path);
   std::printf("mcm_explain: wrote demo index %s (n=%zu height=%u)\n",
               path.c_str(), tree.size(), tree.height());
@@ -205,7 +208,7 @@ int Fail(const char* what) {
 }
 
 int CheckReport(const mcm::ExplainReport& report) {
-  if (report.predictions.size() != 2) return Fail("expected two models");
+  if (report.predictions.size() < 2) return Fail("expected >= two models");
   if (report.predictions[0].model != "nmcm" ||
       report.predictions[1].model != "lmcm") {
     return Fail("model order");
@@ -218,19 +221,34 @@ int CheckReport(const mcm::ExplainReport& report) {
       return Fail("missing per-level prediction");
     }
   }
+  // The demo index persists its witness cascade, so (unless the knob is
+  // zeroed) the witness-corrected prediction rides along and never
+  // predicts more evaluations than the uncorrected N-MCM.
+  for (size_t i = 2; i < report.predictions.size(); ++i) {
+    const auto& p = report.predictions[i];
+    if (p.model != "nmcm.witness") return Fail("unexpected model name");
+    if (p.distances > report.predictions[0].distances) {
+      return Fail("witness correction predicts more distances than N-MCM");
+    }
+  }
   if (report.stats.nodes_accessed == 0) return Fail("no node accesses");
   if (report.num_results == 0) return Fail("no results");
   uint64_t level_nodes = 0;
   uint64_t level_dists = 0;
+  uint64_t level_avoided = 0;
   for (const auto& a : report.level_actuals) {
     level_nodes += a.node_visits;
     level_dists += a.distances;
+    level_avoided += a.witness_avoided;
   }
   if (level_nodes != report.stats.nodes_accessed) {
     return Fail("per-level node visits do not sum to the total");
   }
   if (level_dists != report.stats.distance_computations) {
     return Fail("per-level distances do not sum to the total");
+  }
+  if (level_avoided != report.stats.distance_calcs_avoided_by_witness) {
+    return Fail("per-level witness avoidance does not sum to the total");
   }
   if (report.access_path.empty()) return Fail("no access path");
   const auto parsed = mcm::ParseJson(mcm::RenderExplainJson(report));
@@ -263,10 +281,19 @@ int SelfTest(const std::string& dir) {
   const auto histogram = mcm::EstimateDistanceDistribution(
       objects, tree.metric(), eo);
 
+  if (!tree.cascade_installed()) return Fail("demo cascade not persisted");
+
   const auto range_report = mcm::ExplainRange(
       tree, histogram, d_plus, objects[0], 0.25 * d_plus);
   if (range_report.kind != "range") return Fail("range kind");
   if (const int rc = CheckReport(range_report)) return rc;
+  if (tree.witness_capacity() > 0) {
+    bool witness_predicted = false;
+    for (const auto& p : range_report.predictions) {
+      witness_predicted |= p.model == "nmcm.witness";
+    }
+    if (!witness_predicted) return Fail("witness prediction missing");
+  }
 
   const auto knn_report =
       mcm::ExplainKnn(tree, histogram, d_plus, objects[1], /*k=*/5);

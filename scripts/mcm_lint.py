@@ -25,7 +25,7 @@ Rules (each registered as its own ctest, `lint_<rule>`):
                             primitive (thread safety + determinism).
   no-rand-or-time           No ambient entropy or wall-clock reads in
                             library code; RNG only via mcm/common/random.h,
-                            clock reads only via obs/clock.h (the single
+                            clock reads only via common/clock.h (the single
                             seam Stopwatch and the phase timers share).
   no-iostream-in-library    Library code reports through obs/ or return
                             values, never by writing to std::cout/cerr.
@@ -271,7 +271,8 @@ STATIC_DECL_RE = re.compile(r"^\s*(inline\s+)?(thread_local\s+)?static\s")
 # synchronization primitive itself.
 STATIC_OK_RE = re.compile(
     r"\bconst\b|\bconstexpr\b|std::atomic|std::mutex|std::shared_mutex|"
-    r"std::once_flag|std::condition_variable")
+    r"std::once_flag|std::condition_variable|"
+    r"\bmcm::Mutex\b|\bMutex\b|\bCondVar\b")  # common/mutex.h primitives
 
 
 def check_mutable_static(sf):
@@ -310,7 +311,7 @@ def check_rand_or_time(sf):
     return _grep(
         sf, RAND_TIME_RE,
         "ambient entropy/wall-clock read; seed RNGs via mcm/common/random.h "
-        "and read the clock via obs/clock.h's MonotonicNanos only")
+        "and read the clock via common/clock.h's MonotonicNanos only")
 
 
 # --------------------------------------------------------------------------
@@ -513,7 +514,7 @@ RULES = [
         "no-rand-or-time",
         "no ambient entropy or wall-clock reads in library code",
         scope=LIB,
-        allow=["src/mcm/common/random.h", "src/mcm/obs/clock.h"],
+        allow=["src/mcm/common/random.h", "src/mcm/common/clock.h"],
         check=check_rand_or_time,
     ),
     Rule(

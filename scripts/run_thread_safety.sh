@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Compile-time lock checking: runs clang's -Wthread-safety analysis (as an
+# error) over every library translation unit and header, then requires the
+# seeded violations TU (tests/static/thread_safety_violations.cc) to FAIL
+# the same analysis — proving the check actually fires, not just that the
+# tree is quiet.
+#
+# Registered as the `thread_safety_analysis` ctest. Exits 77 (ctest SKIP)
+# when no clang++ is installed: GCC does not implement -Wthread-safety.
+# The `clang-tsa` CMake preset runs the identical analysis as a full build
+# via -DMCM_THREAD_SAFETY=ON.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+CLANG=""
+for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+                 clang++-16 clang++-15 clang++-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    CLANG="$candidate"
+    break
+  fi
+done
+if [ -z "$CLANG" ]; then
+  echo "SKIP: no clang++ found; -Wthread-safety is a clang analysis" >&2
+  exit 77
+fi
+
+FLAGS=(-std=c++20 -fsyntax-only -I "$ROOT/src"
+       -Wthread-safety -Werror=thread-safety)
+
+# 1. The whole library — headers analyzed as standalone c++ inputs, so
+# annotation mistakes in header-only code (the index templates) are caught
+# even where no .cc includes them under analysis.
+fail=0
+checked=0
+while IFS= read -r file; do
+  case "$file" in
+    *.h)  extra=(-x c++) ;;
+    *)    extra=() ;;
+  esac
+  if ! "$CLANG" "${FLAGS[@]}" "${extra[@]}" "$file"; then
+    echo "FAIL: thread-safety violation in $file" >&2
+    fail=1
+  fi
+  checked=$((checked + 1))
+done < <(find "$ROOT/src/mcm" -name '*.cc' -o -name '*.h' | sort)
+
+if [ "$fail" -ne 0 ]; then
+  echo "FAIL: the library does not pass -Wthread-safety" >&2
+  exit 1
+fi
+echo "OK: $checked library files clean under -Werror=thread-safety"
+
+# 2. The seeded TU must be ordinary valid C++ (else the 'failure' below
+# would prove nothing) ...
+SEEDED="$ROOT/tests/static/thread_safety_violations.cc"
+if ! "$CLANG" -std=c++20 -fsyntax-only -I "$ROOT/src" "$SEEDED"; then
+  echo "FAIL: seeded TU does not even compile without the analysis" >&2
+  exit 1
+fi
+
+# ... and must FAIL once the analysis is an error.
+if "$CLANG" "${FLAGS[@]}" "$SEEDED" 2>/dev/null; then
+  echo "FAIL: seeded violations in $SEEDED were NOT caught" >&2
+  exit 1
+fi
+echo "OK: seeded violations TU rejected by -Werror=thread-safety"

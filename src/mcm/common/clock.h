@@ -3,8 +3,8 @@
 // so the no-rand-or-time lint rule can forbid raw std::chrono clock reads
 // everywhere else — one audited call site instead of scattered timing code.
 
-#ifndef MCM_OBS_CLOCK_H_
-#define MCM_OBS_CLOCK_H_
+#ifndef MCM_COMMON_CLOCK_H_
+#define MCM_COMMON_CLOCK_H_
 
 #include <chrono>
 #include <cstdint>
@@ -23,4 +23,4 @@ inline uint64_t MonotonicNanos() {
 
 }  // namespace mcm
 
-#endif  // MCM_OBS_CLOCK_H_
+#endif  // MCM_COMMON_CLOCK_H_

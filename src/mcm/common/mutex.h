@@ -1,0 +1,86 @@
+// Annotated mutex primitives. mcm::Mutex wraps std::mutex with the clang
+// capability attribute (std::mutex itself is not a capability type under
+// libstdc++, so MCM_GUARDED_BY members could not name it); MutexLock is the
+// RAII guard the analysis tracks; CondVar pairs a std::condition_variable
+// with a Mutex while keeping the wait annotated MCM_REQUIRES(mu).
+//
+// The wrappers are zero-cost: every method is a forwarding inline call and
+// off-clang the annotations compile away entirely, leaving plain std::mutex
+// behaviour. Every mutex-protected class in the library (BufferPool shards,
+// PageFile, DecodedNodeCache, ThreadPool, MetricsRegistry, TelemetrySink)
+// holds an mcm::Mutex so `-Wthread-safety -Werror` proves its locking
+// discipline at compile time (DESIGN.md §12).
+
+#ifndef MCM_COMMON_MUTEX_H_
+#define MCM_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "mcm/common/thread_annotations.h"
+
+namespace mcm {
+
+/// Exclusive mutex, annotated as a thread-safety capability.
+class MCM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MCM_ACQUIRE() { mu_.lock(); }
+  void Unlock() MCM_RELEASE() { mu_.unlock(); }
+  bool TryLock() MCM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for interop with std machinery (CondVar).
+  /// The analysis cannot see through this — use it only where the
+  /// surrounding function carries the matching MCM_REQUIRES/MCM_ACQUIRE.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock on an mcm::Mutex, tracked by the analysis as a scoped
+/// capability (the annotated equivalent of std::lock_guard).
+class MCM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) MCM_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() MCM_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable used with mcm::Mutex. Wait() is annotated
+/// MCM_REQUIRES(mu): callers hold the mutex, the wait releases it while
+/// blocked and reacquires before returning, exactly like
+/// std::condition_variable — predicates stay explicit `while` loops in the
+/// caller so the analysis sees every guarded read under the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. `mu` must be held; it is released while
+  /// waiting and held again on return.
+  void Wait(Mutex& mu) MCM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // The caller's scope still owns the mutex.
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mcm
+
+#endif  // MCM_COMMON_MUTEX_H_

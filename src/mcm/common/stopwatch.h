@@ -1,5 +1,5 @@
 // Wall-clock stopwatch for the experiment harness. Delegates to the
-// library's single clock seam (obs/clock.h) so raw std::chrono timing
+// library's single clock seam (common/clock.h) so raw std::chrono timing
 // stays lint-forbidden outside that header.
 
 #ifndef MCM_COMMON_STOPWATCH_H_
@@ -7,7 +7,7 @@
 
 #include <cstdint>
 
-#include "mcm/obs/clock.h"
+#include "mcm/common/clock.h"
 
 namespace mcm {
 

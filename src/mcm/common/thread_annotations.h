@@ -1,0 +1,66 @@
+// Clang thread-safety-analysis capability annotations, compiled to nothing
+// on every other toolchain. Annotating a class turns its locking discipline
+// into compiler-checked documentation: `-Wthread-safety -Werror` (the
+// MCM_THREAD_SAFETY CMake option / `clang-tsa` preset, verified by the
+// `thread_safety_analysis` ctest) rejects any access to an MCM_GUARDED_BY
+// member without the named capability held, any MCM_REQUIRES call without
+// it, and any scope that acquires but never releases.
+//
+// The annotations only attach to capability types — std::mutex is not one
+// under libstdc++ — so lock-bearing classes use mcm::Mutex / mcm::MutexLock
+// (common/mutex.h), a zero-cost annotated wrapper over std::mutex.
+
+#ifndef MCM_COMMON_THREAD_ANNOTATIONS_H_
+#define MCM_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define MCM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MCM_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Marks a class as a capability (lockable) type; `name` appears in
+/// diagnostics, e.g. MCM_CAPABILITY("mutex").
+#define MCM_CAPABILITY(name) MCM_THREAD_ANNOTATION_(capability(name))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (mcm::MutexLock).
+#define MCM_SCOPED_CAPABILITY MCM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define MCM_GUARDED_BY(x) MCM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define MCM_PT_GUARDED_BY(x) MCM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function that acquires the listed capabilities and holds them on return.
+#define MCM_ACQUIRE(...) \
+  MCM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities.
+#define MCM_RELEASE(...) \
+  MCM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability when it returns `result`.
+#define MCM_TRY_ACQUIRE(result, ...) \
+  MCM_THREAD_ANNOTATION_(try_acquire_capability(result, __VA_ARGS__))
+
+/// Callers must hold the listed capabilities; the function does not
+/// acquire or release them.
+#define MCM_REQUIRES(...) \
+  MCM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Callers must NOT hold the listed capabilities (deadlock prevention for
+/// functions that acquire them internally).
+#define MCM_EXCLUDES(...) MCM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the named capability.
+#define MCM_RETURN_CAPABILITY(x) MCM_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function's locking cannot be expressed to the
+/// analysis (document why at every use site).
+#define MCM_NO_THREAD_SAFETY_ANALYSIS \
+  MCM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // MCM_COMMON_THREAD_ANNOTATIONS_H_

@@ -7,6 +7,16 @@
 namespace mcm {
 namespace engine {
 
+namespace {
+
+// Set while the current thread is executing a pool task; a nested
+// ParallelFor from such a thread must run inline (every worker is already
+// inside the outer job, so blocking on done_cv_ from one of them would
+// never make progress).
+thread_local bool g_inside_pool_task = false;
+
+}  // namespace
+
 size_t ResolveThreadCount(size_t requested) {
   if (requested > 0) {
     return requested;
@@ -29,10 +39,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -43,22 +53,33 @@ void ThreadPool::ParallelFor(size_t count,
   if (count == 0) {
     return;
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  task_ = &task;
-  task_count_ = count;
-  next_.store(0, std::memory_order_relaxed);
-  first_error_ = nullptr;
-  ++generation_;
-  work_cv_.notify_all();
-  done_cv_.wait(lock, [this] {
-    return next_.load(std::memory_order_acquire) >= task_count_ &&
-           active_workers_ == 0;
-  });
-  task_ = nullptr;
-  if (first_error_ != nullptr) {
-    std::exception_ptr error = first_error_;
+  if (g_inside_pool_task) {
+    // Re-entrant submit: run inline on the calling worker. An exception
+    // from a nested iteration propagates into the enclosing task, where
+    // the outer job's error capture reports it.
+    for (size_t i = 0; i < count; ++i) {
+      task(i);
+    }
+    return;
+  }
+  std::exception_ptr error;
+  {
+    MutexLock lock(&mu_);
+    task_ = &task;
+    task_count_ = count;
+    next_.store(0, std::memory_order_relaxed);
     first_error_ = nullptr;
-    lock.unlock();
+    ++generation_;
+    work_cv_.NotifyAll();
+    while (next_.load(std::memory_order_acquire) < task_count_ ||
+           active_workers_ > 0) {
+      done_cv_.Wait(mu_);
+    }
+    task_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error != nullptr) {
     std::rethrow_exception(error);
   }
 }
@@ -69,10 +90,11 @@ void ThreadPool::WorkerLoop() {
     const std::function<void(size_t)>* task = nullptr;
     size_t count = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ || (task_ != nullptr && generation_ != seen_generation);
-      });
+      MutexLock lock(&mu_);
+      while (!shutdown_ &&
+             (task_ == nullptr || generation_ == seen_generation)) {
+        work_cv_.Wait(mu_);
+      }
       if (shutdown_) {
         return;
       }
@@ -81,6 +103,7 @@ void ThreadPool::WorkerLoop() {
       count = task_count_;
       ++active_workers_;
     }
+    g_inside_pool_task = true;
     for (;;) {
       const size_t i = next_.fetch_add(1, std::memory_order_acq_rel);
       if (i >= count) {
@@ -89,16 +112,17 @@ void ThreadPool::WorkerLoop() {
       try {
         (*task)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         if (first_error_ == nullptr) {
           first_error_ = std::current_exception();
         }
       }
     }
+    g_inside_pool_task = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (--active_workers_ == 0) {
-        done_cv_.notify_all();
+        done_cv_.NotifyAll();
       }
     }
   }

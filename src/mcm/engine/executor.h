@@ -17,16 +17,16 @@
 #define MCM_ENGINE_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "mcm/common/mutex.h"
 #include "mcm/common/query_stats.h"
 #include "mcm/common/stopwatch.h"
+#include "mcm/common/thread_annotations.h"
 #include "mcm/engine/metric_index.h"
 #include "mcm/engine/search_core.h"
 #include "mcm/obs/telemetry.h"
@@ -57,22 +57,29 @@ class ThreadPool {
   /// Runs task(i) for every i in [0, count); returns when all are done.
   /// `task` must be callable from multiple threads concurrently. The first
   /// exception thrown by any iteration is rethrown here (remaining
-  /// iterations still run to completion).
-  void ParallelFor(size_t count, const std::function<void(size_t)>& task);
+  /// iterations still run to completion). Re-entrant submits — ParallelFor
+  /// called from inside a task — run the nested iterations inline on the
+  /// calling worker (every pool thread is already busy; waiting on them
+  /// from one of them would deadlock).
+  void ParallelFor(size_t count, const std::function<void(size_t)>& task)
+      MCM_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() MCM_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(size_t)>* task_ = nullptr;  // Guarded by mu_.
-  size_t task_count_ = 0;                              // Guarded by mu_.
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  /// Current job, or null between jobs.
+  const std::function<void(size_t)>* task_ MCM_GUARDED_BY(mu_) = nullptr;
+  size_t task_count_ MCM_GUARDED_BY(mu_) = 0;
   std::atomic<size_t> next_{0};
-  size_t active_workers_ = 0;  // Workers inside the current job.
-  uint64_t generation_ = 0;    // Job sequence number.
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;  // Guarded by mu_.
+  /// Workers inside the current job.
+  size_t active_workers_ MCM_GUARDED_BY(mu_) = 0;
+  /// Job sequence number.
+  uint64_t generation_ MCM_GUARDED_BY(mu_) = 0;
+  bool shutdown_ MCM_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ MCM_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
 };
 

@@ -20,8 +20,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "mcm/common/clock.h"
 #include "mcm/metric/bounded.h"
-#include "mcm/obs/clock.h"
 #include "mcm/obs/metrics.h"
 
 namespace mcm {

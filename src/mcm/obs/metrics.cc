@@ -127,7 +127,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
@@ -136,7 +136,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Gauge>();
@@ -146,7 +146,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(bounds);
@@ -155,7 +155,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 void MetricsRegistry::WriteJsonl(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, counter] : counters_) {
     JsonObjectBuilder o;
     o.Add("metric", name);
@@ -187,7 +187,7 @@ void MetricsRegistry::WriteJsonl(std::ostream& out) const {
 }
 
 void MetricsRegistry::WriteText(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, counter] : counters_) {
     out << name << " = " << counter->Value() << "\n";
   }
@@ -227,7 +227,7 @@ std::string PromDouble(double v) {
 }  // namespace
 
 void MetricsRegistry::WritePrometheus(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, counter] : counters_) {
     const std::string p = PromName(name);
     out << "# TYPE " << p << " counter\n";
@@ -262,7 +262,7 @@ void MetricsRegistry::WritePrometheus(std::ostream& out) const {
 }
 
 void MetricsRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -11,10 +11,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "mcm/common/mutex.h"
+#include "mcm/common/thread_annotations.h"
 
 namespace mcm {
 
@@ -110,35 +112,38 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
   /// Returns the counter registered under `name`, creating it on first use.
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
+  Counter& GetCounter(const std::string& name) MCM_EXCLUDES(mu_);
+  Gauge& GetGauge(const std::string& name) MCM_EXCLUDES(mu_);
 
   /// Returns the histogram under `name`; `bounds` is consulted only on
   /// first use (subsequent callers share the original buckets).
   Histogram& GetHistogram(const std::string& name,
-                          const std::vector<double>& bounds);
+                          const std::vector<double>& bounds)
+      MCM_EXCLUDES(mu_);
 
   /// One JSON object per line: {"metric":name,"type":...,...}.
-  void WriteJsonl(std::ostream& out) const;
+  void WriteJsonl(std::ostream& out) const MCM_EXCLUDES(mu_);
 
   /// Human-readable dump (sorted by name).
-  void WriteText(std::ostream& out) const;
+  void WriteText(std::ostream& out) const MCM_EXCLUDES(mu_);
 
   /// Prometheus text-exposition snapshot: counters, gauges, and histograms
   /// (`_bucket{le=...}` cumulative, `_sum`, `_count`), with the last
   /// exemplar query id attached to each histogram as an OpenMetrics-style
   /// comment. Metric names have non-[a-zA-Z0-9_:] characters mapped to '_'.
-  void WritePrometheus(std::ostream& out) const;
+  void WritePrometheus(std::ostream& out) const MCM_EXCLUDES(mu_);
 
   /// Drops every registered instrument (tests only; callers holding
   /// instrument references must not use them afterwards).
-  void Clear();
+  void Clear() MCM_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      MCM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ MCM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      MCM_GUARDED_BY(mu_);
 };
 
 }  // namespace mcm

@@ -12,8 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "mcm/common/clock.h"
 #include "mcm/common/query_stats.h"
-#include "mcm/obs/clock.h"
 #include "mcm/obs/metrics.h"
 
 namespace mcm {

@@ -57,22 +57,22 @@ void TelemetrySink::Submit(const PhaseSpanLog& log, uint64_t query_id) {
   if (log.spans().empty()) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   queries_.push_back(QuerySpans{query_id, log.spans()});
 }
 
 std::vector<QuerySpans> TelemetrySink::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queries_;
 }
 
 void TelemetrySink::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   queries_.clear();
 }
 
 size_t TelemetrySink::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queries_.size();
 }
 

@@ -9,12 +9,13 @@
 #define MCM_OBS_TELEMETRY_H_
 
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "mcm/common/mutex.h"
+#include "mcm/common/thread_annotations.h"
 #include "mcm/obs/phase.h"
 
 namespace mcm {
@@ -46,18 +47,19 @@ class TelemetrySink {
   static TelemetrySink& Global();
 
   /// Copies `log`'s spans under `query_id`. No-op when the log is empty.
-  void Submit(const PhaseSpanLog& log, uint64_t query_id);
+  void Submit(const PhaseSpanLog& log, uint64_t query_id)
+      MCM_EXCLUDES(mu_);
 
   /// Snapshot of everything submitted since the last Clear().
-  std::vector<QuerySpans> Snapshot() const;
+  std::vector<QuerySpans> Snapshot() const MCM_EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() MCM_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const MCM_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<QuerySpans> queries_;
+  mutable Mutex mu_;
+  std::vector<QuerySpans> queries_ MCM_GUARDED_BY(mu_);
 };
 
 /// Serializes `queries` as a Chrome-trace JSON array of complete events

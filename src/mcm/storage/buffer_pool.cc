@@ -79,7 +79,7 @@ PageGuard BufferPool::Fetch(PageId id) { return Fetch(id, nullptr); }
 
 PageGuard BufferPool::Fetch(PageId id, bool* hit) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   ++shard.stats.fetches;
   Frame& frame = LoadFrame(shard, id, /*read_from_file=*/true, hit);
   return PageGuard(this, id, frame.data.data());
@@ -88,7 +88,7 @@ PageGuard BufferPool::Fetch(PageId id, bool* hit) {
 PageGuard BufferPool::NewPage() {
   const PageId id = file_->Allocate();
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   ++shard.stats.fetches;
   Frame& frame =
       LoadFrame(shard, id, /*read_from_file=*/false, /*hit=*/nullptr);
@@ -139,7 +139,7 @@ void BufferPool::EvictOneIfFull(Shard& shard) {
 
 void BufferPool::Unpin(PageId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.frames.find(id);
   if (it == shard.frames.end() || it->second.pin_count == 0) {
     throw std::logic_error("BufferPool: unpin of unpinned page");
@@ -154,7 +154,7 @@ void BufferPool::Unpin(PageId id) {
 
 void BufferPool::MarkDirty(PageId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.frames.find(id);
   if (it == shard.frames.end()) {
     throw std::logic_error("BufferPool: MarkDirty of absent page");
@@ -172,7 +172,7 @@ void BufferPool::FlushFrame(Shard& shard, PageId id, Frame& frame) {
 
 void BufferPool::FlushAll() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     for (auto& [id, frame] : shard->frames) {
       FlushFrame(*shard, id, frame);
     }
@@ -181,7 +181,7 @@ void BufferPool::FlushAll() {
 
 void BufferPool::EvictAll() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     for (auto it = shard->frames.begin(); it != shard->frames.end();) {
       if (it->second.pin_count == 0) {
         FlushFrame(*shard, it->first, it->second);
@@ -199,7 +199,7 @@ void BufferPool::EvictAll() {
 size_t BufferPool::num_buffered() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     total += shard->frames.size();
   }
   return total;
@@ -208,7 +208,7 @@ size_t BufferPool::num_buffered() const {
 BufferPoolStats BufferPool::stats() const {
   BufferPoolStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     total.fetches += shard->stats.fetches;
     total.hits += shard->stats.hits;
     total.misses += shard->stats.misses;
@@ -220,7 +220,7 @@ BufferPoolStats BufferPool::stats() const {
 
 void BufferPool::ResetStats() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->stats = BufferPoolStats();
   }
 }

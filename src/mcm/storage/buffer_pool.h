@@ -17,10 +17,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "mcm/common/mutex.h"
+#include "mcm/common/thread_annotations.h"
 #include "mcm/storage/page_file.h"
 
 namespace mcm {
@@ -123,21 +124,23 @@ class BufferPool {
 
   /// One lock domain: a slice of the frame capacity with its own LRU.
   struct Shard {
-    mutable std::mutex mu;
-    size_t capacity = 0;
-    std::unordered_map<PageId, Frame> frames;
-    std::list<PageId> lru;  // Front = most recent; only unpinned pages.
-    BufferPoolStats stats;
+    mutable Mutex mu;
+    size_t capacity = 0;  // Immutable once the pool is constructed.
+    std::unordered_map<PageId, Frame> frames MCM_GUARDED_BY(mu);
+    std::list<PageId> lru MCM_GUARDED_BY(mu);  // Front = most recent;
+                                               // only unpinned pages.
+    BufferPoolStats stats MCM_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }
 
   void Unpin(PageId id);
   void MarkDirty(PageId id);
-  // All four require the shard's mutex to be held by the caller.
-  Frame& LoadFrame(Shard& shard, PageId id, bool read_from_file, bool* hit);
-  void EvictOneIfFull(Shard& shard);
-  void FlushFrame(Shard& shard, PageId id, Frame& frame);
+  Frame& LoadFrame(Shard& shard, PageId id, bool read_from_file, bool* hit)
+      MCM_REQUIRES(shard.mu);
+  void EvictOneIfFull(Shard& shard) MCM_REQUIRES(shard.mu);
+  void FlushFrame(Shard& shard, PageId id, Frame& frame)
+      MCM_REQUIRES(shard.mu);
 
   PageFile* file_;
   size_t capacity_;

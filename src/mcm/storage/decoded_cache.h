@@ -27,9 +27,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "mcm/common/mutex.h"
+#include "mcm/common/thread_annotations.h"
 
 namespace mcm {
 
@@ -76,7 +78,7 @@ class DecodedNodeCache {
   /// Returns the cached decoded node for `key`, or null on a miss.
   std::shared_ptr<const NodeT> Lookup(uint64_t key) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.entries.find(key);
     if (it == shard.entries.end()) {
       ++shard.stats.misses;
@@ -91,7 +93,7 @@ class DecodedNodeCache {
   /// page bytes that will be decoded, and hand it back to Insert().
   uint64_t Version(uint64_t key) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     return shard.version;
   }
 
@@ -102,7 +104,7 @@ class DecodedNodeCache {
               std::shared_ptr<const NodeT> node) {
     if (capacity_ == 0) return;
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     if (shard.version != version) {
       ++shard.stats.stale_inserts;
       return;
@@ -129,7 +131,7 @@ class DecodedNodeCache {
   /// old bytes cannot be published. Call on every page write-back or free.
   void Invalidate(uint64_t key) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     ++shard.version;
     ++shard.stats.invalidations;
     auto it = shard.entries.find(key);
@@ -141,7 +143,7 @@ class DecodedNodeCache {
   /// Drops every entry and bumps every shard version.
   void Clear() {
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(&shard->mu);
       ++shard->version;
       shard->entries.clear();
       shard->lru.clear();
@@ -152,7 +154,7 @@ class DecodedNodeCache {
   size_t size() const {
     size_t total = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(&shard->mu);
       total += shard->entries.size();
     }
     return total;
@@ -162,7 +164,7 @@ class DecodedNodeCache {
   DecodedCacheStats stats() const {
     DecodedCacheStats total;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(&shard->mu);
       total.hits += shard->stats.hits;
       total.misses += shard->stats.misses;
       total.insertions += shard->stats.insertions;
@@ -181,12 +183,12 @@ class DecodedNodeCache {
 
   /// One lock domain: a slice of the capacity with its own LRU + version.
   struct Shard {
-    mutable std::mutex mu;
-    size_t capacity = 0;
-    uint64_t version = 0;
-    std::unordered_map<uint64_t, Entry> entries;
-    std::list<uint64_t> lru;  // Front = most recent.
-    DecodedCacheStats stats;
+    mutable Mutex mu;
+    size_t capacity = 0;  // Immutable once the cache is constructed.
+    uint64_t version MCM_GUARDED_BY(mu) = 0;
+    std::unordered_map<uint64_t, Entry> entries MCM_GUARDED_BY(mu);
+    std::list<uint64_t> lru MCM_GUARDED_BY(mu);  // Front = most recent.
+    DecodedCacheStats stats MCM_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(uint64_t key) { return *shards_[key % shards_.size()]; }

@@ -3,7 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
-#include "mcm/obs/clock.h"
+#include "mcm/common/clock.h"
 #include "mcm/obs/metrics.h"
 
 namespace mcm {
@@ -15,7 +15,7 @@ PageFile::PageFile(size_t page_size) : page_size_(page_size) {
 }
 
 PageId PageFile::Allocate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.allocations;
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
@@ -29,13 +29,13 @@ PageId PageFile::Allocate() {
 }
 
 void PageFile::Free(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   CheckId(id);
   free_list_.push_back(id);
 }
 
 void PageFile::ReadPage(PageId id, uint8_t* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   CheckId(id);
   ++stats_.reads;
   if (ObsEnabled()) {
@@ -48,7 +48,7 @@ void PageFile::ReadPage(PageId id, uint8_t* out) {
 }
 
 void PageFile::WritePage(PageId id, const uint8_t* data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   CheckId(id);
   ++stats_.writes;
   DoWrite(id, data);

@@ -8,9 +8,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "mcm/common/mutex.h"
+#include "mcm/common/thread_annotations.h"
 
 namespace mcm {
 
@@ -46,55 +48,55 @@ class PageFile {
   PageFile& operator=(const PageFile&) = delete;
 
   /// Allocates a new (zeroed) page and returns its id.
-  PageId Allocate();
+  PageId Allocate() MCM_EXCLUDES(mu_);
 
   /// Returns a previously allocated page to the free list.
-  void Free(PageId id);
+  void Free(PageId id) MCM_EXCLUDES(mu_);
 
   /// Reads page `id` into `out` (must hold page_size() bytes).
   ///
   /// Only the BufferPool (and storage tests) may call this directly: every
   /// index page access must flow through a pool so logical I/O counts stay
   /// exact (enforced by the `no-pagefile-bypass` lint rule).
-  void ReadPage(PageId id, uint8_t* out);
+  void ReadPage(PageId id, uint8_t* out) MCM_EXCLUDES(mu_);
 
   /// Writes page_size() bytes from `data` to page `id`. Same access policy
   /// as ReadPage().
-  void WritePage(PageId id, const uint8_t* data);
+  void WritePage(PageId id, const uint8_t* data) MCM_EXCLUDES(mu_);
 
   size_t page_size() const { return page_size_; }
 
   /// Number of pages ever allocated (including freed ones).
-  size_t num_pages() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t num_pages() const MCM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return num_pages_;
   }
 
   /// Counter snapshot, returned by value (safe under concurrent readers).
-  PageFileStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  PageFileStats stats() const MCM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return stats_;
   }
 
   /// Zeroes the counters. Prefer diffing CaptureIoStats (storage/io_stats.h)
   /// snapshots instead: a reset clobbers every concurrent observer's view.
-  void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void ResetStats() MCM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     stats_ = PageFileStats();
   }
 
  protected:
-  virtual void DoRead(PageId id, uint8_t* out) = 0;
-  virtual void DoWrite(PageId id, const uint8_t* data) = 0;
-  virtual void DoExtend(size_t new_num_pages) = 0;
+  virtual void DoRead(PageId id, uint8_t* out) MCM_REQUIRES(mu_) = 0;
+  virtual void DoWrite(PageId id, const uint8_t* data) MCM_REQUIRES(mu_) = 0;
+  virtual void DoExtend(size_t new_num_pages) MCM_REQUIRES(mu_) = 0;
 
-  void CheckId(PageId id) const;  // Requires mu_ held.
+  void CheckId(PageId id) const MCM_REQUIRES(mu_);
 
-  mutable std::mutex mu_;  ///< Serializes every public operation.
-  size_t page_size_;
-  size_t num_pages_ = 0;
-  std::vector<PageId> free_list_;
-  PageFileStats stats_;
+  mutable Mutex mu_;  ///< Serializes every public operation.
+  size_t page_size_;  ///< Immutable after construction.
+  size_t num_pages_ MCM_GUARDED_BY(mu_) = 0;
+  std::vector<PageId> free_list_ MCM_GUARDED_BY(mu_);
+  PageFileStats stats_ MCM_GUARDED_BY(mu_);
 };
 
 /// Page store backed by heap memory. This is the default store for
@@ -105,12 +107,12 @@ class InMemoryPageFile : public PageFile {
   explicit InMemoryPageFile(size_t page_size);
 
  protected:
-  void DoRead(PageId id, uint8_t* out) override;
-  void DoWrite(PageId id, const uint8_t* data) override;
-  void DoExtend(size_t new_num_pages) override;
+  void DoRead(PageId id, uint8_t* out) MCM_REQUIRES(mu_) override;
+  void DoWrite(PageId id, const uint8_t* data) MCM_REQUIRES(mu_) override;
+  void DoExtend(size_t new_num_pages) MCM_REQUIRES(mu_) override;
 
  private:
-  std::vector<uint8_t> data_;
+  std::vector<uint8_t> data_ MCM_GUARDED_BY(mu_);
 };
 
 /// Page store backed by a real file (stdio, buffered). Demonstrates that the
@@ -129,12 +131,12 @@ class StdioPageFile : public PageFile {
   ~StdioPageFile() override;
 
  protected:
-  void DoRead(PageId id, uint8_t* out) override;
-  void DoWrite(PageId id, const uint8_t* data) override;
-  void DoExtend(size_t new_num_pages) override;
+  void DoRead(PageId id, uint8_t* out) MCM_REQUIRES(mu_) override;
+  void DoWrite(PageId id, const uint8_t* data) MCM_REQUIRES(mu_) override;
+  void DoExtend(size_t new_num_pages) MCM_REQUIRES(mu_) override;
 
  private:
-  std::FILE* file_;
+  std::FILE* file_ MCM_PT_GUARDED_BY(mu_);
 };
 
 }  // namespace mcm

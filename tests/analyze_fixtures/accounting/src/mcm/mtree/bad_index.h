@@ -1,0 +1,44 @@
+// Seeded guarded-accounting violations in an index directory.
+
+namespace mcm {
+
+class BadIndex {
+ public:
+  // PLANT 1: index code calling BoundedDistance directly bypasses the
+  // sanctioned entry points (the avoided/computed split is lost).
+  bool PruneDirect(const Obj& a, const Obj& b, double r, QueryStats* st) {
+    return BoundedDistance(a, b, r) <= r && st != nullptr;
+  }
+
+  // PLANT 2: a sanctioned call that passes a null QueryStats charges the
+  // evaluation to nobody.
+  bool PruneUncharged(const Obj& a, const Obj& b, double r) {
+    return GuardedDistanceWithin(metric(), a, b, r, nullptr);
+  }
+
+  // PLANT 3: two direct metric evaluations, only one ledger tick.
+  double TwoForOne(const Obj& a, const Obj& b, QueryStats* st) {
+    const double d1 = metric_(a, b);
+    const double d2 = metric_(b, a);
+    ++st->distance_computations;
+    return d1 + d2;
+  }
+
+  // Clean: one evaluation, one tick (the Dist()-helper discipline).
+  double Balanced(const Obj& a, const Obj& b, QueryStats* st) {
+    ++st->distance_computations;
+    return metric_(a, b);
+  }
+
+ private:
+  Metric metric_;
+};
+
+// PLANT 4: a shadow definition of a sanctioned entry point outside
+// src/mcm/engine/witness.h forks the accounting ledger.
+inline bool GuardedDistanceWithin(const Metric& m, const Obj& a,
+                                  const Obj& b, double r, QueryStats* st) {
+  return m(a, b) <= r && st != nullptr;
+}
+
+}  // namespace mcm

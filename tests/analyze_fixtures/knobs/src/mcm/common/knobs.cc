@@ -1,0 +1,13 @@
+namespace mcm {
+
+int ReadKnobs() {
+  int total = 0;
+  total += static_cast<int>(GetEnvInt("MCM_GOOD", 1));
+  // PLANT: MCM_ROGUE is read here but declared nowhere.
+  total += static_cast<int>(GetEnvInt("MCM_ROGUE", 0));
+  // MCM_HIDDEN is declared in the manifest but absent from README.md.
+  total += GetEnvString("MCM_HIDDEN", "").empty() ? 0 : 1;
+  return total;
+}
+
+}  // namespace mcm

@@ -1,0 +1,6 @@
+// PLANT: common is the leaf layer; including storage inverts the DAG.
+#include "mcm/storage/page.h"
+
+namespace mcm {
+inline int UtilValue() { return 1; }
+}  // namespace mcm

@@ -1,0 +1,6 @@
+// Legal include: engine is allowed to use common.
+#include "mcm/common/util.h"
+
+namespace mcm {
+inline int CoreValue() { return 3; }
+}  // namespace mcm

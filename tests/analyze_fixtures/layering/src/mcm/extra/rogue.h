@@ -1,0 +1,4 @@
+// PLANT: this directory has no row in ARCHITECTURE.manifest.
+namespace mcm {
+inline int RogueValue() { return 4; }
+}  // namespace mcm

@@ -1,0 +1,6 @@
+// PLANT: storage may only depend on common; engine sits above it.
+#include "mcm/engine/core.h"
+
+namespace mcm {
+inline int PageValue() { return 2; }
+}  // namespace mcm

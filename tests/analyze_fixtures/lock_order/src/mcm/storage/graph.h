@@ -1,0 +1,46 @@
+// Seeded lock-order violations: Alpha::Foo takes Alpha::mu_ then calls
+// Beta::Bar, which takes Beta::mu_ then calls back into Alpha::Baz, which
+// takes Alpha::mu_ again. That is simultaneously
+//   PLANT 1: a recursive acquisition of Alpha::mu_ reachable from Foo
+//            (Foo -> Bar -> Baz re-enters a non-recursive mutex), and
+//   PLANT 2: an ordering cycle Alpha::mu_ -> Beta::mu_ -> Alpha::mu_
+//            (two threads running Foo and Bar deadlock).
+
+namespace mcm {
+
+class Beta;
+
+class Alpha {
+ public:
+  void Foo(Beta* b);
+  void Baz();
+
+ private:
+  Mutex mu_;
+};
+
+class Beta {
+ public:
+  void Bar(Alpha* a);
+
+ private:
+  Mutex mu_;
+};
+
+inline void Alpha::Foo(Beta* b) {
+  MutexLock lock(&mu_);
+  b->Bar(nullptr);
+}
+
+inline void Beta::Bar(Alpha* a) {
+  MutexLock lock(&mu_);
+  if (a != nullptr) {
+    a->Baz();
+  }
+}
+
+inline void Alpha::Baz() {
+  MutexLock lock(&mu_);
+}
+
+}  // namespace mcm

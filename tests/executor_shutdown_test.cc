@@ -1,0 +1,179 @@
+// Shutdown and failure paths of the thread pool and batch executor: task
+// exceptions mid-batch (first one wins, the batch still completes), pool
+// reuse after a throwing batch, destruction ordering, and re-entrant
+// ParallelFor (a task submitting nested work runs it inline instead of
+// deadlocking). Runs under the TSan leg of the sanitizer matrix, where
+// the condition-variable handoffs and the per-iteration claim protocol
+// are exercised under a racing scheduler.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mcm/baseline/linear_scan.h"
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/engine/executor.h"
+#include "mcm/metric/traits.h"
+
+namespace mcm {
+namespace {
+
+using VecTraits = VectorTraits<L2Distance>;
+
+// L2 that refuses poisoned queries (first coordinate = kPoison): the only
+// way a batch query can die mid-flight is through its metric, so the
+// failure-path tests inject one that throws on marked inputs.
+constexpr float kPoison = 1.0e9f;
+
+struct PoisonableL2 {
+  double operator()(const FloatVector& a, const FloatVector& b) const {
+    if ((!a.empty() && a[0] >= kPoison) || (!b.empty() && b[0] >= kPoison)) {
+      throw std::runtime_error("poisoned query");
+    }
+    return L2Distance{}(a, b);
+  }
+};
+
+using PoisonTraits = VectorTraits<PoisonableL2>;
+
+TEST(ThreadPoolShutdown, DestructionWithNoWorkEverSubmitted) {
+  // Workers park in the wait loop immediately; the destructor must wake
+  // and join all of them without a job ever existing.
+  engine::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(ThreadPoolShutdown, DestructionImmediatelyAfterBatch) {
+  std::atomic<int> ran{0};
+  {
+    engine::ThreadPool pool(3);
+    pool.ParallelFor(64, [&](size_t) { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolShutdown, ManyPoolsConstructedAndDestroyed) {
+  // Construction/destruction churn: every cycle must join cleanly even
+  // when the pool outlives its last job by nothing at all.
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    engine::ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.ParallelFor(5, [&](size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 5);
+  }
+}
+
+TEST(ThreadPoolExceptions, TaskThrowsMidBatch) {
+  engine::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](size_t i) {
+                         ran.fetch_add(1);
+                         if (i == 13) {
+                           throw std::runtime_error("boom at 13");
+                         }
+                       }),
+      std::runtime_error);
+  // Every iteration still ran: a throw poisons the result, not the batch.
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolExceptions, FirstErrorWinsWhenManyThrow) {
+  engine::ThreadPool pool(4);
+  try {
+    pool.ParallelFor(32, [&](size_t i) {
+      throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "ParallelFor should have rethrown";
+  } catch (const std::runtime_error& e) {
+    // Exactly one of the per-iteration errors surfaces.
+    EXPECT_EQ(std::string(e.what()).rfind("boom ", 0), 0u);
+  }
+}
+
+TEST(ThreadPoolExceptions, PoolIsReusableAfterThrowingBatch) {
+  engine::ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(
+                   8, [](size_t) { throw std::logic_error("poisoned"); }),
+               std::logic_error);
+  // The error slot must have been cleared: the next batch succeeds and
+  // reports nothing stale.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(16, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolReentrant, NestedParallelForRunsInline) {
+  engine::ThreadPool pool(2);
+  std::atomic<int> inner_ran{0};
+  // Outer tasks outnumber workers; each submits nested work from inside
+  // the pool. Without the inline fallback this deadlocks (all workers
+  // blocked waiting for workers).
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(10, [&](size_t) { inner_ran.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_ran.load(), 80);
+}
+
+TEST(ThreadPoolReentrant, NestedThrowPropagatesThroughOuterBatch) {
+  engine::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(4,
+                       [&](size_t) {
+                         pool.ParallelFor(4, [](size_t j) {
+                           if (j == 2) {
+                             throw std::runtime_error("nested boom");
+                           }
+                         });
+                       }),
+      std::runtime_error);
+  // And the pool still works afterwards.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(6, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 6);
+}
+
+TEST(BatchExecutorShutdown, ThrowingQueryPropagatesAndExecutorSurvives) {
+  const auto data = GenerateUniform(/*n=*/64, /*dim=*/4, /*seed=*/7);
+  LinearScan<PoisonTraits> index(data, {});
+  engine::BatchExecutor<LinearScan<PoisonTraits>> exec(index,
+                                                       {.num_threads = 3});
+
+  // One poisoned query mid-batch: its metric throws, the exception
+  // surfaces from the batch call, and the rest of the batch still ran.
+  std::vector<FloatVector> queries(data.begin(), data.begin() + 8);
+  queries[5][0] = kPoison;
+  EXPECT_THROW(exec.KnnSearchBatch(queries, 3), std::runtime_error);
+
+  // The executor (and its pool) must remain usable after the failure.
+  queries[5] = data[5];
+  auto batch = exec.KnnSearchBatch(queries, 3);
+  ASSERT_EQ(batch.results.size(), queries.size());
+  for (const auto& result : batch.results) {
+    EXPECT_EQ(result.size(), 3u);
+  }
+  EXPECT_EQ(batch.totals.distance_computations,
+            batch.per_query.size() * data.size());
+}
+
+TEST(BatchExecutorShutdown, DestructionWhileResultsOutlive) {
+  const auto data = GenerateUniform(/*n=*/32, /*dim=*/4, /*seed=*/11);
+  engine::BatchResult<FloatVector> batch;
+  {
+    LinearScan<VecTraits> index(data, {});
+    engine::BatchExecutor<LinearScan<VecTraits>> exec(index,
+                                                      {.num_threads = 2});
+    batch = exec.RangeSearchBatch({data[0], data[1]}, 0.25);
+  }
+  // The batch result owns its storage; the executor and index are gone.
+  ASSERT_EQ(batch.results.size(), 2u);
+  EXPECT_GE(batch.results[0].size(), 1u);  // Query 0 finds at least itself.
+}
+
+}  // namespace
+}  // namespace mcm

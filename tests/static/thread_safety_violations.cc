@@ -1,0 +1,65 @@
+// Seeded thread-safety violations. This TU is deliberately WRONG: it is
+// valid C++ that must be REJECTED by clang's -Werror=thread-safety (the
+// `thread_safety_analysis` ctest compiles it and asserts failure). It is
+// never linked into anything.
+//
+// Each function below is a distinct class of bug the capability
+// annotations exist to catch; if an edit to common/mutex.h or
+// common/thread_annotations.h ever neuters the analysis (say, a macro
+// quietly becoming a no-op under clang), this file starts compiling and
+// the ctest fails loudly.
+
+#include "mcm/common/mutex.h"
+#include "mcm/common/thread_annotations.h"
+
+namespace mcm {
+namespace {
+
+class Seeded {
+ public:
+  // VIOLATION: reads a guarded member with no lock held.
+  int ReadUnlocked() { return value_; }
+
+  // VIOLATION: writes a guarded member under the WRONG mutex.
+  void WriteWrongLock() {
+    MutexLock lock(&other_mu_);
+    value_ = 1;
+  }
+
+  // VIOLATION: double-acquisition of a non-reentrant mutex.
+  void LockTwice() {
+    mu_.Lock();
+    mu_.Lock();
+    mu_.Unlock();
+    mu_.Unlock();
+  }
+
+  // VIOLATION: returns while still holding the mutex (no unlock on the
+  // path out of the function).
+  void NeverUnlock() { mu_.Lock(); }
+
+  // VIOLATION: calls a REQUIRES(mu_) function without holding mu_.
+  void CallRequiresUnlocked() { MustHold(); }
+
+ private:
+  void MustHold() MCM_REQUIRES(mu_) { ++value_; }
+
+  Mutex mu_;
+  Mutex other_mu_;
+  int value_ MCM_GUARDED_BY(mu_) = 0;
+};
+
+// Anchor so the class is odr-used and unused-warnings stay quiet. Never
+// actually called — several of the seeded bugs would deadlock for real.
+int Use() {
+  Seeded s;
+  s.ReadUnlocked();
+  s.WriteWrongLock();
+  s.LockTwice();
+  s.NeverUnlock();
+  s.CallRequiresUnlocked();
+  return 0;
+}
+
+}  // namespace
+}  // namespace mcm

@@ -16,7 +16,8 @@ Schema (one JSON object per line; see DESIGN.md "Observability"):
   record=query    case, seq, kind in {range,knn,complex}, nodes, dists,
                   pruned, witness_avoided, buffer_hits, buffer_misses,
                   results, latency_us, phase_us (object: plan/traverse/
-                  distance_eval/page_read/decode/collect), level_nodes
+                  distance_eval/page_read/decode/collect/prefetch),
+                  level_nodes
                   (array), prunes (object),
                   pred (object of {nodes, dists, level_nodes?})
   record=summary  case, queries, avg_nodes, avg_dists, avg_results,
@@ -88,7 +89,7 @@ def check_record(path, lineno, rec):
     if record in ("query", "summary") and isinstance(rec.get("phase_us"),
                                                      dict):
         for phase in ("plan", "traverse", "distance_eval", "page_read",
-                      "decode", "collect"):
+                      "decode", "collect", "prefetch"):
             if not isinstance(rec["phase_us"].get(phase), (int, float)):
                 errors += fail(path, lineno,
                                f"{record}.phase_us missing {phase!r}")

@@ -252,14 +252,15 @@ def check_raw_metric_call(sf):
 # Rule: no-pagefile-bypass
 # --------------------------------------------------------------------------
 
-PAGEFILE_RE = re.compile(r"\b(ReadPage|WritePage)\s*\(")
+PAGEFILE_RE = re.compile(r"\b(ReadPage|WritePage|ReadRun)\s*\(")
 
 
 def check_pagefile_bypass(sf):
     return _grep(
         sf, PAGEFILE_RE,
-        "PageFile::ReadPage/WritePage bypasses the BufferPool; fetch pages "
-        "through a BufferPool (or a PagedNodeStore) so I/O costs stay exact")
+        "PageFile::ReadPage/WritePage/ReadRun bypasses the BufferPool; fetch "
+        "pages through a BufferPool (or a PagedNodeStore) so I/O costs stay "
+        "exact")
 
 
 # --------------------------------------------------------------------------
@@ -641,6 +642,8 @@ SELFTEST_CASES = {
          "file->ReadPage(id, buf.data());\n"),
         ("examples/sample.cpp",
          "file.WritePage(id, buf.data());\n"),
+        ("src/mcm/engine/sample.cc",
+         "file->ReadRun(first, count, buf.data());\n"),
     ],
     "no-unguarded-mutable-static": [
         ("src/mcm/cost/sample.cc",

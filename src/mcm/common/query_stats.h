@@ -23,10 +23,11 @@ enum class QueryPhase : uint8_t {
   kPageRead,      ///< Buffer-pool fetches (including physical reads).
   kDecode,        ///< Node deserialization from page bytes.
   kCollect,       ///< Result collection / final sort.
+  kPrefetch,      ///< Readahead of contiguous child page runs.
 };
 
 /// Number of QueryPhase values (for per-phase tally arrays).
-inline constexpr size_t kNumQueryPhases = 6;
+inline constexpr size_t kNumQueryPhases = 7;
 
 const char* ToString(QueryPhase phase);
 

@@ -29,6 +29,17 @@ size_t ResolveThreadCount(size_t requested) {
   return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
+size_t ResolveBuildThreadCount(size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  const int64_t env = GetEnvInt("MCM_BUILD_THREADS", 0);
+  if (env > 0) {
+    return static_cast<size_t>(env);
+  }
+  return 1;
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);

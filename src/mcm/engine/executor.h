@@ -39,6 +39,12 @@ namespace engine {
 /// environment variable, else std::thread::hardware_concurrency() (>= 1).
 size_t ResolveThreadCount(size_t requested);
 
+/// Resolves the *build* worker count (bulk loading): `requested` when > 0,
+/// else the MCM_BUILD_THREADS environment variable, else 1 — construction
+/// stays sequential unless explicitly parallelized, and the parallel build
+/// is bit-identical to the sequential one at any thread count.
+size_t ResolveBuildThreadCount(size_t requested);
+
 /// Fixed pool of worker threads executing index-parallel jobs. Workers are
 /// spawned once at construction; ParallelFor posts one job at a time and
 /// blocks until every iteration completed. Iterations are claimed

@@ -11,21 +11,53 @@
 //      and r(N) = max(d(medoid, member) + member radius);
 //   4. the routing objects become the items of the next level; repeat until
 //      a single node remains — the root.
+//
+// Nodes are first *staged* in memory and only committed to the store once
+// the whole tree is known. Committing in level order from the root places
+// every node's children on one contiguous ascending page run (on a fresh
+// store), which the query-time readahead (PagedNodeStore::Prefetch) turns
+// into single sequential reads; MTreeOptions::bulk_sequential_layout
+// switches back to raw emission order for layout A/B experiments.
+//
+// Determinism: every random choice flows through the option-seeded engine
+// and the only parallel section (seed-assignment distances, fanned over
+// MTreeOptions::build_threads) writes precomputed per-item slots without
+// touching that engine — so the staged tree, the commit order, and hence
+// the page bytes are bit-identical at any thread count.
+//
+// Build cost is observable: all clustering/repair distances flow through a
+// CountedMetric, and Load reports the totals via BulkLoadStats.
 
 #ifndef MCM_MTREE_BULK_LOAD_H_
 #define MCM_MTREE_BULK_LOAD_H_
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "mcm/common/random.h"
+#include "mcm/engine/executor.h"
+#include "mcm/metric/counted_metric.h"
 #include "mcm/mtree/mtree.h"
 
 namespace mcm {
+
+template <typename Traits>
+class StreamBulkLoader;
+
+/// Distance-computation ledger of one bulk load — the build-side analogue
+/// of the paper's query CPU cost.
+struct BulkLoadStats {
+  uint64_t distance_computations = 0;
+  /// Wall-clock nanoseconds inside the metric (MCM_OBS on only, else 0).
+  uint64_t metric_nanos = 0;
+};
 
 template <typename Traits>
 class BulkLoader {
@@ -36,10 +68,12 @@ class BulkLoader {
   using Tree = MTree<Traits>;
 
   /// Builds a tree over `objects`; `oids` may be empty (then oid = index).
+  /// When `stats` is non-null it receives the build's distance ledger.
   static Tree Load(const std::vector<Object>& objects,
                    const std::vector<uint64_t>& oids, Metric metric,
                    MTreeOptions options,
-                   std::unique_ptr<NodeStore<Traits>> store) {
+                   std::unique_ptr<NodeStore<Traits>> store,
+                   BulkLoadStats* stats = nullptr) {
     if (!oids.empty() && oids.size() != objects.size()) {
       throw std::invalid_argument("BulkLoader: oids size mismatch");
     }
@@ -49,10 +83,16 @@ class BulkLoader {
     }
     BulkLoader loader(tree, objects, oids);
     loader.Run();
+    if (stats != nullptr) {
+      stats->distance_computations = loader.metric_.count();
+      stats->metric_nanos = loader.metric_.nanos();
+    }
     return tree;
   }
 
  private:
+  friend class StreamBulkLoader<Traits>;
+
   /// One item of the level being packed: a leaf object (level L) or the
   /// routing object of an already-built subtree (upper levels).
   struct Item {
@@ -70,17 +110,55 @@ class BulkLoader {
     std::vector<double> distances;  ///< d(medoid, member), aligned.
   };
 
+  /// A fully clustered tree whose nodes have not touched the store yet.
+  /// Routing children are staging positions tagged with kStagingBias —
+  /// real NodeIds (which a streaming caller seeds level-0 items with) stay
+  /// below the bias and pass through the commit remap untouched.
+  struct StagedTree {
+    std::vector<Node> nodes;  ///< Emission (bottom-up) order.
+    NodeId root = 0;          ///< Staging position of the root.
+    uint32_t height = 0;      ///< Levels emitted.
+    /// Routing info of the whole staged tree (the root's up-item): what a
+    /// parent entry pointing at this subtree needs. `root_object` points
+    /// into the item storage the caller built from.
+    const Object* root_object = nullptr;
+    double root_radius = 0.0;
+  };
+
+  static constexpr NodeId kStagingBias = static_cast<NodeId>(1) << 31;
+  static constexpr size_t kNoSeed = static_cast<size_t>(-1);
+
+  /// `pool` (optional, not owned) serves the parallel assignment phase; a
+  /// null pool with build_threads/MCM_BUILD_THREADS > 1 makes Run spawn
+  /// its own. `rng_stream` isolates the random stream so a streaming
+  /// caller can give every spill partition an independent, deterministic
+  /// generator.
   BulkLoader(Tree& tree, const std::vector<Object>& objects,
-             const std::vector<uint64_t>& oids)
+             const std::vector<uint64_t>& oids,
+             engine::ThreadPool* pool = nullptr, uint64_t rng_stream = 5)
       : tree_(tree),
         objects_(objects),
         oids_(oids),
-        rng_(MakeEngine(tree.options().seed, /*stream=*/5)) {}
+        metric_(tree.metric_),
+        rng_(MakeEngine(tree.options().seed, rng_stream)),
+        pool_(pool) {
+    capacity_ = tree.options().node_size_bytes - Node::HeaderSize();
+    if (pool_ == nullptr) {
+      const size_t threads =
+          engine::ResolveBuildThreadCount(tree.options().build_threads);
+      if (threads > 1) {
+        owned_pool_ = std::make_unique<engine::ThreadPool>(threads);
+        pool_ = owned_pool_.get();
+      }
+    }
+  }
 
   void Run() {
-    const MTreeOptions& options = tree_.options();
-    capacity_ = options.node_size_bytes - Node::HeaderSize();
+    StagedTree staged = BuildStaged(MakeLeafItems(), /*leaf_level=*/true);
+    CommitToTree(staged);
+  }
 
+  std::vector<Item> MakeLeafItems() const {
     std::vector<Item> items;
     items.reserve(objects_.size());
     for (size_t i = 0; i < objects_.size(); ++i) {
@@ -93,32 +171,98 @@ class BulkLoader {
       }
       items.push_back(item);
     }
+    return items;
+  }
 
-    bool leaf_level = true;
+  /// Runs the level loop over `items` without touching the store. With
+  /// leaf_level = false the items are routing entries of already-committed
+  /// subtrees (their `child` fields are real NodeIds) and only the upper
+  /// structure is staged — the streaming loader's "glue" phase.
+  StagedTree BuildStaged(std::vector<Item> items, bool leaf_level) {
+    StagedTree staged;
     uint32_t levels = 0;
     while (true) {
       std::vector<Group> groups = Cluster(items);
       ++levels;
       if (groups.size() == 1) {
-        tree_.root_ = EmitNode(items, groups.front(), leaf_level).child;
+        const Item top = EmitNode(&staged.nodes, items, groups.front(),
+                                  leaf_level);
+        staged.root_object = top.object;
+        staged.root_radius = top.radius;
         break;
       }
       std::vector<Item> next;
       next.reserve(groups.size());
       for (const Group& group : groups) {
-        next.push_back(EmitNode(items, group, leaf_level));
+        next.push_back(EmitNode(&staged.nodes, items, group, leaf_level));
       }
       items = std::move(next);
       leaf_level = false;
     }
-    tree_.height_ = levels;
+    staged.root = static_cast<NodeId>(staged.nodes.size() - 1);
+    staged.height = levels;
+    return staged;
+  }
+
+  /// Page placement: level order from the root when the sequential layout
+  /// is on (each node's children land on one contiguous ascending run of
+  /// a fresh store), raw emission order otherwise.
+  std::vector<NodeId> CommitOrder(const StagedTree& staged) const {
+    std::vector<NodeId> order;
+    order.reserve(staged.nodes.size());
+    if (!tree_.options_.bulk_sequential_layout) {
+      for (size_t p = 0; p < staged.nodes.size(); ++p) {
+        order.push_back(static_cast<NodeId>(p));
+      }
+      return order;
+    }
+    order.push_back(staged.root);
+    for (size_t head = 0; head < order.size(); ++head) {
+      const Node& node = staged.nodes[order[head]];
+      if (node.is_leaf) {
+        continue;
+      }
+      for (const auto& e : node.routing_entries) {
+        if (e.child >= kStagingBias) {
+          order.push_back(e.child - kStagingBias);
+        }
+      }
+    }
+    return order;
+  }
+
+  /// Allocates pages in commit order, rewrites staged child references to
+  /// the allocated ids, writes every node, and returns the root's real id.
+  NodeId CommitStaged(StagedTree& staged) {
+    const std::vector<NodeId> order = CommitOrder(staged);
+    std::vector<NodeId> new_id(staged.nodes.size());
+    for (const NodeId pos : order) {
+      new_id[pos] = tree_.store_->Allocate();
+    }
+    for (const NodeId pos : order) {
+      Node& node = staged.nodes[pos];
+      if (!node.is_leaf) {
+        for (auto& e : node.routing_entries) {
+          if (e.child >= kStagingBias) {
+            e.child = new_id[e.child - kStagingBias];
+          }
+        }
+      }
+      tree_.store_->Write(new_id[pos], node);
+    }
+    return new_id[staged.root];
+  }
+
+  void CommitToTree(StagedTree& staged) {
+    tree_.root_ = CommitStaged(staged);
+    tree_.height_ = staged.height;
     tree_.num_objects_ = objects_.size();
   }
 
-  /// Writes one node for `group` and returns the item representing it at
+  /// Stages one node for `group` and returns the item representing it at
   /// the next level up.
-  Item EmitNode(const std::vector<Item>& items, const Group& group,
-                bool leaf_level) {
+  Item EmitNode(std::vector<Node>* staged, const std::vector<Item>& items,
+                const Group& group, bool leaf_level) {
     Node node;
     node.is_leaf = leaf_level;
     double radius = 0.0;
@@ -141,12 +285,12 @@ class BulkLoader {
         node.routing_entries.push_back(std::move(e));
       }
     }
-    const NodeId id = tree_.store_->Allocate();
-    tree_.store_->Write(id, node);
+    const NodeId pos = static_cast<NodeId>(staged->size());
+    staged->push_back(std::move(node));
 
     Item up;
     up.object = items[group.medoid].object;
-    up.child = id;
+    up.child = kStagingBias + pos;
     up.radius = radius;
     up.entry_bytes = Node::RoutingEntrySize(*up.object);
     return up;
@@ -184,19 +328,41 @@ class BulkLoader {
         idxs.size(), kMaxFanout));
 
     std::vector<size_t> seeds = SampleDistinct(idxs, num_seeds);
-    std::vector<std::vector<size_t>> clusters(seeds.size());
-    for (size_t idx : idxs) {
-      size_t best = 0;
+    // Nearest-seed assignment: the build's distance hot loop. Each item's
+    // slot is independent, so it fans out over the pool when one is
+    // available and the level is big enough to amortize the dispatch; the
+    // results (and everything downstream) are schedule-independent.
+    std::vector<uint32_t> best_seed(idxs.size());
+    std::vector<double> best_dist(idxs.size());
+    const auto assign = [&](size_t k) {
+      const Object& object = *items[idxs[k]].object;
+      uint32_t best = 0;
       double best_d = std::numeric_limits<double>::infinity();
       for (size_t s = 0; s < seeds.size(); ++s) {
-        const double d = tree_.metric_(*items[seeds[s]].object,
-                                       *items[idx].object);
+        const double d = metric_(*items[seeds[s]].object, object);
         if (d < best_d) {
           best_d = d;
-          best = s;
+          best = static_cast<uint32_t>(s);
         }
       }
-      clusters[best].push_back(idx);
+      best_seed[k] = best;
+      best_dist[k] = best_d;
+    };
+    if (pool_ != nullptr && idxs.size() >= kParallelAssignThreshold) {
+      pool_->ParallelFor(idxs.size(), assign);
+    } else {
+      for (size_t k = 0; k < idxs.size(); ++k) {
+        assign(k);
+      }
+    }
+    std::vector<std::vector<size_t>> clusters(seeds.size());
+    // Assignment distances d(seed, member), aligned with each cluster;
+    // Finalize reuses them for the seed's medoid candidacy instead of
+    // recomputing the whole row.
+    std::vector<std::vector<double>> cluster_dists(seeds.size());
+    for (size_t k = 0; k < idxs.size(); ++k) {
+      clusters[best_seed[k]].push_back(idxs[k]);
+      cluster_dists[best_seed[k]].push_back(best_dist[k]);
     }
 
     // Guard against degenerate sampling (e.g. all-duplicate objects): if a
@@ -207,12 +373,13 @@ class BulkLoader {
       ChunkEvenly(items, idxs, out);
       return;
     }
-    for (auto& cluster : clusters) {
-      if (cluster.empty()) continue;
-      if (GroupBytes(items, cluster) <= capacity_) {
-        out->push_back(Finalize(items, std::move(cluster)));
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      if (clusters[c].empty()) continue;
+      if (GroupBytes(items, clusters[c]) <= capacity_) {
+        out->push_back(Finalize(items, std::move(clusters[c]), seeds[c],
+                                std::move(cluster_dists[c])));
       } else {
-        Partition(items, std::move(cluster), depth + 1, out);
+        Partition(items, std::move(clusters[c]), depth + 1, out);
       }
     }
   }
@@ -237,8 +404,13 @@ class BulkLoader {
   }
 
   /// Picks the medoid (min-max distance routing object) and computes member
-  /// distances. For large groups, medoid candidates are sampled.
-  Group Finalize(const std::vector<Item>& items, std::vector<size_t> members) {
+  /// distances. For large groups, medoid candidates are sampled. When the
+  /// group is a Partition cluster, `seed` / `seed_distances` carry the
+  /// assignment-time d(seed, member) row: the seed is evaluated as a
+  /// candidate for free instead of recomputing those distances.
+  Group Finalize(const std::vector<Item>& items, std::vector<size_t> members,
+                 size_t seed = kNoSeed,
+                 std::vector<double> seed_distances = {}) {
     Group group;
     group.members = std::move(members);
     std::vector<size_t> candidates;
@@ -246,16 +418,29 @@ class BulkLoader {
       candidates = group.members;
     } else {
       candidates = SampleDistinct(group.members, kMedoidSamples);
+      // The seed's candidacy costs nothing — make sure sampling kept it
+      // (membership required: the routing object must be an entry).
+      if (seed != kNoSeed &&
+          std::find(candidates.begin(), candidates.end(), seed) ==
+              candidates.end() &&
+          std::find(group.members.begin(), group.members.end(), seed) !=
+              group.members.end()) {
+        candidates.push_back(seed);
+      }
     }
     double best_quality = std::numeric_limits<double>::infinity();
     std::vector<double> best_distances;
     size_t best_candidate = group.members.front();
     std::vector<double> distances(group.members.size());
     for (size_t cand : candidates) {
+      const bool reuse =
+          cand == seed && seed_distances.size() == group.members.size();
       double quality = 0.0;
       for (size_t m = 0; m < group.members.size(); ++m) {
-        const double d = tree_.metric_(*items[cand].object,
-                                       *items[group.members[m]].object);
+        const double d =
+            reuse ? seed_distances[m]
+                  : metric_(*items[cand].object,
+                            *items[group.members[m]].object);
         distances[m] = d;
         quality = std::max(quality, d + items[group.members[m]].radius);
       }
@@ -316,7 +501,7 @@ class BulkLoader {
           if (h == g || dropped[h]) continue;
           if (projected[h] + item.entry_bytes > capacity_) continue;
           const double d =
-              tree_.metric_(*items[(*groups)[h].medoid].object, *item.object);
+              metric_(*items[(*groups)[h].medoid].object, *item.object);
           if (d < best_d) {
             best_d = d;
             best_target = h;
@@ -365,11 +550,17 @@ class BulkLoader {
   static constexpr int kMaxDepth = 64;
   static constexpr size_t kMedoidExhaustive = 48;
   static constexpr size_t kMedoidSamples = 16;
+  /// Levels smaller than this are assigned inline: the distance work per
+  /// item (<= kMaxFanout seed evaluations) has to outweigh a pool dispatch.
+  static constexpr size_t kParallelAssignThreshold = 4096;
 
   Tree& tree_;
   const std::vector<Object>& objects_;
   const std::vector<uint64_t>& oids_;
+  CountedMetric<Metric> metric_;  ///< Counts every build distance.
   RandomEngine rng_;
+  engine::ThreadPool* pool_ = nullptr;  ///< Null = sequential build.
+  std::unique_ptr<engine::ThreadPool> owned_pool_;
   size_t capacity_ = 0;
 };
 

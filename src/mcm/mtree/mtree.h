@@ -39,6 +39,9 @@ template <typename Traits>
 class BulkLoader;
 
 template <typename Traits>
+class StreamBulkLoader;
+
+template <typename Traits>
 class MTree {
  public:
   using Object = typename Traits::Object;
@@ -308,6 +311,7 @@ class MTree {
 
  private:
   friend class BulkLoader<Traits>;
+  friend class StreamBulkLoader<Traits>;
 
   struct SplitInfo {
     RoutingEntry<Object> first;
@@ -569,6 +573,10 @@ class MTree {
             }
             return;
           }
+          // Children that survive the ball test, in entry order — the
+          // readahead hint below. With bulk-loaded sequential layout these
+          // are contiguous page runs.
+          std::vector<NodeId> survivors;
           {
             ScopedSpan dist_span(st, QueryPhase::kDistanceEval);
             for (const auto& e : node->routing_entries) {
@@ -615,6 +623,9 @@ class MTree {
               }
               ++scanned;
               const double dmin = std::max(d - e.covering_radius, 0.0);
+              if (dmin <= collector.Bound()) {
+                survivors.push_back(e.child);
+              }
               frontier.PushOrPrune(
                   dmin, item.level + 1, e.child, TraversalHandle{e.child, d},
                   cut_reason,
@@ -622,6 +633,11 @@ class MTree {
                            : engine::WitnessChain{});
             }
           }
+          // Readahead: the surviving children will all be expanded (range
+          // search) or considered in best-first order (k-NN); hint the
+          // store so contiguous runs become one sequential read. Purely
+          // physical — answers and logical counters never depend on it.
+          store_->Prefetch(survivors.data(), survivors.size(), st);
           if (st->trace != nullptr) {
             st->trace->RecordVisit(
                 item.handle.node, item.level, scanned,

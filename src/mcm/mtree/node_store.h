@@ -65,6 +65,18 @@ class NodeStore {
     return std::make_shared<const Node>(this->ReadTracked(id, st));
   }
 
+  /// Readahead hint: the traversal is about to visit the `count` nodes in
+  /// `ids` (the children of a routing node that survived pruning). Stores
+  /// may pull contiguous page runs into their buffer ahead of demand; the
+  /// hint must never change query answers or logical access counts — only
+  /// the physical read pattern and the buffer hit/miss split. The base
+  /// implementation (memory-resident stores) ignores it.
+  virtual void Prefetch(const NodeId* ids, size_t count, QueryStats* st) {
+    (void)ids;
+    (void)count;
+    (void)st;
+  }
+
   /// Overwrites node `id`. Does not count as a query access (writes happen
   /// during construction/maintenance, not similarity search).
   virtual void Write(NodeId id, const Node& node) = 0;
@@ -161,13 +173,16 @@ class PagedNodeStore final : public NodeStore<Traits> {
  public:
   using Node = MTreeNode<Traits>;
 
-  /// Creates a store over `file` (owned) with `pool_frames` buffer frames
-  /// and `cache_entries` decoded-node slots (-1 = read MCM_NODE_CACHE).
+  /// Creates a store over `file` (owned) with `pool_frames` buffer frames,
+  /// `cache_entries` decoded-node slots (-1 = read MCM_NODE_CACHE), and a
+  /// readahead window of `readahead` pages per prefetch run (-1 = read
+  /// MCM_READAHEAD; 0, the default, disables readahead).
   PagedNodeStore(std::unique_ptr<PageFile> file, size_t pool_frames,
-                 int64_t cache_entries = -1)
+                 int64_t cache_entries = -1, int64_t readahead = -1)
       : file_(std::move(file)),
         pool_(file_.get(), pool_frames),
-        cache_(ResolveCacheEntries(cache_entries)) {}
+        cache_(ResolveCacheEntries(cache_entries)),
+        readahead_(ResolveReadahead(readahead)) {}
 
   NodeId Allocate() override {
     PageGuard guard = pool_.NewPage();
@@ -226,6 +241,30 @@ class PagedNodeStore final : public NodeStore<Traits> {
     return std::make_shared<const Node>(DecodeTracked(id, st));
   }
 
+  /// Pulls contiguous runs of the hinted nodes into the buffer pool with
+  /// batched sequential reads. Only ascending runs of length >= 2 are worth
+  /// a batched read (a single page costs the same either way and would just
+  /// bypass demand-fetch accounting), and each run is capped at the
+  /// readahead window. No-op unless readahead is enabled.
+  void Prefetch(const NodeId* ids, size_t count, QueryStats* st) override {
+    if (readahead_ == 0 || count < 2) {
+      return;
+    }
+    ScopedSpan span(st, QueryPhase::kPrefetch);
+    size_t i = 0;
+    while (i < count) {
+      size_t j = i + 1;
+      while (j < count && ids[j] == ids[j - 1] + 1 &&
+             j - i < readahead_) {
+        ++j;
+      }
+      if (j - i >= 2) {
+        pool_.Prefetch(static_cast<PageId>(ids[i]), j - i);
+      }
+      i = j;
+    }
+  }
+
   void Write(NodeId id, const Node& node) override {
     if (cache_.enabled()) cache_.Invalidate(id);
     PageGuard guard = pool_.Fetch(static_cast<PageId>(id));
@@ -254,6 +293,13 @@ class PagedNodeStore final : public NodeStore<Traits> {
       cache_entries = GetEnvInt("MCM_NODE_CACHE", 0);
     }
     return cache_entries > 0 ? static_cast<size_t>(cache_entries) : 0;
+  }
+
+  static size_t ResolveReadahead(int64_t readahead) {
+    if (readahead < 0) {
+      readahead = GetEnvInt("MCM_READAHEAD", 0);
+    }
+    return readahead > 0 ? static_cast<size_t>(readahead) : 0;
   }
 
   /// Pool fetch + per-query attribution + decode, without the logical
@@ -292,6 +338,7 @@ class PagedNodeStore final : public NodeStore<Traits> {
   std::unique_ptr<PageFile> file_;
   BufferPool pool_;
   DecodedNodeCache<Node> cache_;
+  size_t readahead_;  ///< Max pages per prefetch run; 0 = readahead off.
   std::vector<uint8_t> scratch_;
   size_t num_nodes_ = 0;
 };

@@ -58,6 +58,19 @@ struct MTreeOptions {
   /// Seed for randomized promotion and bulk-load seed sampling.
   uint64_t seed = 42;
 
+  /// Worker threads for bulk loading: 0 (default) resolves from
+  /// MCM_BUILD_THREADS, else 1 (sequential). The parallel build produces
+  /// page-byte-identical trees at any thread count, so this knob trades
+  /// build wall time only.
+  size_t build_threads = 0;
+
+  /// Bulk loading emits each subtree as a contiguous run of pages in
+  /// level-grouped DFS order so sibling frontiers become sequential reads
+  /// (the layout readahead exploits). Off = pages in emission order, which
+  /// reproduces the scattered layout of insertion-built trees for A/B
+  /// experiments.
+  bool bulk_sequential_layout = true;
+
   /// Witness-set capacity for search: how many of the query distances
   /// computed on the path down are consulted (via triangle-inequality
   /// bounds against the stored ancestor distances) before each metric

@@ -18,6 +18,8 @@ const char* ToString(QueryPhase phase) {
       return "decode";
     case QueryPhase::kCollect:
       return "collect";
+    case QueryPhase::kPrefetch:
+      return "prefetch";
   }
   return "unknown";
 }

@@ -1,7 +1,10 @@
 #include "mcm/storage/buffer_pool.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
+
+#include "mcm/obs/metrics.h"
 
 namespace mcm {
 
@@ -79,10 +82,75 @@ PageGuard BufferPool::Fetch(PageId id) { return Fetch(id, nullptr); }
 
 PageGuard BufferPool::Fetch(PageId id, bool* hit) {
   Shard& shard = ShardFor(id);
-  MutexLock lock(&shard.mu);
-  ++shard.stats.fetches;
-  Frame& frame = LoadFrame(shard, id, /*read_from_file=*/true, hit);
-  return PageGuard(this, id, frame.data.data());
+  PageGuard guard;
+  {
+    MutexLock lock(&shard.mu);
+    ++shard.stats.fetches;
+    Frame& frame = LoadFrame(shard, id, /*read_from_file=*/true, hit);
+    guard = PageGuard(this, id, frame.data.data());
+  }
+  PublishPrefetchObs();  // Outside the shard lock (lock-order discipline).
+  return guard;
+}
+
+size_t BufferPool::Prefetch(PageId first, size_t count) {
+  if (count == 0) {
+    return 0;
+  }
+  // Pass 1: note which pages of the run are absent. Presence can race with
+  // concurrent fetches, so the install below re-checks under the lock.
+  std::vector<PageId> absent;
+  absent.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const PageId id = first + static_cast<PageId>(i);
+    Shard& shard = ShardFor(id);
+    MutexLock lock(&shard.mu);
+    if (shard.frames.find(id) == shard.frames.end()) {
+      absent.push_back(id);
+    }
+  }
+  // Pass 2: one batched ReadRun per contiguous absent span (no shard lock
+  // held across the physical read), then install each page.
+  size_t issued = 0;
+  const size_t page_size = file_->page_size();
+  std::vector<uint8_t> buf;
+  for (size_t i = 0; i < absent.size();) {
+    size_t j = i + 1;
+    while (j < absent.size() && absent[j] == absent[j - 1] + 1) {
+      ++j;
+    }
+    const size_t run = j - i;
+    buf.resize(run * page_size);
+    file_->ReadRun(absent[i], run, buf.data());
+    for (size_t k = 0; k < run; ++k) {
+      const PageId id = absent[i + k];
+      Shard& shard = ShardFor(id);
+      MutexLock lock(&shard.mu);
+      if (shard.frames.find(id) != shard.frames.end()) {
+        continue;  // A concurrent Fetch raced the page in; keep its frame.
+      }
+      if (shard.frames.size() >= shard.capacity && shard.lru.empty()) {
+        continue;  // Every frame pinned: readahead never throws, it skips.
+      }
+      EvictOneIfFull(shard);
+      Frame& frame = shard.frames[id];
+      frame.data.assign(buf.data() + k * page_size,
+                        buf.data() + (k + 1) * page_size);
+      frame.pin_count = 0;
+      frame.prefetched = true;
+      shard.lru.push_front(id);
+      frame.lru_pos = shard.lru.begin();
+      frame.in_lru = true;
+      ++shard.stats.prefetch_issued;
+      ++issued;
+    }
+    i = j;
+  }
+  if (issued > 0 && ObsEnabled()) {
+    MetricsRegistry::Global().GetCounter("prefetch.issued").Increment(issued);
+  }
+  PublishPrefetchObs();
+  return issued;
 }
 
 PageGuard BufferPool::NewPage() {
@@ -103,6 +171,13 @@ BufferPool::Frame& BufferPool::LoadFrame(Shard& shard, PageId id,
     ++shard.stats.hits;
     if (hit != nullptr) *hit = true;
     Frame& frame = it->second;
+    if (frame.prefetched) {
+      frame.prefetched = false;
+      ++shard.stats.prefetch_used;
+      if (ObsEnabled()) {
+        pending_obs_used_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     if (frame.in_lru) {
       shard.lru.erase(frame.lru_pos);
       frame.in_lru = false;
@@ -132,9 +207,37 @@ void BufferPool::EvictOneIfFull(Shard& shard) {
   const PageId victim = shard.lru.back();
   shard.lru.pop_back();
   auto it = shard.frames.find(victim);
+  RetireFrame(shard, it->second);
   FlushFrame(shard, victim, it->second);
   shard.frames.erase(it);
   ++shard.stats.evictions;
+}
+
+void BufferPool::RetireFrame(Shard& shard, Frame& frame) {
+  if (frame.prefetched) {
+    frame.prefetched = false;
+    ++shard.stats.prefetch_wasted;
+    if (ObsEnabled()) {
+      pending_obs_wasted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void BufferPool::PublishPrefetchObs() {
+  const uint64_t used =
+      pending_obs_used_.exchange(0, std::memory_order_relaxed);
+  const uint64_t wasted =
+      pending_obs_wasted_.exchange(0, std::memory_order_relaxed);
+  if (!ObsEnabled()) {
+    return;  // Backlog only accumulates under MCM_OBS; drop any remainder.
+  }
+  auto& registry = MetricsRegistry::Global();
+  if (used > 0) {
+    registry.GetCounter("prefetch.used").Increment(used);
+  }
+  if (wasted > 0) {
+    registry.GetCounter("prefetch.wasted").Increment(wasted);
+  }
 }
 
 void BufferPool::Unpin(PageId id) {
@@ -184,6 +287,7 @@ void BufferPool::EvictAll() {
     MutexLock lock(&shard->mu);
     for (auto it = shard->frames.begin(); it != shard->frames.end();) {
       if (it->second.pin_count == 0) {
+        RetireFrame(*shard, it->second);
         FlushFrame(*shard, it->first, it->second);
         if (it->second.in_lru) {
           shard->lru.erase(it->second.lru_pos);
@@ -214,6 +318,9 @@ BufferPoolStats BufferPool::stats() const {
     total.misses += shard->stats.misses;
     total.evictions += shard->stats.evictions;
     total.flushes += shard->stats.flushes;
+    total.prefetch_issued += shard->stats.prefetch_issued;
+    total.prefetch_used += shard->stats.prefetch_used;
+    total.prefetch_wasted += shard->stats.prefetch_wasted;
   }
   return total;
 }

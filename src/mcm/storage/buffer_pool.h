@@ -14,6 +14,7 @@
 #ifndef MCM_STORAGE_BUFFER_POOL_H_
 #define MCM_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -33,6 +34,9 @@ struct BufferPoolStats {
   uint64_t misses = 0;     ///< Requests that read from the PageFile.
   uint64_t evictions = 0;  ///< Frames evicted to make room.
   uint64_t flushes = 0;    ///< Dirty pages written back.
+  uint64_t prefetch_issued = 0;  ///< Pages loaded ahead of demand.
+  uint64_t prefetch_used = 0;    ///< Prefetched pages later fetched.
+  uint64_t prefetch_wasted = 0;  ///< Prefetched pages evicted unfetched.
 };
 
 class BufferPool;
@@ -91,6 +95,17 @@ class BufferPool {
   /// Allocates a fresh page and returns it pinned and zeroed.
   PageGuard NewPage();
 
+  /// Readahead: loads whatever pages of [first, first + count) are absent
+  /// from the pool, reading each contiguous absent span with one batched
+  /// PageFile::ReadRun (one physical read operation per span). Loaded
+  /// frames enter the pool unpinned and flagged: a later Fetch of such a
+  /// frame counts prefetch_used, an eviction before any fetch counts
+  /// prefetch_wasted. Shards whose frames are all pinned are skipped
+  /// rather than grown. Returns the number of pages loaded
+  /// (prefetch_issued). Never affects Fetch results or logical counts —
+  /// only the hit/miss split and the physical read pattern.
+  size_t Prefetch(PageId first, size_t count);
+
   /// Writes back all dirty pages (pinned ones included).
   void FlushAll();
 
@@ -118,6 +133,7 @@ class BufferPool {
     std::vector<uint8_t> data;
     uint32_t pin_count = 0;
     bool dirty = false;
+    bool prefetched = false;  // Loaded by Prefetch, not yet fetched.
     std::list<PageId>::iterator lru_pos;  // Valid only when pin_count == 0.
     bool in_lru = false;
   };
@@ -141,10 +157,17 @@ class BufferPool {
   void EvictOneIfFull(Shard& shard) MCM_REQUIRES(shard.mu);
   void FlushFrame(Shard& shard, PageId id, Frame& frame)
       MCM_REQUIRES(shard.mu);
+  void RetireFrame(Shard& shard, Frame& frame) MCM_REQUIRES(shard.mu);
+  void PublishPrefetchObs();
 
   PageFile* file_;
   size_t capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Obs-registry backlog for prefetch_used/wasted events noted under a
+  /// shard lock; drained (and forwarded to the metrics registry) at the
+  /// next unlocked opportunity so no registry lock nests inside a shard's.
+  std::atomic<uint64_t> pending_obs_used_{0};
+  std::atomic<uint64_t> pending_obs_wasted_{0};
 };
 
 }  // namespace mcm

@@ -31,6 +31,9 @@ inline BufferPoolStats operator-(const BufferPoolStats& a,
   d.misses = a.misses - b.misses;
   d.evictions = a.evictions - b.evictions;
   d.flushes = a.flushes - b.flushes;
+  d.prefetch_issued = a.prefetch_issued - b.prefetch_issued;
+  d.prefetch_used = a.prefetch_used - b.prefetch_used;
+  d.prefetch_wasted = a.prefetch_wasted - b.prefetch_wasted;
   return d;
 }
 
@@ -40,6 +43,7 @@ inline PageFileStats operator-(const PageFileStats& a,
   d.reads = a.reads - b.reads;
   d.writes = a.writes - b.writes;
   d.allocations = a.allocations - b.allocations;
+  d.read_pages = a.read_pages - b.read_pages;
   d.read_ns = a.read_ns - b.read_ns;
   return d;
 }

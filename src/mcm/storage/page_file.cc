@@ -38,6 +38,7 @@ void PageFile::ReadPage(PageId id, uint8_t* out) {
   MutexLock lock(&mu_);
   CheckId(id);
   ++stats_.reads;
+  ++stats_.read_pages;
   if (ObsEnabled()) {
     const uint64_t start_ns = MonotonicNanos();
     DoRead(id, out);
@@ -45,6 +46,30 @@ void PageFile::ReadPage(PageId id, uint8_t* out) {
     return;
   }
   DoRead(id, out);
+}
+
+void PageFile::ReadRun(PageId first, size_t count, uint8_t* out) {
+  if (count == 0) {
+    return;
+  }
+  MutexLock lock(&mu_);
+  CheckId(first);
+  CheckId(first + static_cast<PageId>(count) - 1);
+  ++stats_.reads;
+  stats_.read_pages += count;
+  if (ObsEnabled()) {
+    const uint64_t start_ns = MonotonicNanos();
+    DoReadRun(first, count, out);
+    stats_.read_ns += MonotonicNanos() - start_ns;
+    return;
+  }
+  DoReadRun(first, count, out);
+}
+
+void PageFile::DoReadRun(PageId first, size_t count, uint8_t* out) {
+  for (size_t i = 0; i < count; ++i) {
+    DoRead(first + static_cast<PageId>(i), out + i * page_size_);
+  }
 }
 
 void PageFile::WritePage(PageId id, const uint8_t* data) {
@@ -74,6 +99,11 @@ void InMemoryPageFile::DoWrite(PageId id, const uint8_t* data) {
 
 void InMemoryPageFile::DoExtend(size_t new_num_pages) {
   data_.resize(new_num_pages * page_size_, 0);
+}
+
+void InMemoryPageFile::DoReadRun(PageId first, size_t count, uint8_t* out) {
+  std::memcpy(out, data_.data() + static_cast<size_t>(first) * page_size_,
+              count * page_size_);
 }
 
 StdioPageFile::StdioPageFile(const std::string& path, size_t page_size,
@@ -118,6 +148,17 @@ void StdioPageFile::DoWrite(PageId id, const uint8_t* data) {
                  SEEK_SET) != 0 ||
       std::fwrite(data, 1, page_size_, file_) != page_size_) {
     throw std::runtime_error("StdioPageFile: write failed");
+  }
+}
+
+void StdioPageFile::DoReadRun(PageId first, size_t count, uint8_t* out) {
+  // One seek, one sequential transfer — this is the physical win the
+  // bulk loader's contiguous child runs are laid out for.
+  if (std::fseek(file_, static_cast<long>(static_cast<size_t>(first) *
+                                          page_size_),
+                 SEEK_SET) != 0 ||
+      std::fread(out, 1, count * page_size_, file_) != count * page_size_) {
+    throw std::runtime_error("StdioPageFile: run read failed");
   }
 }
 

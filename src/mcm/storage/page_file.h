@@ -24,11 +24,18 @@ inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
 
 /// Physical I/O counters of a PageFile.
 struct PageFileStats {
+  /// Physical read *operations*: one per ReadPage call and one per ReadRun
+  /// call, however many pages the run covers — so a batched sequential read
+  /// of a child run costs one operation where per-page reads cost k.
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t allocations = 0;
-  /// Wall-clock nanoseconds spent inside ReadPage. Accumulated only when
-  /// MCM_OBS is on (zero otherwise), so the untimed read path is unchanged.
+  /// Pages transferred by read operations (ReadPage adds 1, ReadRun adds
+  /// the run length). reads == read_pages exactly when no run reads happen.
+  uint64_t read_pages = 0;
+  /// Wall-clock nanoseconds spent inside ReadPage/ReadRun. Accumulated only
+  /// when MCM_OBS is on (zero otherwise), so the untimed read path is
+  /// unchanged.
   uint64_t read_ns = 0;
 };
 
@@ -60,6 +67,13 @@ class PageFile {
   /// exact (enforced by the `no-pagefile-bypass` lint rule).
   void ReadPage(PageId id, uint8_t* out) MCM_EXCLUDES(mu_);
 
+  /// Reads `count` consecutive pages starting at `first` into `out` (which
+  /// must hold count * page_size() bytes) as ONE physical read operation:
+  /// `stats().reads` grows by one while `stats().read_pages` grows by
+  /// `count`. Backends that can seek once (stdio, memory) service the whole
+  /// run sequentially. Same access policy as ReadPage().
+  void ReadRun(PageId first, size_t count, uint8_t* out) MCM_EXCLUDES(mu_);
+
   /// Writes page_size() bytes from `data` to page `id`. Same access policy
   /// as ReadPage().
   void WritePage(PageId id, const uint8_t* data) MCM_EXCLUDES(mu_);
@@ -89,6 +103,10 @@ class PageFile {
   virtual void DoRead(PageId id, uint8_t* out) MCM_REQUIRES(mu_) = 0;
   virtual void DoWrite(PageId id, const uint8_t* data) MCM_REQUIRES(mu_) = 0;
   virtual void DoExtend(size_t new_num_pages) MCM_REQUIRES(mu_) = 0;
+  /// Services a run read; the default loops DoRead per page, backends with
+  /// cheap sequential access override it with a single transfer.
+  virtual void DoReadRun(PageId first, size_t count, uint8_t* out)
+      MCM_REQUIRES(mu_);
 
   void CheckId(PageId id) const MCM_REQUIRES(mu_);
 
@@ -110,6 +128,8 @@ class InMemoryPageFile : public PageFile {
   void DoRead(PageId id, uint8_t* out) MCM_REQUIRES(mu_) override;
   void DoWrite(PageId id, const uint8_t* data) MCM_REQUIRES(mu_) override;
   void DoExtend(size_t new_num_pages) MCM_REQUIRES(mu_) override;
+  void DoReadRun(PageId first, size_t count, uint8_t* out)
+      MCM_REQUIRES(mu_) override;
 
  private:
   std::vector<uint8_t> data_ MCM_GUARDED_BY(mu_);
@@ -134,6 +154,8 @@ class StdioPageFile : public PageFile {
   void DoRead(PageId id, uint8_t* out) MCM_REQUIRES(mu_) override;
   void DoWrite(PageId id, const uint8_t* data) MCM_REQUIRES(mu_) override;
   void DoExtend(size_t new_num_pages) MCM_REQUIRES(mu_) override;
+  void DoReadRun(PageId first, size_t count, uint8_t* out)
+      MCM_REQUIRES(mu_) override;
 
  private:
   std::FILE* file_ MCM_PT_GUARDED_BY(mu_);

@@ -1,0 +1,133 @@
+// Readahead tests: prefetching contiguous child runs must change only the
+// physical read pattern and the buffer hit/miss split — never answers,
+// logical node accesses, or distance counts — and the prefetch counters
+// must stay consistent (used + wasted <= issued).
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mcm/dataset/vector_datasets.h"
+#include "mcm/metric/traits.h"
+#include "mcm/mtree/bulk_load.h"
+#include "mcm/storage/io_stats.h"
+
+namespace mcm {
+namespace {
+
+using VecTraits = VectorTraits<LInfDistance>;
+
+struct BuiltTree {
+  MTree<VecTraits> tree;
+  PagedNodeStore<VecTraits>* store;  // Owned by the tree.
+};
+
+BuiltTree Build(const std::vector<FloatVector>& data, int64_t readahead,
+                size_t pool_frames) {
+  MTreeOptions options;
+  options.node_size_bytes = 1024;
+  auto store = std::make_unique<PagedNodeStore<VecTraits>>(
+      std::make_unique<InMemoryPageFile>(options.node_size_bytes),
+      pool_frames, /*cache_entries=*/0, readahead);
+  auto* paged = store.get();
+  auto tree = MTree<VecTraits>::BulkLoad(data, LInfDistance{}, options,
+                                         std::move(store));
+  return {std::move(tree), paged};
+}
+
+TEST(Readahead, AnswersAndLogicalCountersUnchanged) {
+  const auto data = GenerateClustered(8000, 8, 113);
+  auto off = Build(data, /*readahead=*/0, /*pool_frames=*/64);
+  auto on = Build(data, /*readahead=*/16, /*pool_frames=*/64);
+
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 30, 8, 113);
+  for (const auto& q : queries) {
+    off.store->pool().EvictAll();
+    on.store->pool().EvictAll();
+    QueryStats so, sn;
+    const auto ro = off.tree.RangeSearch(q, 0.15, &so);
+    const auto rn = on.tree.RangeSearch(q, 0.15, &sn);
+    ASSERT_EQ(ro.size(), rn.size());
+    for (size_t i = 0; i < ro.size(); ++i) {
+      EXPECT_EQ(ro[i].oid, rn[i].oid);
+      EXPECT_DOUBLE_EQ(ro[i].distance, rn[i].distance);
+    }
+    // The same tree bytes are traversed: logical costs are identical.
+    EXPECT_EQ(so.nodes_accessed, sn.nodes_accessed);
+    EXPECT_EQ(so.distance_computations, sn.distance_computations);
+    EXPECT_EQ(so.nodes_pruned, sn.nodes_pruned);
+    // Readahead converts misses into hits; the fetch total is preserved.
+    EXPECT_EQ(so.buffer_hits + so.buffer_misses,
+              sn.buffer_hits + sn.buffer_misses);
+  }
+}
+
+TEST(Readahead, PrefetchCountersConsistentAndEffective) {
+  const auto data = GenerateClustered(8000, 8, 127);
+  auto off = Build(data, /*readahead=*/0, /*pool_frames=*/64);
+  auto on = Build(data, /*readahead=*/16, /*pool_frames=*/64);
+
+  const auto before_off = CaptureIoStats(off.store->pool());
+  const auto before_on = CaptureIoStats(on.store->pool());
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 30, 8, 127);
+  for (const auto& q : queries) {
+    off.store->pool().EvictAll();
+    on.store->pool().EvictAll();
+    off.tree.RangeSearch(q, 0.15);
+    on.tree.RangeSearch(q, 0.15);
+  }
+  const auto delta_off = CaptureIoStats(off.store->pool()) - before_off;
+  const auto delta_on = CaptureIoStats(on.store->pool()) - before_on;
+
+  // Off: the knob really is off.
+  EXPECT_EQ(delta_off.pool.prefetch_issued, 0u);
+  // On: prefetches were issued and mostly consumed.
+  EXPECT_GT(delta_on.pool.prefetch_issued, 0u);
+  EXPECT_GT(delta_on.pool.prefetch_used, 0u);
+  EXPECT_LE(delta_on.pool.prefetch_used + delta_on.pool.prefetch_wasted,
+            delta_on.pool.prefetch_issued);
+  // The physical pattern is the point: batching contiguous child runs must
+  // strictly reduce read *operations*, while pages transferred stay equal
+  // to (demand pages) + (wasted prefetches) >= the demand-only run.
+  EXPECT_LT(delta_on.file.reads, delta_off.file.reads);
+  EXPECT_GE(delta_on.file.read_pages, delta_off.file.read_pages);
+}
+
+TEST(Readahead, SingleSurvivorIsNotPrefetched) {
+  // A k-NN with k=1 on a tiny tree mostly visits single survivors; the
+  // store must never issue 1-page "runs" (they would just relabel demand
+  // misses). With a root-only tree there is nothing to prefetch at all.
+  const auto data = GenerateClustered(30, 4, 131);
+  auto built = Build(data, /*readahead=*/16, /*pool_frames=*/64);
+  const auto before = CaptureIoStats(built.store->pool());
+  built.tree.KnnSearch(data[0], 1);
+  const auto delta = CaptureIoStats(built.store->pool()) - before;
+  EXPECT_EQ(delta.pool.prefetch_issued, 0u);
+}
+
+TEST(Readahead, KnnAnswersUnchanged) {
+  const auto data = GenerateClustered(6000, 8, 137);
+  auto off = Build(data, /*readahead=*/0, /*pool_frames=*/64);
+  auto on = Build(data, /*readahead=*/16, /*pool_frames=*/64);
+  const auto queries =
+      GenerateVectorQueries(VectorDatasetKind::kClustered, 20, 8, 137);
+  for (const auto& q : queries) {
+    off.store->pool().EvictAll();
+    on.store->pool().EvictAll();
+    QueryStats so, sn;
+    const auto ro = off.tree.KnnSearch(q, 10, &so);
+    const auto rn = on.tree.KnnSearch(q, 10, &sn);
+    ASSERT_EQ(ro.size(), rn.size());
+    for (size_t i = 0; i < ro.size(); ++i) {
+      EXPECT_EQ(ro[i].oid, rn[i].oid);
+    }
+    EXPECT_EQ(so.nodes_accessed, sn.nodes_accessed);
+    EXPECT_EQ(so.distance_computations, sn.distance_computations);
+  }
+}
+
+}  // namespace
+}  // namespace mcm

@@ -16,6 +16,14 @@
 //       ancestor distance in a second copy (must report
 //       ancestor-distance). Exit 0 only when all phases behave.
 //
+//   mcm_check --bulk-selftest <dir>
+//       End-to-end proof of the out-of-core parallel bulk loader: streams
+//       100k clustered L2 vectors through StreamBulkLoader (4 build
+//       threads, a deliberately tight ingest budget so the spill path is
+//       exercised) into a paged on-disk store under <dir>, then requires
+//       CheckMTree to come back clean and a probe query to find its own
+//       object. Exit 0 only when the loaded tree is fully consistent.
+//
 // The metric must match the one the index was built with — the checker
 // recomputes distances, so a wrong metric reports violations for a healthy
 // tree (which is itself a useful property: it detects metric mismatch).
@@ -30,6 +38,7 @@
 #include "mcm/metric/string_metrics.h"
 #include "mcm/metric/traits.h"
 #include "mcm/metric/vector_metrics.h"
+#include "mcm/mtree/bulk_stream.h"
 #include "mcm/mtree/mtree.h"
 #include "mcm/mtree/node_store.h"
 #include "mcm/mtree/persist.h"
@@ -43,7 +52,8 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: mcm_check [--metric l2|l1|linf|edit] [--epsilon E] "
                "<index-path>\n"
-               "       mcm_check --selftest <dir>\n");
+               "       mcm_check --selftest <dir>\n"
+               "       mcm_check --bulk-selftest <dir>\n");
 }
 
 int Report(const CheckResult& result, const std::string& path) {
@@ -194,12 +204,61 @@ int SelfTest(const std::string& dir) {
   return 0;
 }
 
+// Streams 100k clustered vectors through the out-of-core loader into a
+// paged on-disk store and requires full structural consistency.
+int BulkSelfTest(const std::string& dir) {
+  using Traits = mcm::VectorTraits<mcm::L2Distance>;
+  const std::string path = dir + "/bulk_selftest.mtree";
+
+  const size_t n = 100000;
+  const size_t dim = 8;
+  const auto data = mcm::GenerateVectorDataset(
+      mcm::VectorDatasetKind::kClustered, n, dim, /*seed=*/41);
+
+  mcm::MTreeOptions options;
+  options.node_size_bytes = 4096;
+  options.build_threads = 4;
+  auto store = std::make_unique<mcm::PagedNodeStore<Traits>>(
+      std::make_unique<mcm::StdioPageFile>(path, options.node_size_bytes),
+      /*pool_frames=*/256);
+  mcm::VectorObjectSource<Traits> source(data);
+  // ~4 MB budget against ~3.3 MB of leaf entries: forces the spill path.
+  auto tree = mcm::StreamBulkLoader<Traits>::Load(
+      source, mcm::L2Distance{}, options, std::move(store), dir,
+      /*ingest_budget_bytes=*/4 << 20);
+
+  if (tree.size() != n) {
+    std::fprintf(stderr, "bulk-selftest: size %zu != %zu\n", tree.size(), n);
+    return 1;
+  }
+  const auto result = mcm::check::CheckMTree(tree);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bulk-selftest: streamed tree reported %s\n",
+                 result.Summary().c_str());
+    return 1;
+  }
+  const auto probe = tree.RangeSearch(data[n / 2], 0.0);
+  bool found = false;
+  for (const auto& hit : probe) {
+    found = found || hit.oid == n / 2;
+  }
+  if (!found) {
+    std::fprintf(stderr, "bulk-selftest: probe object not found\n");
+    return 1;
+  }
+  std::printf("bulk-selftest: %zu objects, height %u, clean\n", n,
+              tree.height());
+  std::remove(path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string metric = "l2";
   std::string path;
   std::string selftest_dir;
+  std::string bulk_selftest_dir;
   double epsilon = 1e-9;
 
   for (int i = 1; i < argc; ++i) {
@@ -210,6 +269,8 @@ int main(int argc, char** argv) {
       epsilon = std::stod(argv[++i]);
     } else if (arg == "--selftest" && i + 1 < argc) {
       selftest_dir = argv[++i];
+    } else if (arg == "--bulk-selftest" && i + 1 < argc) {
+      bulk_selftest_dir = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
@@ -225,6 +286,9 @@ int main(int argc, char** argv) {
   try {
     if (!selftest_dir.empty()) {
       return SelfTest(selftest_dir);
+    }
+    if (!bulk_selftest_dir.empty()) {
+      return BulkSelfTest(bulk_selftest_dir);
     }
     if (path.empty()) {
       PrintUsage();

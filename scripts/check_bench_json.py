@@ -21,8 +21,9 @@ Schema (one JSON object per line; see DESIGN.md "Observability"):
                   (array), prunes (object),
                   pred (object of {nodes, dists, level_nodes?})
   record=summary  case, queries, avg_nodes, avg_dists, avg_results,
-                  avg_witness_avoided, latency_us (object), phase_us
-                  (object, averages), residuals (object of stats)
+                  avg_witness_avoided, latency_us (object with mean/p50/
+                  p95/p99), phase_us (object, averages), residuals
+                  (object of stats)
   record=metric   bench, data (counters/gauges/histograms object)
 """
 
@@ -93,6 +94,13 @@ def check_record(path, lineno, rec):
             if not isinstance(rec["phase_us"].get(phase), (int, float)):
                 errors += fail(path, lineno,
                                f"{record}.phase_us missing {phase!r}")
+    if record == "summary" and isinstance(rec.get("latency_us"), dict):
+        # Tail latency is part of the contract: QPS benches must expose
+        # the percentiles, not just a throughput-derived mean.
+        for quantile in ("mean", "p50", "p95", "p99"):
+            if not isinstance(rec["latency_us"].get(quantile), (int, float)):
+                errors += fail(path, lineno,
+                               f"summary.latency_us missing {quantile!r}")
     if record == "summary":
         for stream, stats in rec.get("residuals", {}).items():
             if not isinstance(stats, dict):

@@ -10,6 +10,7 @@
 #ifndef MCM_BENCH_UTIL_EXPERIMENT_H_
 #define MCM_BENCH_UTIL_EXPERIMENT_H_
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
@@ -209,13 +210,35 @@ struct ThroughputResult {
   double wall_seconds = 0.0;  ///< Wall time of the parallel section.
   double qps = 0.0;           ///< Queries per second.
   size_t num_threads = 0;     ///< Resolved worker count.
+  /// Per-query latency percentiles over the batch (worker-measured wall
+  /// time per query; overlapping under concurrency — the tail signal).
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
 };
+
+namespace internal {
+
+/// Nearest-rank quantile of an unsorted sample (copy is sorted locally).
+inline double LatencyQuantile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  size_t index = static_cast<size_t>(rank);
+  if (index >= values.size() - 1) return values.back();
+  const double fraction = rank - static_cast<double>(index);
+  return values[index] * (1.0 - fraction) + values[index + 1] * fraction;
+}
+
+}  // namespace internal
 
 /// Answers the whole range workload through a BatchExecutor at
 /// `num_threads` workers and reports throughput. With an enabled observer,
 /// opens a case labelled `label` (params get "threads" and "qps" appended)
-/// and emits one observation per query; per-query latency is reported as
-/// the amortized wall time per query, since individual queries overlap.
+/// and emits one observation per query carrying that query's own measured
+/// wall time (BatchResult::latencies_us), so the summary record's
+/// latency_us percentiles (p50/p95/p99) expose the tail under concurrency
+/// instead of an amortized average.
 template <typename Index, typename Object>
 ThroughputResult MeasureRangeThroughput(
     const Index& index, const std::vector<Object>& queries, double radius,
@@ -235,6 +258,9 @@ ThroughputResult MeasureRangeThroughput(
   out.num_threads = executor.num_threads();
   out.wall_seconds = batch.wall_seconds;
   out.qps = batch.Qps();
+  out.latency_p50_us = internal::LatencyQuantile(batch.latencies_us, 0.50);
+  out.latency_p95_us = internal::LatencyQuantile(batch.latencies_us, 0.95);
+  out.latency_p99_us = internal::LatencyQuantile(batch.latencies_us, 0.99);
   out.costs.num_queries = queries.size();
   for (size_t i = 0; i < queries.size(); ++i) {
     internal::Accumulate(batch.per_query[i], batch.results[i].size(),
@@ -246,15 +272,11 @@ ThroughputResult MeasureRangeThroughput(
     params.emplace_back("threads", static_cast<double>(out.num_threads));
     params.emplace_back("qps", out.qps);
     observer->BeginCase(label, params, {});
-    const double amortized_us =
-        queries.empty() ? 0.0
-                        : batch.wall_seconds * 1e6 /
-                              static_cast<double>(queries.size());
     const QueryTrace no_trace(1);  // When the observer traces 0 events.
     for (size_t i = 0; i < queries.size(); ++i) {
       observer->RecordQuery(internal::MakeObservation(
           "range", radius, 0, batch.per_query[i], batch.results[i].size(),
-          amortized_us,
+          batch.latencies_us[i],
           batch.traces.empty() ? no_trace : batch.traces[i],
           observer->dump_events()));
     }

@@ -111,6 +111,11 @@ struct BatchResult {
   QueryStats totals;
   std::vector<QueryTrace> traces;  ///< One per query when tracing is on.
   std::vector<PhaseSpanLog> span_logs;  ///< One per query when spans are on.
+  /// Per-query wall time in microseconds, measured on the worker that ran
+  /// the query. Individual queries overlap, so these sum to more than
+  /// wall_seconds under concurrency — they are the tail-latency signal
+  /// (p50/p95/p99), not a throughput measure.
+  std::vector<double> latencies_us;
   double wall_seconds = 0.0;       ///< Wall time of the parallel section.
 
   /// Queries per second over the parallel section.
@@ -178,6 +183,7 @@ class BatchExecutor {
         batch.span_logs.emplace_back(span_capacity);
       }
     }
+    batch.latencies_us.resize(queries.size(), 0.0);
     Stopwatch watch;
     pool_.ParallelFor(queries.size(), [&](size_t i) {
       QueryStats* st = &batch.per_query[i];
@@ -187,7 +193,9 @@ class BatchExecutor {
       if (!batch.span_logs.empty()) {
         st->spans = &batch.span_logs[i];
       }
+      Stopwatch query_watch;
       batch.results[i] = fn(queries[i], st);
+      batch.latencies_us[i] = query_watch.ElapsedSeconds() * 1e6;
       st->trace = nullptr;  // The trace lives in batch.traces, not here.
       st->spans = nullptr;  // Likewise batch.span_logs.
     });

@@ -281,6 +281,7 @@ void BenchObserver::WriteSummaryRecord() {
     lat.Add("mean", mean);
     lat.Add("p50", SortedQuantile(latencies_us_, 0.50));
     lat.Add("p95", SortedQuantile(latencies_us_, 0.95));
+    lat.Add("p99", SortedQuantile(latencies_us_, 0.99));
     rec.AddRaw("latency_us", lat.Build());
   }
   {

@@ -1,0 +1,145 @@
+// Predicted-cost admission control for the shard router. Two independent
+// throttles, both fed by the cost model rather than by reactive signals:
+//
+//  - A node-read budget: each query declares its aggregate predicted node
+//    reads (summed over the shards it will dispatch to) before executing;
+//    queries whose demand would push the in-flight total past the budget
+//    wait on a condition variable instead of thrashing the buffer pool.
+//    Demand is clamped to the budget so an oversized query degrades to
+//    "runs alone" rather than deadlocking.
+//
+//  - A per-shard concurrency cap: at most `per_shard_cap` queries touch
+//    one shard's tree (and thus its pages) at a time.
+//
+// The mutex is never held across a shard search — tickets acquire, update
+// a counter, and release — so no lock-order edge to the storage layer
+// exists. Waits use explicit while-loop predicates (the CondVar contract
+// in common/mutex.h, checkable by -Wthread-safety).
+
+#ifndef MCM_SHARD_ADMISSION_H_
+#define MCM_SHARD_ADMISSION_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mcm/common/mutex.h"
+#include "mcm/common/thread_annotations.h"
+
+namespace mcm {
+namespace shard {
+
+/// Cost-model-driven throttle shared by every query a router executes.
+/// Thread-safe; a disabled throttle (budget <= 0, cap == 0) is free.
+class AdmissionController {
+ public:
+  AdmissionController(double node_budget, size_t per_shard_cap,
+                      size_t num_shards)
+      : budget_(node_budget),
+        per_shard_cap_(per_shard_cap),
+        shard_inflight_(num_shards, 0) {}
+
+  bool budget_enabled() const { return budget_ > 0.0; }
+  bool shard_cap_enabled() const { return per_shard_cap_ > 0; }
+
+  /// Blocks until `predicted_nodes` (clamped to the budget) fits into the
+  /// in-flight total, then claims it. No-op when the budget is off.
+  void AdmitQuery(double predicted_nodes) MCM_EXCLUDES(mu_) {
+    if (!budget_enabled()) return;
+    const double demand = Demand(predicted_nodes);
+    MutexLock lock(&mu_);
+    bool waited = false;
+    while (inflight_nodes_ > 0.0 && inflight_nodes_ + demand > budget_) {
+      waited = true;
+      cv_.Wait(mu_);
+    }
+    if (waited) ++queued_queries_;
+    inflight_nodes_ += demand;
+  }
+
+  /// Returns a previously admitted query's claim.
+  void ReleaseQuery(double predicted_nodes) MCM_EXCLUDES(mu_) {
+    if (!budget_enabled()) return;
+    MutexLock lock(&mu_);
+    inflight_nodes_ -= Demand(predicted_nodes);
+    if (inflight_nodes_ < 0.0) inflight_nodes_ = 0.0;
+    cv_.NotifyAll();
+  }
+
+  /// Blocks until shard `s` has a free slot, then claims it. No-op when
+  /// the per-shard cap is off.
+  void EnterShard(size_t s) MCM_EXCLUDES(mu_) {
+    if (!shard_cap_enabled()) return;
+    MutexLock lock(&mu_);
+    while (shard_inflight_[s] >= per_shard_cap_) {
+      cv_.Wait(mu_);
+    }
+    ++shard_inflight_[s];
+  }
+
+  void LeaveShard(size_t s) MCM_EXCLUDES(mu_) {
+    if (!shard_cap_enabled()) return;
+    MutexLock lock(&mu_);
+    --shard_inflight_[s];
+    cv_.NotifyAll();
+  }
+
+  /// Queries that had to wait for budget at least once.
+  uint64_t queued_queries() const MCM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return queued_queries_;
+  }
+
+ private:
+  double Demand(double predicted_nodes) const {
+    return std::min(std::max(predicted_nodes, 1.0), budget_);
+  }
+
+  const double budget_;
+  const size_t per_shard_cap_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  double inflight_nodes_ MCM_GUARDED_BY(mu_) = 0.0;
+  uint64_t queued_queries_ MCM_GUARDED_BY(mu_) = 0;
+  std::vector<size_t> shard_inflight_ MCM_GUARDED_BY(mu_);
+};
+
+/// RAII claim on the router-wide node budget for one query.
+class QueryTicket {
+ public:
+  QueryTicket(AdmissionController* controller, double predicted_nodes)
+      : controller_(controller), predicted_nodes_(predicted_nodes) {
+    controller_->AdmitQuery(predicted_nodes_);
+  }
+  ~QueryTicket() { controller_->ReleaseQuery(predicted_nodes_); }
+
+  QueryTicket(const QueryTicket&) = delete;
+  QueryTicket& operator=(const QueryTicket&) = delete;
+
+ private:
+  AdmissionController* controller_;
+  double predicted_nodes_;
+};
+
+/// RAII claim on one shard's concurrency slot.
+class ShardTicket {
+ public:
+  ShardTicket(AdmissionController* controller, size_t s)
+      : controller_(controller), shard_(s) {
+    controller_->EnterShard(shard_);
+  }
+  ~ShardTicket() { controller_->LeaveShard(shard_); }
+
+  ShardTicket(const ShardTicket&) = delete;
+  ShardTicket& operator=(const ShardTicket&) = delete;
+
+ private:
+  AdmissionController* controller_;
+  size_t shard_;
+};
+
+}  // namespace shard
+}  // namespace mcm
+
+#endif  // MCM_SHARD_ADMISSION_H_

@@ -7,12 +7,16 @@
 //
 //   mcm_explain [--metric l2|l1|linf|edit] (--range R | --knn K)
 //               [--query v1,v2,...|word] [--query-index I] [--json]
-//               [--bins N] [--d-plus D] <index-path>
+//               [--bins N] [--d-plus D] [--shards N] <index-path>
 //       Opens <index-path> (+ <index-path>.meta, as written by SaveMTree)
 //       and explains one query. The query object is either parsed from
 //       --query (comma-separated floats for vector metrics, the literal
 //       string for edit) or taken from the indexed objects (--query-index,
-//       default 0). Exit 0 on success, 2 on usage or I/O error.
+//       default 0). With --shards N (N >= 2) the indexed objects are
+//       additionally re-partitioned into N shards and the query is routed
+//       through the shard layer: the per-shard predicted-vs-actual table
+//       follows the report (text), or rides under a "shards" key (JSON).
+//       Exit 0 on success, 2 on usage or I/O error.
 //
 //   mcm_explain --make-demo <path>
 //       Builds the small clustered L2 demo index used by the scripted
@@ -44,6 +48,9 @@
 #include "mcm/mtree/persist.h"
 #include "mcm/obs/export.h"
 #include "mcm/obs/metrics.h"
+#include "mcm/shard/explain.h"
+#include "mcm/shard/router.h"
+#include "mcm/shard/sharded_index.h"
 
 namespace {
 
@@ -57,6 +64,7 @@ struct Args {
   double radius = -1.0;
   size_t k = 0;
   size_t bins = 100;
+  size_t shards = 0;  // >= 2: also explain through the shard router.
   double d_plus = -1.0;  // < 0: derive from the data.
   bool json = false;
 };
@@ -67,7 +75,8 @@ void PrintUsage() {
                "(--range R | --knn K)\n"
                "                   [--query v1,v2,...|word] "
                "[--query-index I] [--json]\n"
-               "                   [--bins N] [--d-plus D] <index-path>\n"
+               "                   [--bins N] [--d-plus D] [--shards N] "
+               "<index-path>\n"
                "       mcm_explain --make-demo <path>\n"
                "       mcm_explain --selftest <dir>\n");
 }
@@ -119,6 +128,33 @@ mcm::FloatVector ParseVector(const std::string& text) {
     pos = next + 1;
   }
   return v;
+}
+
+/// Inserts `"shards": <shard_json>` before the closing brace of the base
+/// EXPLAIN JSON object so the sharded report rides along in one document.
+std::string EmbedShardJson(const std::string& base,
+                           const std::string& shard_json) {
+  const size_t brace = base.rfind('}');
+  if (brace == std::string::npos) return base;
+  return base.substr(0, brace) + ",\"shards\":" + shard_json + "}";
+}
+
+/// Re-partitions the opened index's objects into `num_shards` shards and
+/// explains the same query through the shard router.
+template <typename Traits, typename Object, typename Metric>
+mcm::shard::ShardExplainReport ExplainSharded(
+    const std::vector<Object>& objects, const Metric& metric,
+    size_t num_shards, size_t node_size_bytes, double d_plus,
+    const Object& query, double radius, size_t k) {
+  mcm::shard::ShardedOptions build;
+  build.num_shards = num_shards;
+  build.tree.node_size_bytes = node_size_bytes;
+  build.d_plus = d_plus;
+  const auto sharded =
+      mcm::shard::ShardedMTree<Traits>::Create(objects, metric, build);
+  const mcm::shard::ShardRouter<Traits> router(sharded);
+  return radius >= 0.0 ? router.ExplainRange(query, radius)
+                       : router.ExplainKnn(query, k);
 }
 
 template <typename Object>
@@ -173,6 +209,21 @@ int ExplainIndex(const Args& args, Metric metric) {
       args.radius >= 0.0
           ? mcm::ExplainRange(tree, histogram, d_plus, query, args.radius)
           : mcm::ExplainKnn(tree, histogram, d_plus, query, args.k);
+  if (args.shards >= 2) {
+    const auto shard_report = ExplainSharded<Traits>(
+        objects, raw, args.shards, meta.node_size, d_plus, query,
+        args.radius, args.k);
+    if (args.json) {
+      std::cout << EmbedShardJson(
+                       mcm::RenderExplainJson(report),
+                       mcm::shard::RenderShardExplainJson(shard_report))
+                << "\n";
+    } else {
+      std::cout << mcm::RenderExplainText(report) << "\n"
+                << mcm::shard::RenderShardExplainText(shard_report);
+    }
+    return 0;
+  }
   if (args.json) {
     std::cout << mcm::RenderExplainJson(report) << "\n";
   } else {
@@ -301,7 +352,51 @@ int SelfTest(const std::string& dir) {
   if (knn_report.num_results != 5) return Fail("knn result count");
   if (const int rc = CheckReport(knn_report)) return rc;
 
-  std::printf("selftest: ok (range + knn explained, reports consistent)\n");
+  // Sharded EXPLAIN: route the same range query through 4 shards and
+  // require per-row actuals to sum to the totals, the dispatched/skipped
+  // split to cover every shard, the sharded answer to match the unsharded
+  // result count, and the JSON embedding to parse.
+  const double radius = 0.25 * d_plus;
+  const auto shard_report = ExplainSharded<Traits>(
+      objects, tree.metric(), /*num_shards=*/4, meta.node_size, d_plus,
+      objects[0], radius, /*k=*/0);
+  if (shard_report.kind != "range") return Fail("shard kind");
+  if (shard_report.num_shards != 4) return Fail("shard count");
+  if (shard_report.rows.size() != 4) return Fail("shard row count");
+  if (shard_report.dispatched + shard_report.skipped != 4) {
+    return Fail("shard dispatch/skip split");
+  }
+  uint64_t row_nodes = 0;
+  uint64_t row_dists = 0;
+  size_t row_results = 0;
+  for (const auto& row : shard_report.rows) {
+    row_nodes += row.actual_nodes;
+    row_dists += row.actual_dists;
+    row_results += row.results;
+  }
+  if (row_nodes != shard_report.actual_nodes) {
+    return Fail("shard row nodes do not sum to the total");
+  }
+  if (row_results != shard_report.results) {
+    return Fail("shard row results do not sum to the total");
+  }
+  if (row_dists > shard_report.actual_dists) {
+    return Fail("shard row distances exceed the total");
+  }
+  if (shard_report.results != range_report.num_results) {
+    return Fail("sharded result count differs from unsharded");
+  }
+  const auto shard_json = mcm::ParseJson(EmbedShardJson(
+      mcm::RenderExplainJson(range_report),
+      mcm::shard::RenderShardExplainJson(shard_report)));
+  if (!shard_json.has_value() || !shard_json->is_object() ||
+      shard_json->Find("shards") == nullptr) {
+    return Fail("shard JSON embedding does not parse");
+  }
+
+  std::printf(
+      "selftest: ok (range + knn + 4-shard scatter explained, "
+      "reports consistent)\n");
   std::fputs(mcm::RenderExplainText(knn_report).c_str(), stdout);
   return 0;
 }
@@ -326,6 +421,8 @@ int main(int argc, char** argv) {
       args.bins = static_cast<size_t>(std::stoul(argv[++i]));
     } else if (arg == "--d-plus" && i + 1 < argc) {
       args.d_plus = std::stod(argv[++i]);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      args.shards = static_cast<size_t>(std::stoul(argv[++i]));
     } else if (arg == "--json") {
       args.json = true;
     } else if (arg == "--selftest" && i + 1 < argc) {
